@@ -1,0 +1,30 @@
+//! Cost of the Eq. 1 / Fig. 7 availability computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsp_fabric::availability::{available_all, available_circuit, AvailabilityInputs};
+use rsp_fabric::AllocationVector;
+use rsp_isa::units::UnitType;
+
+fn bench_availability(c: &mut Criterion) {
+    let mut alloc = AllocationVector::empty(8);
+    alloc.place(0, UnitType::Lsu);
+    alloc.place(1, UnitType::FpAlu);
+    alloc.place(4, UnitType::IntMdu);
+    alloc.place(6, UnitType::Lsu);
+    let slot_available = vec![true, false, false, false, true, false, true, false];
+    let ffus: Vec<(UnitType, bool)> = UnitType::ALL.iter().map(|&t| (t, true)).collect();
+    let inputs = AvailabilityInputs {
+        alloc: &alloc,
+        slot_available: &slot_available,
+        ffus: &ffus,
+    };
+    c.bench_function("available_all (5 types, 8 slots + 5 FFUs)", |b| {
+        b.iter(|| black_box(available_all(black_box(&inputs))))
+    });
+    c.bench_function("available_circuit (gate-level, 1 type)", |b| {
+        b.iter(|| black_box(available_circuit(UnitType::Lsu, black_box(&inputs))))
+    });
+}
+
+criterion_group!(benches, bench_availability);
+criterion_main!(benches);

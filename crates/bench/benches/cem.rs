@@ -1,0 +1,35 @@
+//! Cost of one configuration-error-metric evaluation: the paper's barrel
+//! shifter vs the "more accurate divider" it rejects (Fig. 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsp_core::cem::CemUnit;
+use rsp_isa::units::TypeCounts;
+use rsp_workloads::mixes::all_signatures;
+
+fn bench_cem(c: &mut Criterion) {
+    let demands = all_signatures(7);
+    let avail = TypeCounts::new([3, 2, 3, 1, 1]);
+    let mut g = c.benchmark_group("cem");
+    for (label, unit) in [
+        ("barrel-shifter", CemUnit::PAPER),
+        ("exact-divider", CemUnit::EXACT),
+    ] {
+        g.bench_function(format!("{label} x792"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for d in &demands {
+                    acc = acc.wrapping_add(unit.error(black_box(d), black_box(&avail)));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.bench_function("raw 3-bit adder tree", |b| {
+        let d = TypeCounts::new([2, 1, 2, 1, 1]);
+        b.iter(|| black_box(CemUnit::PAPER.raw_error(black_box(&d), black_box(&avail))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cem);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end simulator throughput: simulated cycles per wall second and
+//! complete program runs per policy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rsp_sim::{Processor, SimConfig};
+use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let phased = PhasedSpec::int_fp_mem(300, 2, 9).generate();
+    let mut g = c.benchmark_group("full-run");
+    for (label, cfg) in [
+        ("paper-steering", SimConfig::default()),
+        ("static:Config1", SimConfig::static_on(0)),
+        ("oracle", SimConfig::oracle()),
+    ] {
+        g.bench_function(format!("phased/{label}"), |b| {
+            b.iter(|| {
+                let mut p = Processor::new(cfg.clone());
+                black_box(p.run(&phased, 10_000_000).unwrap())
+            })
+        });
+    }
+    let dot = kernels::dot_product(64);
+    g.bench_function("kernel/dot_product(64)", |b| {
+        b.iter(|| {
+            let mut p = Processor::new(SimConfig::default());
+            black_box(p.run(&dot, 10_000_000).unwrap())
+        })
+    });
+    g.finish();
+
+    // Steady-state stepping rate on a long straight-line program.
+    let long = SynthSpec {
+        body_len: 5000,
+        ..SynthSpec::new("long", UnitMix::BALANCED, 4)
+    }
+    .generate();
+    let mut g = c.benchmark_group("step-rate");
+    g.throughput(Throughput::Elements(2000));
+    g.bench_function("2000 cycles, paper steering", |b| {
+        b.iter_batched(
+            || Processor::new(SimConfig::default()).start(&long).unwrap(),
+            |mut m| {
+                for _ in 0..2000 {
+                    if !m.step() {
+                        break;
+                    }
+                }
+                black_box(m.cycle())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Configuration-loader cycle cost: the XOR diff + begin-load scan.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsp_core::{ConfigChoice, ConfigurationLoader};
+use rsp_fabric::config::SteeringSet;
+use rsp_fabric::fabric::{Fabric, FabricParams};
+
+fn bench_loader(c: &mut Criterion) {
+    let set = SteeringSet::paper_default();
+    c.bench_function("loader.apply steering Config1 -> Config3", |b| {
+        b.iter_batched(
+            || {
+                let fabric =
+                    Fabric::with_configuration(FabricParams::default(), &set.predefined[0]);
+                (ConfigurationLoader::new(set.clone()), fabric)
+            },
+            |(mut loader, mut fabric)| {
+                black_box(loader.apply(ConfigChoice::Predefined(2), &mut fabric))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("loader.apply no-op (current)", |b| {
+        let mut loader = ConfigurationLoader::new(set.clone());
+        let mut fabric = Fabric::with_configuration(FabricParams::default(), &set.predefined[0]);
+        b.iter(|| black_box(loader.apply(ConfigChoice::Current, &mut fabric)))
+    });
+    c.bench_function("alloc diff_count (8 slots)", |b| {
+        let a = &set.predefined[0].placement;
+        let d = &set.predefined[2].placement;
+        b.iter(|| black_box(a.diff_count(black_box(d))))
+    });
+}
+
+criterion_group!(benches, bench_loader);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Latency of the configuration selection unit — the circuit the paper
+//! argues must be "fast and efficient" enough to sit in the pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsp_core::SelectionUnit;
+use rsp_fabric::config::SteeringSet;
+use rsp_isa::units::TypeCounts;
+use rsp_workloads::mixes::all_signatures;
+
+fn bench_selection(c: &mut Criterion) {
+    let set = SteeringSet::paper_default();
+    let demands = all_signatures(7);
+    let current = &set.predefined[0];
+    let current_counts = current.counts.saturating_add(&set.ffu);
+
+    let mut g = c.benchmark_group("selection-unit");
+    g.bench_function("choose (fast path, 1 eval)", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % demands.len();
+            black_box(SelectionUnit::PAPER.choose(
+                black_box(demands[i]),
+                current_counts,
+                &current.placement,
+                &set,
+            ))
+        })
+    });
+    g.bench_function("select_from_counts (full trace, 1 eval)", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % demands.len();
+            black_box(SelectionUnit::PAPER.select_from_counts(
+                black_box(demands[i]),
+                current_counts,
+                &current.placement,
+                &set,
+            ))
+        })
+    });
+    g.bench_function("choose x792 (whole signature space)", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &d in &demands {
+                acc ^= SelectionUnit::PAPER
+                    .choose(d, current_counts, &current.placement, &set)
+                    .1;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    c.bench_function("requirement-encoder (7 one-hots)", |b| {
+        use rsp_core::decode::OneHot;
+        use rsp_core::RequirementEncoder;
+        use rsp_isa::UnitType;
+        let hots: Vec<OneHot> = (0..7)
+            .map(|i| OneHot::of(UnitType::from_index(i % 5).unwrap()))
+            .collect();
+        b.iter(|| black_box(RequirementEncoder::PAPER.encode(black_box(&hots))))
+    });
+
+    let _ = TypeCounts::ZERO; // keep import used in all cfgs
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Wake-up array cycle cost: request evaluation + arbitration + tick,
+//! at the paper's 7 entries and at larger windows (E9's scaling axis).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsp_isa::units::{TypeCounts, UnitType};
+use rsp_sched::{arbitrate, WakeupArray};
+
+fn full_array(n: usize) -> WakeupArray {
+    let mut w = WakeupArray::new(n);
+    for i in 0..n {
+        // A chain every third entry to mix ready and waiting entries.
+        let deps: Vec<usize> = if i % 3 == 2 { vec![i - 1] } else { vec![] };
+        w.insert(UnitType::from_index(i % 5).unwrap(), &deps, i as u64)
+            .unwrap();
+    }
+    w
+}
+
+fn bench_wakeup(c: &mut Criterion) {
+    let idle = TypeCounts::new([2, 1, 2, 1, 1]);
+    let avail = [true; 5];
+    let mut g = c.benchmark_group("wakeup-array");
+    for n in [7usize, 16, 32, 64] {
+        let w = full_array(n);
+        g.bench_function(format!("requests+arbitrate, {n} entries"), |b| {
+            b.iter(|| {
+                let reqs = w.requests(black_box(&avail));
+                black_box(arbitrate(&w, &reqs, &idle))
+            })
+        });
+        g.bench_function(format!("tick, {n} entries"), |b| {
+            let mut w = full_array(n);
+            for s in 0..n {
+                if w.get(s).is_some_and(|e| e.deps == 0) {
+                    w.grant(s, 5);
+                }
+            }
+            b.iter(|| {
+                w.tick();
+                black_box(&w);
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("insert+clear churn (7 entries)", |b| {
+        let mut w = WakeupArray::paper();
+        let mut tag = 0u64;
+        b.iter(|| {
+            let s = w.insert(UnitType::IntAlu, &[], tag).unwrap();
+            tag += 1;
+            w.clear(s);
+            black_box(&w);
+        })
+    });
+}
+
+criterion_group!(benches, bench_wakeup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment runner: regenerates every table and figure of the paper
+//! plus the quantitative studies E1–E9 (see DESIGN.md §4 and
+//! EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p rsp-bench --bin experiments -- <id>|all|list
+//! ```
+
+use rsp_bench::experiments::{run, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("list");
+    match id {
+        "list" | "--help" | "-h" => {
+            eprintln!("usage: experiments <id>");
+            eprintln!("ids:");
+            for id in ALL_IDS {
+                eprintln!("  {id}");
+            }
+        }
+        "all" => {
+            for id in ALL_IDS.iter().filter(|&&i| i != "all") {
+                let text = run(id).expect("known id");
+                println!("{text}");
+                println!("{}", "=".repeat(78));
+            }
+        }
+        other => match run(other) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown experiment '{other}'; try: experiments list");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,64 @@
+//! One module per reproduced artifact: [`figures`] covers Table 1 and
+//! Figs. 1–7 (regenerating each artifact's content from the
+//! implementation), [`evals`] covers the quantitative experiments E1–E9
+//! (DESIGN.md §4). Every function returns the report text it prints, so
+//! tests can assert on content.
+
+pub mod evals;
+pub mod figures;
+
+/// All experiment ids, in DESIGN.md order.
+pub const ALL_IDS: [&str; 23] = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "e1-ipc",
+    "e2-partial",
+    "e3-stability",
+    "e4-latency",
+    "e5-divider",
+    "e6-basis",
+    "e7-demand",
+    "e8-ffu",
+    "e9-scaling",
+    "e10-demand-mode",
+    "e11-smoothing",
+    "e12-selectfree",
+    "e13-hwcost",
+    "e14-predictor",
+    "all",
+];
+
+/// Dispatch one experiment by id; returns its report text.
+pub fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "table1" => figures::table1(),
+        "fig1" => figures::fig1(),
+        "fig2" => figures::fig2(),
+        "fig3" => figures::fig3(),
+        "fig4" => figures::fig4(),
+        "fig5" => figures::fig5(),
+        "fig6" => figures::fig6(),
+        "fig7" => figures::fig7(),
+        "e1-ipc" => evals::e1_ipc(),
+        "e2-partial" => evals::e2_partial(),
+        "e3-stability" => evals::e3_stability(),
+        "e4-latency" => evals::e4_latency(),
+        "e5-divider" => evals::e5_divider(),
+        "e6-basis" => evals::e6_basis(),
+        "e7-demand" => evals::e7_demand(),
+        "e8-ffu" => evals::e8_ffu(),
+        "e9-scaling" => evals::e9_scaling(),
+        "e10-demand-mode" => evals::e10_demand_mode(),
+        "e11-smoothing" => evals::e11_smoothing(),
+        "e12-selectfree" => evals::e12_selectfree(),
+        "e13-hwcost" => evals::e13_hwcost(),
+        "e14-predictor" => evals::e14_predictor(),
+        _ => return None,
+    })
+}

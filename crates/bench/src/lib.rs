@@ -1,0 +1,17 @@
+//! # rsp-bench — experiment harness
+//!
+//! Shared plumbing for the `experiments` binary (one subcommand per
+//! table/figure/experiment of DESIGN.md §4) and the Criterion
+//! micro-benchmarks. Parameter sweeps fan out across simulator instances
+//! with rayon — each simulation is single-threaded and deterministic, so
+//! parallelism is free of ordering effects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod scaled;
+
+pub use harness::{policies, run_one, PolicySpec, Row};
+pub use scaled::scaled_paper_set;

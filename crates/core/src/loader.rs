@@ -1,0 +1,254 @@
+//! The configuration loader (paper §3.2).
+//!
+//! "Once a configuration is chosen, the configuration loader will
+//! determine which RFUs need to be reconfigured by determining the
+//! difference (XOR) between the chosen configuration and the current
+//! configuration using the resource allocation vector. The loader will
+//! then choose which RFUs to reconfigure on the basis of their
+//! availability. If an RFU is executing a multicycle instruction, the RFU
+//! cannot be reconfigured until the instruction finishes execution …
+//! The RFU will not be reconfigured if it already implements the
+//! specified functional unit."
+//!
+//! Consequences faithfully modelled here:
+//! * choosing the current configuration starts no loads;
+//! * only *idle* RFUs are reloaded — busy ones are skipped and may be
+//!   picked up by a *different* selection on a later cycle ("by the time
+//!   it is available for reconfiguration, a different configuration may
+//!   have been selected");
+//! * matching units are never reloaded (partial reconfiguration);
+//! * in-flight loads are never cancelled;
+//! * the live configuration is therefore generally a **hybrid overlap**
+//!   of steering configurations.
+
+use crate::select::ConfigChoice;
+use rsp_fabric::config::SteeringSet;
+use rsp_fabric::fabric::{Fabric, LoadError};
+use serde::{Deserialize, Serialize};
+
+/// Loader counters (per-run).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoaderStats {
+    /// Selections applied, indexed by two-bit value (0 = current).
+    pub selections: Vec<u64>,
+    /// Cycles on which the applied selection differed from the previous
+    /// cycle's selection (steering-direction changes).
+    pub selection_changes: u64,
+    /// Loads successfully started.
+    pub loads_started: u64,
+    /// Load attempts deferred because the target span had a busy unit.
+    pub deferred_busy: u64,
+    /// Load attempts deferred because no reconfiguration port was free.
+    pub deferred_port: u64,
+    /// Load attempts skipped because the span already implements the unit.
+    pub skipped_matching: u64,
+    /// Load attempts skipped because the span is already being loaded.
+    pub skipped_loading: u64,
+}
+
+/// The configuration loader: applies a selection to the fabric using
+/// partial reconfiguration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationLoader {
+    set: SteeringSet,
+    /// When `false`, reload *every* unit of a newly chosen configuration
+    /// even if the span already matches (E2 full-reload ablation).
+    pub partial: bool,
+    stats: LoaderStats,
+    last_choice: Option<ConfigChoice>,
+}
+
+impl ConfigurationLoader {
+    /// A loader steering over `set`, with the paper's partial
+    /// reconfiguration behaviour.
+    pub fn new(set: SteeringSet) -> ConfigurationLoader {
+        let n = 1 + set.predefined.len();
+        ConfigurationLoader {
+            set,
+            partial: true,
+            stats: LoaderStats {
+                selections: vec![0; n],
+                ..LoaderStats::default()
+            },
+            last_choice: None,
+        }
+    }
+
+    /// The steering set this loader serves.
+    #[inline]
+    pub fn set(&self) -> &SteeringSet {
+        &self.set
+    }
+
+    /// Counters so far.
+    #[inline]
+    pub fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+
+    /// The selection applied on the previous cycle.
+    #[inline]
+    pub fn last_choice(&self) -> Option<ConfigChoice> {
+        self.last_choice
+    }
+
+    /// Apply one cycle's selection: start as many of the chosen
+    /// configuration's unit loads as availability and ports allow.
+    /// Returns the number of loads started.
+    pub fn apply(&mut self, choice: ConfigChoice, fabric: &mut Fabric) -> usize {
+        let idx = choice.two_bit() as usize;
+        if let Some(c) = self.stats.selections.get_mut(idx) {
+            *c += 1;
+        }
+        if self.last_choice.is_some() && self.last_choice != Some(choice) {
+            self.stats.selection_changes += 1;
+        }
+        self.last_choice = Some(choice);
+
+        let ConfigChoice::Predefined(i) = choice else {
+            return 0; // keep the current configuration: no reconfiguration
+        };
+        let target = &self.set.predefined[i];
+        let mut started = 0;
+        for pu in target.placement.units() {
+            let res = if self.partial {
+                fabric.begin_load(pu.head, pu.unit)
+            } else {
+                fabric.begin_load_forced(pu.head, pu.unit)
+            };
+            match res {
+                Ok(()) => {
+                    self.stats.loads_started += 1;
+                    started += 1;
+                }
+                Err(LoadError::AlreadyConfigured) => self.stats.skipped_matching += 1,
+                Err(LoadError::SpanBusy) => self.stats.deferred_busy += 1,
+                Err(LoadError::NoPortFree) => self.stats.deferred_port += 1,
+                Err(LoadError::SpanLoading) => self.stats.skipped_loading += 1,
+                Err(LoadError::OutOfRange) => {
+                    unreachable!("steering-set placements fit the fabric")
+                }
+            }
+        }
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_fabric::fabric::{FabricParams, UnitId};
+    use rsp_isa::UnitType;
+
+    fn fabric(latency: u64, ports: usize) -> Fabric {
+        Fabric::new(FabricParams {
+            per_slot_load_latency: latency,
+            reconfig_ports: ports,
+            ..FabricParams::default()
+        })
+    }
+
+    fn loader() -> ConfigurationLoader {
+        ConfigurationLoader::new(SteeringSet::paper_default())
+    }
+
+    #[test]
+    fn current_choice_starts_nothing() {
+        let mut l = loader();
+        let mut f = fabric(1, 8);
+        assert_eq!(l.apply(ConfigChoice::Current, &mut f), 0);
+        assert_eq!(f.loads_in_flight(), 0);
+        assert_eq!(l.stats().selections[0], 1);
+    }
+
+    #[test]
+    fn empty_fabric_loads_whole_config_with_enough_ports() {
+        let mut l = loader();
+        let mut f = fabric(1, 8);
+        let started = l.apply(ConfigChoice::Predefined(0), &mut f);
+        assert_eq!(started, 5, "Config 1 has 5 units");
+        // Drain the loads: LSU takes 1 cycle, Int units 2.
+        for _ in 0..2 {
+            f.tick();
+        }
+        assert_eq!(f.rfu_counts(), l.set().predefined[0].counts);
+    }
+
+    #[test]
+    fn single_port_loads_one_unit_per_selection() {
+        let mut l = loader();
+        let mut f = fabric(1, 1);
+        let started = l.apply(ConfigChoice::Predefined(0), &mut f);
+        assert_eq!(started, 1);
+        assert_eq!(l.stats().deferred_port, 4);
+        // Re-applying after completion starts the next unit.
+        f.tick();
+        f.tick();
+        let started = l.apply(ConfigChoice::Predefined(0), &mut f);
+        assert_eq!(started, 1);
+        assert_eq!(l.stats().skipped_matching, 1, "first unit now matches");
+    }
+
+    #[test]
+    fn partial_reconfig_skips_overlap() {
+        let mut l = loader();
+        let mut f = fabric(1, 8);
+        // Load Config 1 fully.
+        l.apply(ConfigChoice::Predefined(0), &mut f);
+        f.tick();
+        f.tick();
+        // Steer to Config 2: shares the Int-ALU@0 and Int-MDU placement
+        // prefix; only the differing tail should reload.
+        let started = l.apply(ConfigChoice::Predefined(1), &mut f);
+        let c2 = &l.set().predefined[1];
+        let overlap = c2.placement.units().count() - started;
+        // The shared Int-ALU prefix at slot 0 must not be reloaded.
+        assert!(overlap >= 1, "expected ≥1 matching unit, got {overlap}");
+        assert_eq!(l.stats().skipped_matching, 1);
+        assert_eq!(f.alloc().unit_at(0).unwrap().unit, UnitType::IntAlu);
+    }
+
+    #[test]
+    fn busy_units_are_skipped_not_waited_for() {
+        let mut l = loader();
+        let mut f = fabric(1, 8);
+        l.apply(ConfigChoice::Predefined(0), &mut f);
+        f.tick();
+        f.tick();
+        // Mark the Int-ALU at slot 0 busy; steer to Config 3 (no ALUs).
+        f.set_busy(UnitId::Rfu { head: 0 });
+        let before = f.rfu_counts();
+        l.apply(ConfigChoice::Predefined(2), &mut f);
+        assert!(l.stats().deferred_busy > 0);
+        // The busy ALU must still be configured.
+        assert_eq!(f.alloc().unit_at(0).unwrap().unit, UnitType::IntAlu);
+        assert!(before.get(UnitType::IntAlu) > 0);
+    }
+
+    #[test]
+    fn full_reload_ablation_reloads_matching_units() {
+        let mut l = loader();
+        l.partial = false;
+        let mut f = fabric(1, 8);
+        l.apply(ConfigChoice::Predefined(0), &mut f);
+        for _ in 0..2 {
+            f.tick();
+        }
+        let started = l.apply(ConfigChoice::Predefined(0), &mut f);
+        assert_eq!(started, 5, "full reload ignores matching spans");
+        assert_eq!(l.stats().skipped_matching, 0);
+    }
+
+    #[test]
+    fn selection_change_counting() {
+        let mut l = loader();
+        let mut f = fabric(1, 8);
+        l.apply(ConfigChoice::Current, &mut f);
+        l.apply(ConfigChoice::Current, &mut f);
+        l.apply(ConfigChoice::Predefined(1), &mut f);
+        l.apply(ConfigChoice::Predefined(1), &mut f);
+        l.apply(ConfigChoice::Current, &mut f);
+        assert_eq!(l.stats().selection_changes, 2);
+        assert_eq!(l.stats().selections, vec![3, 0, 2, 0]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Steering policies: the paper's mechanism plus the baselines and
+//! extensions the experiments compare.
+//!
+//! A [`SteeringPolicy`] is ticked once per simulated cycle with the
+//! demand signature of the ready-but-unscheduled instructions and
+//! mutable access to the fabric; it may start partial reconfigurations.
+//!
+//! * [`PaperSteering`] — the paper's configuration selection unit driving
+//!   the configuration loader.
+//! * [`StaticPolicy`] — never reconfigures (the fabric keeps whatever it
+//!   was initialised with): the per-configuration baselines of E1 and the
+//!   "never reconfigure" floor.
+//! * [`DemandDriven`] — the paper's §5 future-work idea: steer without
+//!   predefined configurations by greedily packing the fabric to match
+//!   the live demand (also the *oracle* when run on a zero-latency
+//!   fabric).
+
+use crate::loader::ConfigurationLoader;
+use crate::select::{ConfigChoice, SelectionUnit};
+use rsp_fabric::config::{Configuration, SteeringSet};
+use rsp_fabric::fabric::{Fabric, LoadError};
+use rsp_isa::units::{TypeCounts, UnitType};
+
+/// What a policy did this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyOutcome {
+    /// The configuration selected (policies without a notion of
+    /// configuration choice report `None`).
+    pub choice: Option<ConfigChoice>,
+    /// Partial reconfigurations started this cycle.
+    pub loads_started: usize,
+}
+
+/// A per-cycle steering decision-maker.
+pub trait SteeringPolicy {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+
+    /// Observe this cycle's ready-instruction demand and (possibly)
+    /// start reconfigurations.
+    fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome;
+}
+
+/// The paper's steering mechanism: selection unit + configuration loader.
+#[derive(Debug, Clone)]
+pub struct PaperSteering {
+    /// The four-stage configuration selection unit.
+    pub unit: SelectionUnit,
+    /// The configuration loader (owns the steering set).
+    pub loader: ConfigurationLoader,
+}
+
+impl PaperSteering {
+    /// Paper defaults: Table-1 steering set, shifter CEMs, favor-current
+    /// tie-breaking, partial reconfiguration.
+    pub fn paper_default() -> PaperSteering {
+        PaperSteering {
+            unit: SelectionUnit::PAPER,
+            loader: ConfigurationLoader::new(SteeringSet::paper_default()),
+        }
+    }
+
+    /// Steering over a custom set / selection unit.
+    pub fn new(unit: SelectionUnit, set: SteeringSet) -> PaperSteering {
+        PaperSteering {
+            unit,
+            loader: ConfigurationLoader::new(set),
+        }
+    }
+}
+
+impl SteeringPolicy for PaperSteering {
+    fn name(&self) -> String {
+        let mut n = String::from("paper-steering");
+        if !self.loader.partial {
+            n.push_str("+full-reload");
+        }
+        if self.unit.tie != crate::select::TieBreak::FavorCurrent {
+            n.push_str("+no-favor-current");
+        }
+        if self.unit.cem.kind == crate::cem::CemKind::ExactDivider {
+            n.push_str("+exact-divider");
+        }
+        n
+    }
+
+    fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome {
+        let (choice, _err) = self.unit.choose(
+            demand.saturating_3bit(),
+            fabric.configured_counts(),
+            fabric.alloc(),
+            self.loader.set(),
+        );
+        let loads = self.loader.apply(choice, fabric);
+        PolicyOutcome {
+            choice: Some(choice),
+            loads_started: loads,
+        }
+    }
+}
+
+/// Never reconfigure: the static baseline. The simulator initialises the
+/// fabric (typically with one of the predefined configurations); this
+/// policy leaves it alone.
+#[derive(Debug, Clone)]
+pub struct StaticPolicy {
+    label: String,
+}
+
+impl StaticPolicy {
+    /// A static baseline labelled after the configuration it runs on.
+    pub fn new(label: impl Into<String>) -> StaticPolicy {
+        StaticPolicy {
+            label: label.into(),
+        }
+    }
+}
+
+impl SteeringPolicy for StaticPolicy {
+    fn name(&self) -> String {
+        format!("static:{}", self.label)
+    }
+
+    fn tick(&mut self, _demand: &TypeCounts, _fabric: &mut Fabric) -> PolicyOutcome {
+        PolicyOutcome::default()
+    }
+}
+
+/// Greedily pack the fabric to match live demand, without predefined
+/// configurations (paper §5: "being able to dynamically reconfigure
+/// without using predefined configurations").
+///
+/// Each cycle it computes a *desired* unit mix: starting from the FFU
+/// baseline, repeatedly grant one more unit of the type with the largest
+/// unmet demand per slot (deficit / slot-cost) until the fabric is full
+/// or demand is met. It then diff-loads toward the canonical placement of
+/// that mix, exactly like the configuration loader.
+///
+/// Run against a zero-latency fabric this is the *oracle* upper bound of
+/// experiment E1.
+#[derive(Debug, Clone, Default)]
+pub struct DemandDriven {
+    /// Loads started so far (stat).
+    pub loads_started: u64,
+    /// Deferred-busy count (stat).
+    pub deferred_busy: u64,
+}
+
+impl DemandDriven {
+    /// Compute the desired RFU unit mix for a demand signature.
+    ///
+    /// `ffu` is the fixed baseline (already provided for free); `slots`
+    /// the fabric capacity.
+    pub fn desired_mix(demand: &TypeCounts, ffu: &TypeCounts, slots: usize) -> TypeCounts {
+        let mut mix = TypeCounts::ZERO;
+        let mut used = 0usize;
+        loop {
+            // Pick the type with the largest unmet demand per slot.
+            let mut best: Option<(UnitType, f64)> = None;
+            for &t in &UnitType::ALL {
+                let provided = mix.get(t) as i32 + ffu.get(t) as i32;
+                let deficit = demand.get(t) as i32 - provided;
+                if deficit <= 0 || used + t.slot_cost() > slots {
+                    continue;
+                }
+                let score = deficit as f64 / t.slot_cost() as f64;
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((t, score));
+                }
+            }
+            match best {
+                Some((t, _)) => {
+                    mix.add(t, 1);
+                    used += t.slot_cost();
+                }
+                None => break,
+            }
+        }
+        mix
+    }
+}
+
+impl SteeringPolicy for DemandDriven {
+    fn name(&self) -> String {
+        "demand-driven".into()
+    }
+
+    fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome {
+        let ffu: TypeCounts = fabric.ffu_signals().iter().map(|&(t, _)| (t, 1)).collect();
+        let slots = fabric.params().rfu_slots;
+        let mix = Self::desired_mix(demand, &ffu, slots);
+        if mix == fabric.rfu_counts() {
+            return PolicyOutcome::default();
+        }
+        let target =
+            Configuration::place("demand", mix, slots).expect("desired mix fits by construction");
+        let mut started = 0;
+        for pu in target.placement.units() {
+            match fabric.begin_load(pu.head, pu.unit) {
+                Ok(()) => {
+                    self.loads_started += 1;
+                    started += 1;
+                }
+                Err(LoadError::SpanBusy) => self.deferred_busy += 1,
+                Err(_) => {}
+            }
+        }
+        PolicyOutcome {
+            choice: None,
+            loads_started: started,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_fabric::fabric::FabricParams;
+
+    fn fabric(latency: u64, ports: usize) -> Fabric {
+        Fabric::new(FabricParams {
+            per_slot_load_latency: latency,
+            reconfig_ports: ports,
+            ..FabricParams::default()
+        })
+    }
+
+    #[test]
+    fn paper_steering_converges_to_demanded_config() {
+        let mut p = PaperSteering::paper_default();
+        let mut f = fabric(1, 8);
+        // Persistent FP-heavy demand.
+        let demand = TypeCounts::new([0, 0, 2, 2, 2]);
+        for _ in 0..50 {
+            p.tick(&demand, &mut f);
+            f.tick();
+        }
+        // Fabric must have settled on Config 3.
+        let expected = p.loader.set().predefined[2].counts;
+        assert_eq!(f.rfu_counts(), expected, "fabric: {}", f.slot_map());
+        // And the selection must now be stable at "current".
+        let out = p.tick(&demand, &mut f);
+        assert_eq!(out.choice, Some(ConfigChoice::Current));
+        assert_eq!(out.loads_started, 0);
+    }
+
+    #[test]
+    fn static_policy_never_touches_fabric() {
+        let mut p = StaticPolicy::new("Config 1");
+        let mut f = fabric(1, 8);
+        let before = f.clone();
+        let out = p.tick(&TypeCounts::new([7, 7, 7, 7, 7]), &mut f);
+        assert_eq!(out, PolicyOutcome::default());
+        assert_eq!(f, before);
+        assert_eq!(p.name(), "static:Config 1");
+    }
+
+    #[test]
+    fn desired_mix_matches_demand_shape() {
+        let ffu = TypeCounts::new([1, 1, 1, 1, 1]);
+        // Demand: 4 ALU, 2 LSU → mix should grant 3 extra ALUs? 3*2=6
+        // slots, plus 1 LSU = 7 ≤ 8, then remaining deficit LSU fits.
+        let mix = DemandDriven::desired_mix(&TypeCounts::new([4, 0, 2, 0, 0]), &ffu, 8);
+        assert_eq!(mix.get(UnitType::IntAlu), 3);
+        assert_eq!(mix.get(UnitType::Lsu), 1);
+        assert!(mix.slot_cost() <= 8);
+        // Zero demand → empty mix.
+        assert!(DemandDriven::desired_mix(&TypeCounts::ZERO, &ffu, 8).is_zero());
+        // Demand already covered by FFUs → empty mix.
+        assert!(DemandDriven::desired_mix(&TypeCounts::new([1, 1, 1, 1, 1]), &ffu, 8).is_zero());
+    }
+
+    #[test]
+    fn desired_mix_respects_capacity() {
+        let ffu = TypeCounts::new([1, 1, 1, 1, 1]);
+        let mix = DemandDriven::desired_mix(&TypeCounts::new([7, 7, 7, 7, 7]), &ffu, 8);
+        assert!(mix.slot_cost() <= 8);
+        assert!(mix.total() > 0);
+    }
+
+    #[test]
+    fn demand_driven_reaches_demanded_shape() {
+        let mut p = DemandDriven::default();
+        let mut f = fabric(1, 8);
+        let demand = TypeCounts::new([0, 0, 4, 2, 0]);
+        for _ in 0..50 {
+            p.tick(&demand, &mut f);
+            f.tick();
+        }
+        let c = f.rfu_counts();
+        assert!(c.get(UnitType::Lsu) >= 3, "fabric: {}", f.slot_map());
+        assert!(c.get(UnitType::FpAlu) >= 1, "fabric: {}", f.slot_map());
+        // Stable: no further loads once converged.
+        let out = p.tick(&demand, &mut f);
+        assert_eq!(out.loads_started, 0);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(PaperSteering::paper_default().name(), "paper-steering");
+        let mut p = PaperSteering::paper_default();
+        p.loader.partial = false;
+        p.unit.tie = crate::select::TieBreak::PreferPredefined;
+        p.unit.cem = crate::cem::CemUnit::EXACT;
+        assert_eq!(
+            p.name(),
+            "paper-steering+full-reload+no-favor-current+exact-divider"
+        );
+        assert_eq!(DemandDriven::default().name(), "demand-driven");
+    }
+}

@@ -1,0 +1,248 @@
+//! The resource-availability circuit (paper §4.2, Eq. 1, Fig. 7).
+//!
+//! `available(t)` asks: *is at least one idle functional unit of type `t`
+//! configured anywhere in the processor?* Per Eq. 1 it is the OR over all
+//! resources `i` (RFU slots and fixed units) of
+//!
+//! ```text
+//! Π_b  ¬(type(t)_b ⊕ alloc[i]_b)  ∧  availability(i)
+//! ```
+//!
+//! i.e. a bitwise match of the slot's 3-bit allocation-vector entry
+//! against the type's encoding, ANDed with the slot's availability
+//! signal. Continuation slots never match any type encoding (their
+//! encoding `111` is not a unit encoding), which is exactly how the paper
+//! ensures a multi-slot unit is "only considered once".
+//!
+//! [`available_circuit`] is the bit-faithful gate-level form;
+//! [`available`] is the direct behavioural form. A property test pins
+//! them equal.
+
+use crate::alloc::AllocationVector;
+use rsp_isa::units::{SlotEncoding, UnitType};
+
+/// Inputs to the availability computation for one query.
+#[derive(Debug, Clone)]
+pub struct AvailabilityInputs<'a> {
+    /// The resource allocation vector (RFU slots).
+    pub alloc: &'a AllocationVector,
+    /// Per-slot availability signal: `true` = the unit implemented by this
+    /// slot is available (idle and fully loaded). Slots mid-reconfiguration
+    /// or busy must present `false`. Length equals `alloc.len()`.
+    pub slot_available: &'a [bool],
+    /// Fixed functional units: `(type, availability)` pairs.
+    pub ffus: &'a [(UnitType, bool)],
+}
+
+/// Gate-level form of Eq. 1: bitwise XNOR match of each slot's encoding
+/// against `type(t)`, ANDed with the slot's availability, ORed across all
+/// RFU slots and FFUs (Fig. 7).
+pub fn available_circuit(t: UnitType, inputs: &AvailabilityInputs<'_>) -> bool {
+    assert_eq!(
+        inputs.alloc.len(),
+        inputs.slot_available.len(),
+        "one availability signal per slot"
+    );
+    let tenc = t.encoding();
+    let bit_match = |enc: u8| -> bool {
+        // Π_b ¬(type(t)_b ⊕ enc_b) over the three encoding bits.
+        (0..3).all(|b| ((tenc >> b) & 1) ^ ((enc >> b) & 1) == 0)
+    };
+    let rfu = inputs
+        .alloc
+        .encodings()
+        .iter()
+        .zip(inputs.slot_available)
+        .any(|(e, &avail)| bit_match(e.0) && avail);
+    let ffu = inputs
+        .ffus
+        .iter()
+        .any(|&(ft, avail)| bit_match(ft.encoding()) && avail);
+    rfu || ffu
+}
+
+/// Behavioural form: any head slot of type `t` that is available, or any
+/// FFU of type `t` that is available.
+pub fn available(t: UnitType, inputs: &AvailabilityInputs<'_>) -> bool {
+    let rfu = inputs
+        .alloc
+        .encodings()
+        .iter()
+        .zip(inputs.slot_available)
+        .any(|(e, &avail)| e.unit_type() == Some(t) && avail);
+    let ffu = inputs.ffus.iter().any(|&(ft, avail)| ft == t && avail);
+    rfu || ffu
+}
+
+/// Availability for every type at once (five parallel copies of Fig. 7).
+pub fn available_all(inputs: &AvailabilityInputs<'_>) -> [bool; 5] {
+    let mut out = [false; 5];
+    for &t in &UnitType::ALL {
+        out[t.index()] = available(t, inputs);
+    }
+    out
+}
+
+/// Continuation slots must never satisfy a type match regardless of their
+/// availability signal — compile-time-ish guard used in tests and debug
+/// assertions.
+pub fn continuation_never_matches() -> bool {
+    UnitType::ALL
+        .iter()
+        .all(|t| t.encoding() != SlotEncoding::CONTINUATION.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vector_of(units: &[UnitType], n: usize) -> AllocationVector {
+        let mut v = AllocationVector::empty(n);
+        let mut at = 0;
+        for &t in units {
+            v.place(at, t);
+            at += t.slot_cost();
+        }
+        v
+    }
+
+    #[test]
+    fn ffu_only_availability() {
+        let alloc = AllocationVector::empty(8);
+        let slot_available = vec![false; 8];
+        let ffus = [(UnitType::IntAlu, true), (UnitType::FpMdu, false)];
+        let inputs = AvailabilityInputs {
+            alloc: &alloc,
+            slot_available: &slot_available,
+            ffus: &ffus,
+        };
+        assert!(available(UnitType::IntAlu, &inputs));
+        assert!(!available(UnitType::FpMdu, &inputs)); // configured but busy
+        assert!(!available(UnitType::Lsu, &inputs)); // not configured
+    }
+
+    #[test]
+    fn rfu_availability_respects_busy_signal() {
+        let alloc = vector_of(&[UnitType::IntMdu, UnitType::Lsu], 8);
+        // MDU head at 0 (busy), LSU at 2 (idle).
+        let mut slot_available = vec![false; 8];
+        slot_available[2] = true;
+        let inputs = AvailabilityInputs {
+            alloc: &alloc,
+            slot_available: &slot_available,
+            ffus: &[],
+        };
+        assert!(!available(UnitType::IntMdu, &inputs));
+        assert!(available(UnitType::Lsu, &inputs));
+    }
+
+    #[test]
+    fn continuation_slot_does_not_leak_availability() {
+        let alloc = vector_of(&[UnitType::FpAlu], 4);
+        // Adversarial: continuation slots assert availability, head does not.
+        let slot_available = vec![false, true, true, true];
+        let inputs = AvailabilityInputs {
+            alloc: &alloc,
+            slot_available: &slot_available,
+            ffus: &[],
+        };
+        assert!(!available(UnitType::FpAlu, &inputs));
+        assert!(!available_circuit(UnitType::FpAlu, &inputs));
+        assert!(continuation_never_matches());
+    }
+
+    #[test]
+    fn multiple_copies_or_together() {
+        let alloc = vector_of(&[UnitType::Lsu, UnitType::Lsu, UnitType::Lsu], 8);
+        let mut slot_available = vec![false; 8];
+        let inputs = AvailabilityInputs {
+            alloc: &alloc,
+            slot_available: &slot_available,
+            ffus: &[(UnitType::Lsu, false)],
+        };
+        assert!(!available(UnitType::Lsu, &inputs));
+        slot_available[1] = true;
+        let inputs = AvailabilityInputs {
+            alloc: &alloc,
+            slot_available: &slot_available,
+            ffus: &[(UnitType::Lsu, false)],
+        };
+        assert!(available(UnitType::Lsu, &inputs));
+    }
+
+    #[test]
+    fn available_all_orders_by_type_index() {
+        let alloc = vector_of(&[UnitType::FpMdu], 8);
+        let slot_available = vec![true; 8];
+        let inputs = AvailabilityInputs {
+            alloc: &alloc,
+            slot_available: &slot_available,
+            ffus: &[(UnitType::IntAlu, true)],
+        };
+        let all = available_all(&inputs);
+        assert_eq!(all, [true, false, false, false, true]);
+    }
+
+    fn arb_state() -> impl Strategy<Value = (AllocationVector, Vec<bool>, Vec<(UnitType, bool)>)> {
+        (
+            proptest::collection::vec(0usize..=5, 0..8),
+            proptest::collection::vec(any::<bool>(), 8),
+            proptest::collection::vec((0usize..5, any::<bool>()), 0..6),
+        )
+            .prop_map(|(choices, avail, ffus)| {
+                let mut v = AllocationVector::empty(8);
+                let mut at = 0;
+                for c in choices {
+                    if c == 5 {
+                        at += 1;
+                        continue;
+                    }
+                    let t = UnitType::from_index(c).unwrap();
+                    if at + t.slot_cost() > 8 {
+                        break;
+                    }
+                    v.place(at, t);
+                    at += t.slot_cost();
+                }
+                let ffus = ffus
+                    .into_iter()
+                    .map(|(i, a)| (UnitType::from_index(i).unwrap(), a))
+                    .collect();
+                (v, avail, ffus)
+            })
+    }
+
+    proptest! {
+        /// DESIGN.md invariant 2: the gate-level circuit equals the
+        /// behavioural definition for every fabric state and busy mask.
+        #[test]
+        fn prop_circuit_equals_behavioural((alloc, avail, ffus) in arb_state()) {
+            let inputs = AvailabilityInputs {
+                alloc: &alloc,
+                slot_available: &avail,
+                ffus: &ffus,
+            };
+            for &t in &UnitType::ALL {
+                prop_assert_eq!(available_circuit(t, &inputs), available(t, &inputs));
+            }
+        }
+
+        /// Availability implies the type is actually configured somewhere.
+        #[test]
+        fn prop_available_implies_configured((alloc, avail, ffus) in arb_state()) {
+            let inputs = AvailabilityInputs {
+                alloc: &alloc,
+                slot_available: &avail,
+                ffus: &ffus,
+            };
+            for &t in &UnitType::ALL {
+                if available(t, &inputs) {
+                    let in_rfu = alloc.counts().get(t) > 0;
+                    let in_ffu = ffus.iter().any(|&(ft, _)| ft == t);
+                    prop_assert!(in_rfu || in_ffu);
+                }
+            }
+        }
+    }
+}

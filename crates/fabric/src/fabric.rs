@@ -1,0 +1,673 @@
+//! The live fabric: slot state, busy tracking, and the partial
+//! reconfiguration engine.
+//!
+//! A [`Fabric`] owns the resource allocation vector of the RFU slots, the
+//! fixed functional units, per-unit busy state, and the set of
+//! reconfigurations in flight. The configuration loader (in `rsp-core`)
+//! decides *what* to load; the fabric decides *whether it may be loaded
+//! now* (span idle, a reconfiguration port free) and models the latency.
+//!
+//! Modelling choices (DESIGN.md §5):
+//! * Loading a unit of `k` slots takes `k × per_slot_load_latency`
+//!   cycles — the module-based partial-reconfiguration flow streams each
+//!   slot's frames through the configuration port.
+//! * At most `reconfig_ports` loads are in flight at once (default 1, a
+//!   single-ICAP analogue).
+//! * While a load is in flight its slots are *empty*: they provide no
+//!   unit, match no availability query, and cannot host issue.
+
+use crate::alloc::{AllocationVector, PlacedUnit};
+use crate::availability::{available, AvailabilityInputs};
+use crate::config::Configuration;
+use rsp_isa::units::{TypeCounts, UnitType};
+use serde::{Deserialize, Serialize};
+
+/// Static fabric parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricParams {
+    /// Number of RFU slots (paper: 8).
+    pub rfu_slots: usize,
+    /// Fixed functional units (paper: one of each type).
+    pub ffus: Vec<UnitType>,
+    /// Cycles to reconfigure one slot of one unit.
+    pub per_slot_load_latency: u64,
+    /// Maximum concurrent reconfigurations.
+    pub reconfig_ports: usize,
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        FabricParams {
+            rfu_slots: 8,
+            ffus: UnitType::ALL.to_vec(),
+            per_slot_load_latency: 32,
+            reconfig_ports: 1,
+        }
+    }
+}
+
+/// Identity of one functional unit instance in the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnitId {
+    /// Fixed unit, by index into [`FabricParams::ffus`].
+    Ffu(usize),
+    /// Reconfigurable unit, by its head slot.
+    Rfu {
+        /// Head (encoding-bearing) slot index.
+        head: usize,
+    },
+}
+
+/// A snapshot view of one unit, for availability scans and displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitView {
+    /// The unit's identity.
+    pub id: UnitId,
+    /// Its type.
+    pub unit: UnitType,
+    /// Whether it is currently executing an instruction.
+    pub busy: bool,
+}
+
+/// Why a reconfiguration could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// The span would extend past the last slot.
+    OutOfRange,
+    /// A slot in the span belongs to a busy unit (paper: an RFU executing
+    /// a multicycle instruction cannot be reconfigured until it retires).
+    SpanBusy,
+    /// A slot in the span is already being reconfigured.
+    SpanLoading,
+    /// All reconfiguration ports are in use this cycle.
+    NoPortFree,
+    /// The span already implements exactly this unit (the loader must
+    /// skip, not reload — paper §3.2).
+    AlreadyConfigured,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LoadError::OutOfRange => "unit span out of range",
+            LoadError::SpanBusy => "span overlaps a busy unit",
+            LoadError::SpanLoading => "span overlaps an in-flight load",
+            LoadError::NoPortFree => "no reconfiguration port free",
+            LoadError::AlreadyConfigured => "span already implements this unit",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Running fabric statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Reconfigurations started.
+    pub loads_started: u64,
+    /// Total slots written by completed or in-flight loads.
+    pub slots_reloaded: u64,
+    /// Cycles during which at least one load was in flight.
+    pub load_busy_cycles: u64,
+    /// Loads completed.
+    pub loads_completed: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LoadInFlight {
+    head: usize,
+    unit: UnitType,
+    remaining: u64,
+}
+
+/// The live reconfigurable fabric plus fixed units.
+///
+/// ```
+/// use rsp_fabric::fabric::{Fabric, FabricParams};
+/// use rsp_isa::UnitType;
+///
+/// let mut fabric = Fabric::new(FabricParams {
+///     per_slot_load_latency: 2,
+///     ..FabricParams::default()
+/// });
+/// // The FFUs make every type available even on an empty fabric.
+/// assert!(fabric.available(UnitType::FpMdu));
+/// assert_eq!(fabric.rfu_counts().total(), 0);
+///
+/// // Partially reconfigure slot 0 into an LSU: 1 slot × 2 cycles.
+/// fabric.begin_load(0, UnitType::Lsu).unwrap();
+/// fabric.tick();
+/// assert_eq!(fabric.tick().len(), 1, "load completes");
+/// assert_eq!(fabric.rfu_counts().get(UnitType::Lsu), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    params: FabricParams,
+    alloc: AllocationVector,
+    slot_busy: Vec<bool>,
+    ffu_busy: Vec<bool>,
+    loads: Vec<LoadInFlight>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// An empty fabric (no RFU units configured).
+    pub fn new(params: FabricParams) -> Fabric {
+        let n = params.rfu_slots;
+        let f = params.ffus.len();
+        Fabric {
+            params,
+            alloc: AllocationVector::empty(n),
+            slot_busy: vec![false; n],
+            ffu_busy: vec![false; f],
+            loads: Vec::new(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// A fabric pre-loaded with `config` (no latency — initial state).
+    pub fn with_configuration(params: FabricParams, config: &Configuration) -> Fabric {
+        let mut fab = Fabric::new(params);
+        fab.load_instantly(config);
+        fab
+    }
+
+    /// Replace the whole RFU contents instantly. Panics if any unit is
+    /// busy or any load is in flight — this is an initialisation/baseline
+    /// facility, not a modelled reconfiguration.
+    pub fn load_instantly(&mut self, config: &Configuration) {
+        assert!(
+            self.loads.is_empty() && !self.slot_busy.iter().any(|&b| b),
+            "load_instantly on an active fabric"
+        );
+        assert_eq!(config.placement.len(), self.params.rfu_slots);
+        self.alloc = config.placement.clone();
+    }
+
+    /// Static parameters.
+    #[inline]
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// The current resource allocation vector.
+    #[inline]
+    pub fn alloc(&self) -> &AllocationVector {
+        &self.alloc
+    }
+
+    /// Statistics so far.
+    #[inline]
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Units of each type currently configured in the RFU fabric
+    /// (excluding in-flight loads, whose slots are empty).
+    pub fn rfu_counts(&self) -> TypeCounts {
+        self.alloc.counts()
+    }
+
+    /// Units of each type currently configured in the whole processor —
+    /// the "number of each type of functional units currently configured"
+    /// signal the configuration loader feeds the selection unit (Fig. 2).
+    pub fn configured_counts(&self) -> TypeCounts {
+        let mut c = self.rfu_counts();
+        for &t in &self.params.ffus {
+            c.add(t, 1);
+        }
+        c
+    }
+
+    /// Per-slot availability signals for the Eq. 1 circuit: a slot asserts
+    /// availability iff it is the head of a configured unit that is idle.
+    pub fn slot_available_signals(&self) -> Vec<bool> {
+        (0..self.alloc.len())
+            .map(|s| self.alloc.encoding(s).unit_type().is_some() && !self.slot_busy[s])
+            .collect()
+    }
+
+    /// FFU `(type, available)` pairs for the Eq. 1 circuit.
+    pub fn ffu_signals(&self) -> Vec<(UnitType, bool)> {
+        self.params
+            .ffus
+            .iter()
+            .zip(&self.ffu_busy)
+            .map(|(&t, &b)| (t, !b))
+            .collect()
+    }
+
+    /// Eq. 1: is an idle unit of type `t` configured anywhere?
+    pub fn available(&self, t: UnitType) -> bool {
+        let slots = self.slot_available_signals();
+        let ffus = self.ffu_signals();
+        available(
+            t,
+            &AvailabilityInputs {
+                alloc: &self.alloc,
+                slot_available: &slots,
+                ffus: &ffus,
+            },
+        )
+    }
+
+    /// All configured units (FFUs first, then RFU heads in slot order).
+    pub fn units(&self) -> Vec<UnitView> {
+        let mut out: Vec<UnitView> = self
+            .params
+            .ffus
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| UnitView {
+                id: UnitId::Ffu(i),
+                unit: t,
+                busy: self.ffu_busy[i],
+            })
+            .collect();
+        out.extend(
+            self.alloc
+                .units()
+                .map(|PlacedUnit { head, unit }| UnitView {
+                    id: UnitId::Rfu { head },
+                    unit,
+                    busy: self.slot_busy[head],
+                }),
+        );
+        out
+    }
+
+    /// An idle unit of type `t`, preferring FFUs (keeping RFUs idle keeps
+    /// them reconfigurable). Returns `None` if none is available.
+    pub fn idle_unit(&self, t: UnitType) -> Option<UnitId> {
+        self.units()
+            .into_iter()
+            .find(|u| u.unit == t && !u.busy)
+            .map(|u| u.id)
+    }
+
+    /// The type of a unit, if it (still) exists.
+    pub fn unit_type_of(&self, id: UnitId) -> Option<UnitType> {
+        match id {
+            UnitId::Ffu(i) => self.params.ffus.get(i).copied(),
+            UnitId::Rfu { head } => self.alloc.encoding(head).unit_type(),
+        }
+    }
+
+    /// Mark a unit busy (instruction issued to it).
+    ///
+    /// # Panics
+    /// Panics if the unit does not exist or is already busy — the
+    /// scheduler must only issue to idle, configured units.
+    pub fn set_busy(&mut self, id: UnitId) {
+        match id {
+            UnitId::Ffu(i) => {
+                assert!(!self.ffu_busy[i], "FFU {i} already busy");
+                self.ffu_busy[i] = true;
+            }
+            UnitId::Rfu { head } => {
+                let pu = self
+                    .alloc
+                    .unit_at(head)
+                    .unwrap_or_else(|| panic!("no unit at slot {head}"));
+                assert_eq!(pu.head, head, "set_busy must target the head slot");
+                assert!(!self.slot_busy[head], "RFU at {head} already busy");
+                for s in pu.span() {
+                    self.slot_busy[s] = true;
+                }
+            }
+        }
+    }
+
+    /// Mark a unit idle again (its instruction completed).
+    pub fn clear_busy(&mut self, id: UnitId) {
+        match id {
+            UnitId::Ffu(i) => self.ffu_busy[i] = false,
+            UnitId::Rfu { head } => {
+                if let Some(pu) = self.alloc.unit_at(head) {
+                    for s in pu.span() {
+                        self.slot_busy[s] = false;
+                    }
+                } else {
+                    // The unit was already destroyed — impossible in a
+                    // correct pipeline (busy units cannot be reloaded).
+                    panic!("clear_busy on a vanished unit at slot {head}");
+                }
+            }
+        }
+    }
+
+    /// True iff `slot` is part of an in-flight load.
+    pub fn slot_loading(&self, slot: usize) -> bool {
+        self.loads
+            .iter()
+            .any(|l| (l.head..l.head + l.unit.slot_cost()).contains(&slot))
+    }
+
+    /// Number of loads in flight.
+    #[inline]
+    pub fn loads_in_flight(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// True iff a reconfiguration port is free this cycle.
+    #[inline]
+    pub fn port_free(&self) -> bool {
+        self.loads.len() < self.params.reconfig_ports
+    }
+
+    /// Begin loading a unit of type `t` with its head at `slot`.
+    ///
+    /// Checks, in order: span in range, port free, span does not overlap a
+    /// busy unit or an in-flight load, and the span does not already
+    /// implement exactly this unit. On success the overlapped old units
+    /// are destroyed immediately (their *entire* spans are cleared, even
+    /// slots outside the new span — a partially overwritten unit is no
+    /// longer a unit) and the load starts, completing after
+    /// `slot_cost × per_slot_load_latency` ticks.
+    pub fn begin_load(&mut self, slot: usize, t: UnitType) -> Result<(), LoadError> {
+        self.begin_load_inner(slot, t, false)
+    }
+
+    /// Like [`Fabric::begin_load`] but reloads the span even when it
+    /// already implements exactly this unit — the *full-reload* ablation
+    /// (experiment E2) that quantifies what the paper's skip rule saves.
+    pub fn begin_load_forced(&mut self, slot: usize, t: UnitType) -> Result<(), LoadError> {
+        self.begin_load_inner(slot, t, true)
+    }
+
+    fn begin_load_inner(&mut self, slot: usize, t: UnitType, force: bool) -> Result<(), LoadError> {
+        let cost = t.slot_cost();
+        if slot + cost > self.alloc.len() {
+            return Err(LoadError::OutOfRange);
+        }
+        let span = slot..slot + cost;
+        if !force {
+            if let Some(pu) = self.alloc.unit_at(slot) {
+                if pu.head == slot && pu.unit == t {
+                    return Err(LoadError::AlreadyConfigured);
+                }
+            }
+        }
+        if !self.port_free() {
+            return Err(LoadError::NoPortFree);
+        }
+        if span.clone().any(|s| self.slot_busy[s]) {
+            return Err(LoadError::SpanBusy);
+        }
+        if span.clone().any(|s| self.slot_loading(s)) {
+            return Err(LoadError::SpanLoading);
+        }
+        for s in span {
+            self.alloc.clear_unit_at(s);
+        }
+        debug_assert_eq!(self.alloc.check(), Ok(()));
+        self.loads.push(LoadInFlight {
+            head: slot,
+            unit: t,
+            remaining: (cost as u64) * self.params.per_slot_load_latency,
+        });
+        self.stats.loads_started += 1;
+        self.stats.slots_reloaded += cost as u64;
+        Ok(())
+    }
+
+    /// Advance reconfiguration by one cycle; returns the units whose load
+    /// completed this cycle (now configured and idle).
+    pub fn tick(&mut self) -> Vec<PlacedUnit> {
+        if !self.loads.is_empty() {
+            self.stats.load_busy_cycles += 1;
+        }
+        let mut done = Vec::new();
+        self.loads.retain_mut(|l| {
+            l.remaining = l.remaining.saturating_sub(1);
+            if l.remaining == 0 {
+                done.push(PlacedUnit {
+                    head: l.head,
+                    unit: l.unit,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        for pu in &done {
+            self.alloc.place(pu.head, pu.unit);
+            self.stats.loads_completed += 1;
+            debug_assert_eq!(self.alloc.check(), Ok(()));
+        }
+        done
+    }
+
+    /// Human-readable one-line slot map, e.g.
+    /// `[Int-ALU .. | LSU | load(FP-ALU,37) .. .. | - | -]`.
+    pub fn slot_map(&self) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.alloc.len());
+        let mut s = 0;
+        while s < self.alloc.len() {
+            if let Some(l) = self.loads.iter().find(|l| l.head == s) {
+                parts.push(format!("load({},{})", l.unit, l.remaining));
+                for _ in 1..l.unit.slot_cost() {
+                    parts.push("..".into());
+                }
+                s += l.unit.slot_cost();
+            } else if let Some(t) = self.alloc.encoding(s).unit_type() {
+                let busy = if self.slot_busy[s] { "*" } else { "" };
+                parts.push(format!("{t}{busy}"));
+                for _ in 1..t.slot_cost() {
+                    parts.push("..".into());
+                }
+                s += t.slot_cost();
+            } else {
+                parts.push("-".into());
+                s += 1;
+            }
+        }
+        format!("[{}]", parts.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SteeringSet;
+
+    fn params(latency: u64, ports: usize) -> FabricParams {
+        FabricParams {
+            per_slot_load_latency: latency,
+            reconfig_ports: ports,
+            ..FabricParams::default()
+        }
+    }
+
+    #[test]
+    fn empty_fabric_has_only_ffus() {
+        let f = Fabric::new(FabricParams::default());
+        assert_eq!(f.rfu_counts().total(), 0);
+        assert_eq!(f.configured_counts().total(), 5);
+        for &t in &UnitType::ALL {
+            assert!(f.available(t), "FFU of {t} must be available");
+            assert!(matches!(f.idle_unit(t), Some(UnitId::Ffu(_))));
+        }
+    }
+
+    #[test]
+    fn instant_load_and_counts() {
+        let set = SteeringSet::paper_default();
+        let f = Fabric::with_configuration(FabricParams::default(), &set.predefined[0]);
+        assert_eq!(f.rfu_counts(), set.predefined[0].counts);
+        assert_eq!(
+            f.configured_counts(),
+            set.predefined[0].counts.saturating_add(&set.ffu)
+        );
+    }
+
+    #[test]
+    fn busy_units_block_availability_and_issue() {
+        let mut f = Fabric::new(FabricParams::default());
+        let ffu = f.idle_unit(UnitType::IntAlu).unwrap();
+        f.set_busy(ffu);
+        assert!(!f.available(UnitType::IntAlu));
+        assert_eq!(f.idle_unit(UnitType::IntAlu), None);
+        f.clear_busy(ffu);
+        assert!(f.available(UnitType::IntAlu));
+    }
+
+    #[test]
+    fn load_takes_cost_times_latency_cycles() {
+        let mut f = Fabric::new(params(4, 1));
+        f.begin_load(0, UnitType::FpAlu).unwrap(); // 3 slots * 4 = 12 cycles
+        assert_eq!(f.loads_in_flight(), 1);
+        assert!(f.slot_loading(2) && !f.slot_loading(3));
+        for _ in 0..11 {
+            assert!(f.tick().is_empty());
+        }
+        let done = f.tick();
+        assert_eq!(
+            done,
+            vec![PlacedUnit {
+                head: 0,
+                unit: UnitType::FpAlu
+            }]
+        );
+        assert_eq!(f.rfu_counts().get(UnitType::FpAlu), 1);
+        assert_eq!(f.stats().loads_completed, 1);
+        assert_eq!(f.stats().slots_reloaded, 3);
+        assert_eq!(f.stats().load_busy_cycles, 12);
+    }
+
+    #[test]
+    fn port_limit_enforced() {
+        let mut f = Fabric::new(params(4, 1));
+        f.begin_load(0, UnitType::Lsu).unwrap();
+        assert_eq!(f.begin_load(1, UnitType::Lsu), Err(LoadError::NoPortFree));
+        let mut f = Fabric::new(params(4, 2));
+        f.begin_load(0, UnitType::Lsu).unwrap();
+        f.begin_load(1, UnitType::Lsu).unwrap();
+        assert_eq!(f.begin_load(2, UnitType::Lsu), Err(LoadError::NoPortFree));
+    }
+
+    #[test]
+    fn busy_span_cannot_be_reloaded() {
+        let set = SteeringSet::paper_default();
+        // Config 1: Int-ALU at slots 0-1.
+        let mut f = Fabric::with_configuration(params(1, 1), &set.predefined[0]);
+        f.set_busy(UnitId::Rfu { head: 0 });
+        assert_eq!(f.begin_load(0, UnitType::Lsu), Err(LoadError::SpanBusy));
+        assert_eq!(f.begin_load(1, UnitType::Lsu), Err(LoadError::SpanBusy));
+        f.clear_busy(UnitId::Rfu { head: 0 });
+        assert_eq!(f.begin_load(1, UnitType::Lsu), Ok(()));
+        // Old Int-ALU destroyed: slot 0 is now empty.
+        assert!(f.alloc().encoding(0).is_empty());
+    }
+
+    #[test]
+    fn loading_span_cannot_be_touched() {
+        let mut f = Fabric::new(params(10, 2));
+        f.begin_load(0, UnitType::IntMdu).unwrap(); // slots 0-1
+        assert_eq!(f.begin_load(1, UnitType::Lsu), Err(LoadError::SpanLoading));
+        assert_eq!(f.begin_load(2, UnitType::Lsu), Ok(()));
+    }
+
+    #[test]
+    fn already_configured_is_skipped() {
+        let set = SteeringSet::paper_default();
+        let mut f = Fabric::with_configuration(params(1, 1), &set.predefined[0]);
+        assert_eq!(
+            f.begin_load(0, UnitType::IntAlu),
+            Err(LoadError::AlreadyConfigured)
+        );
+        // Same type but different head is a real reload.
+        assert_eq!(f.begin_load(1, UnitType::Lsu), Ok(()));
+    }
+
+    #[test]
+    fn out_of_range_span() {
+        let mut f = Fabric::new(params(1, 1));
+        assert_eq!(f.begin_load(6, UnitType::FpMdu), Err(LoadError::OutOfRange));
+        assert_eq!(f.begin_load(7, UnitType::Lsu), Ok(()));
+    }
+
+    #[test]
+    fn overlapped_units_destroyed_entirely() {
+        let set = SteeringSet::paper_default();
+        // Config 3: LSU@0, LSU@1, FP-ALU@2-4, FP-MDU@5-7.
+        let mut f = Fabric::with_configuration(params(1, 1), &set.predefined[2]);
+        // Load an Int-MDU over slots 4-5: destroys both FP units.
+        f.begin_load(4, UnitType::IntMdu).unwrap();
+        assert_eq!(f.rfu_counts().get(UnitType::FpAlu), 0);
+        assert_eq!(f.rfu_counts().get(UnitType::FpMdu), 0);
+        assert_eq!(f.rfu_counts().get(UnitType::Lsu), 2);
+        for s in 2..8 {
+            assert!(f.alloc().encoding(s).is_empty(), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn rfu_preferred_after_ffu_goes_busy() {
+        let set = SteeringSet::paper_default();
+        let mut f = Fabric::with_configuration(FabricParams::default(), &set.predefined[0]);
+        let first = f.idle_unit(UnitType::IntAlu).unwrap();
+        assert!(matches!(first, UnitId::Ffu(_)), "FFUs are preferred");
+        f.set_busy(first);
+        let second = f.idle_unit(UnitType::IntAlu).unwrap();
+        assert_eq!(second, UnitId::Rfu { head: 0 });
+        f.set_busy(second);
+        let third = f.idle_unit(UnitType::IntAlu).unwrap();
+        assert_eq!(third, UnitId::Rfu { head: 2 });
+    }
+
+    #[test]
+    fn slot_map_readable() {
+        let mut f = Fabric::new(params(5, 1));
+        f.begin_load(0, UnitType::Lsu).unwrap();
+        let m = f.slot_map();
+        assert!(m.contains("load(LSU,5)"), "{m}");
+        f.tick();
+        f.tick();
+        f.tick();
+        f.tick();
+        f.tick();
+        let m = f.slot_map();
+        assert!(m.starts_with("[LSU |"), "{m}");
+    }
+
+    #[test]
+    fn forced_reload_reloads_identical_unit() {
+        let set = SteeringSet::paper_default();
+        let mut f = Fabric::with_configuration(params(2, 1), &set.predefined[0]);
+        assert_eq!(
+            f.begin_load(0, UnitType::IntAlu),
+            Err(LoadError::AlreadyConfigured)
+        );
+        f.begin_load_forced(0, UnitType::IntAlu).unwrap();
+        // During the forced reload the unit is gone.
+        assert_eq!(f.rfu_counts().get(UnitType::IntAlu), 1); // the one at slots 2-3
+        for _ in 0..4 {
+            f.tick();
+        }
+        assert_eq!(f.rfu_counts().get(UnitType::IntAlu), 2);
+        // Forced loads still respect busy spans.
+        f.set_busy(UnitId::Rfu { head: 0 });
+        assert_eq!(
+            f.begin_load_forced(0, UnitType::IntAlu),
+            Err(LoadError::SpanBusy)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_issue_panics() {
+        let mut f = Fabric::new(FabricParams::default());
+        f.set_busy(UnitId::Ffu(0));
+        f.set_busy(UnitId::Ffu(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_busy_on_continuation_panics() {
+        let set = SteeringSet::paper_default();
+        let mut f = Fabric::with_configuration(FabricParams::default(), &set.predefined[0]);
+        f.set_busy(UnitId::Rfu { head: 1 }); // continuation of Int-ALU@0
+    }
+}

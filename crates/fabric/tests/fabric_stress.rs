@@ -1,0 +1,178 @@
+//! Property-based stress testing of the live fabric: arbitrary
+//! interleavings of load requests, busy/idle transitions, and ticks must
+//! preserve the structural invariants (well-formed allocation vector,
+//! consistent busy spans, bounded ports, eventual load completion).
+
+use proptest::prelude::*;
+use rsp_fabric::fabric::{Fabric, FabricParams, LoadError, UnitId};
+use rsp_isa::units::UnitType;
+
+#[derive(Debug, Clone)]
+enum Op {
+    BeginLoad { slot: usize, unit: usize },
+    SetBusyRfu { slot: usize },
+    SetBusyFfu { idx: usize },
+    ClearBusy,
+    Tick,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 0usize..5).prop_map(|(slot, unit)| Op::BeginLoad { slot, unit }),
+        (0usize..8).prop_map(|slot| Op::SetBusyRfu { slot }),
+        (0usize..5).prop_map(|idx| Op::SetBusyFfu { idx }),
+        Just(Op::ClearBusy),
+        Just(Op::Tick),
+    ]
+}
+
+fn check_fabric(f: &Fabric, busy: &std::collections::HashSet<UnitId>) {
+    // Allocation vector stays well-formed.
+    f.alloc().check().unwrap();
+    // Busy bookkeeping matches the model.
+    for u in f.units() {
+        assert_eq!(
+            u.busy,
+            busy.contains(&u.id),
+            "busy mismatch for {:?} (model says {})",
+            u.id,
+            busy.contains(&u.id)
+        );
+    }
+    // Ports respected.
+    assert!(f.loads_in_flight() <= f.params().reconfig_ports);
+    // A loading slot is never simultaneously part of a configured unit's
+    // span and never busy.
+    for slot in 0..f.params().rfu_slots {
+        if f.slot_loading(slot) {
+            assert!(
+                f.alloc().encoding(slot).is_empty(),
+                "loading slot {slot} not empty"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_interleavings_preserve_invariants(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        latency in 0u64..6,
+        ports in 1usize..4,
+    ) {
+        let mut f = Fabric::new(FabricParams {
+            per_slot_load_latency: latency,
+            reconfig_ports: ports,
+            ..FabricParams::default()
+        });
+        let mut busy: std::collections::HashSet<UnitId> = Default::default();
+        for op in ops {
+            match op {
+                Op::BeginLoad { slot, unit } => {
+                    let t = UnitType::from_index(unit).unwrap();
+                    match f.begin_load(slot, t) {
+                        Ok(()) => {}
+                        Err(
+                            LoadError::OutOfRange
+                            | LoadError::SpanBusy
+                            | LoadError::SpanLoading
+                            | LoadError::NoPortFree
+                            | LoadError::AlreadyConfigured,
+                        ) => {}
+                    }
+                }
+                Op::SetBusyRfu { slot } => {
+                    // Only issue to an idle, configured head slot.
+                    let id = UnitId::Rfu { head: slot };
+                    let is_head = f
+                        .alloc()
+                        .unit_at(slot)
+                        .is_some_and(|pu| pu.head == slot);
+                    if is_head && !busy.contains(&id) && !f.slot_loading(slot) {
+                        f.set_busy(id);
+                        busy.insert(id);
+                    }
+                }
+                Op::SetBusyFfu { idx } => {
+                    let id = UnitId::Ffu(idx);
+                    if !busy.contains(&id) {
+                        f.set_busy(id);
+                        busy.insert(id);
+                    }
+                }
+                Op::ClearBusy => {
+                    if let Some(&id) = busy.iter().next() {
+                        busy.remove(&id);
+                        f.clear_busy(id);
+                    }
+                }
+                Op::Tick => {
+                    let _ = f.tick();
+                }
+            }
+            check_fabric(&f, &busy);
+        }
+        // Liveness: after enough ticks every in-flight load completes.
+        for _ in 0..(8 * (latency + 1) + 2) {
+            f.tick();
+            check_fabric(&f, &busy);
+        }
+        prop_assert_eq!(f.loads_in_flight(), 0, "loads must drain");
+        // Accounting: completions + in-flight == started.
+        prop_assert_eq!(f.stats().loads_completed, f.stats().loads_started);
+    }
+
+    /// Counts derived from the allocation vector always equal the number
+    /// of head slots, and available(t) implies an idle configured unit.
+    #[test]
+    fn availability_consistent_with_units(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut f = Fabric::new(FabricParams {
+            per_slot_load_latency: 1,
+            reconfig_ports: 2,
+            ..FabricParams::default()
+        });
+        let mut busy: std::collections::HashSet<UnitId> = Default::default();
+        for op in ops {
+            match op {
+                Op::BeginLoad { slot, unit } => {
+                    let _ = f.begin_load(slot, UnitType::from_index(unit).unwrap());
+                }
+                Op::SetBusyRfu { slot } => {
+                    let id = UnitId::Rfu { head: slot };
+                    if f.alloc().unit_at(slot).is_some_and(|pu| pu.head == slot)
+                        && !busy.contains(&id)
+                    {
+                        f.set_busy(id);
+                        busy.insert(id);
+                    }
+                }
+                Op::SetBusyFfu { idx } => {
+                    let id = UnitId::Ffu(idx);
+                    if !busy.contains(&id) {
+                        f.set_busy(id);
+                        busy.insert(id);
+                    }
+                }
+                Op::ClearBusy => {
+                    if let Some(&id) = busy.iter().next() {
+                        busy.remove(&id);
+                        f.clear_busy(id);
+                    }
+                }
+                Op::Tick => {
+                    let _ = f.tick();
+                }
+            }
+            for &t in &UnitType::ALL {
+                let avail = f.available(t);
+                let idle_exists = f.units().iter().any(|u| u.unit == t && !u.busy);
+                prop_assert_eq!(avail, idle_exists, "type {}", t);
+                prop_assert_eq!(f.idle_unit(t).is_some(), idle_exists);
+            }
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! A small two-pass assembler and a disassembler.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! start:                 ; labels end with ':'
+//!     addi r1, r0, 10
+//! loop:
+//!     add  r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop  ; branch targets: label or numeric offset
+//!     lw   r3, 8(r2)     ; displacement addressing
+//!     fadd f1, f2, f3
+//!     jal  r31, start
+//!     halt
+//! ```
+//!
+//! Branch/`jal` label operands assemble to *relative* offsets (in
+//! instructions); bare numbers are taken as already-relative offsets.
+//! The disassembler emits numeric offsets, so
+//! `assemble(disassemble(p)) == p`.
+
+use crate::instr::Instruction;
+use crate::opcode::{Opcode, RegFile};
+use crate::program::Program;
+use crate::regs::{AnyReg, FReg, IReg};
+use std::collections::HashMap;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn strip_comment(s: &str) -> &str {
+    match s.find([';', '#']) {
+        Some(i) => &s[..i],
+        None => s,
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<AnyReg, AsmError> {
+    let tok = tok.trim();
+    let (file, rest) = tok
+        .split_at_checked(1)
+        .ok_or_else(|| err(line, "empty register token"))?;
+    let n: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register '{tok}'")))?;
+    match file {
+        "r" => IReg::try_new(n)
+            .map(AnyReg::Int)
+            .ok_or_else(|| err(line, format!("register '{tok}' out of range"))),
+        "f" => FReg::try_new(n)
+            .map(AnyReg::Fp)
+            .ok_or_else(|| err(line, format!("register '{tok}' out of range"))),
+        _ => Err(err(line, format!("bad register '{tok}'"))),
+    }
+}
+
+fn expect_file(reg: AnyReg, file: RegFile, line: usize) -> Result<AnyReg, AsmError> {
+    let ok = matches!(
+        (reg, file),
+        (AnyReg::Int(_), RegFile::Int) | (AnyReg::Fp(_), RegFile::Fp)
+    );
+    if ok {
+        Ok(reg)
+    } else {
+        Err(err(
+            line,
+            format!("operand {reg} is in the wrong register file"),
+        ))
+    }
+}
+
+enum ImmTok {
+    Num(i32),
+    Label(String),
+}
+
+fn parse_imm_or_label(tok: &str, line: usize) -> Result<ImmTok, AsmError> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err(err(line, "missing immediate"));
+    }
+    if tok.starts_with('-') || tok.chars().next().unwrap().is_ascii_digit() {
+        tok.parse::<i32>()
+            .map(ImmTok::Num)
+            .map_err(|_| err(line, format!("bad immediate '{tok}'")))
+    } else {
+        Ok(ImmTok::Label(tok.to_string()))
+    }
+}
+
+/// Assemble source text into a [`Program`].
+///
+/// ```
+/// use rsp_isa::asm::assemble;
+/// use rsp_isa::semantics::ReferenceInterpreter;
+/// use rsp_isa::DataMemory;
+///
+/// let program = assemble("demo", "li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt").unwrap();
+/// let mut cpu = ReferenceInterpreter::new(DataMemory::new(16));
+/// cpu.run(&program.instrs, 100);
+/// assert_eq!(cpu.state.iregs()[3], 42);
+/// ```
+pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect labels and raw instruction lines.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new(); // (src line, text)
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = strip_comment(raw).trim();
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(lineno, format!("bad label '{label}'")));
+            }
+            if labels.insert(label.to_string(), lines.len()).is_some() {
+                return Err(err(lineno, format!("duplicate label '{label}'")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if !text.is_empty() {
+            lines.push((lineno, text.to_string()));
+        }
+    }
+
+    // Pass 2: parse instructions with label resolution.
+    let mut instrs = Vec::with_capacity(lines.len());
+    for (idx, (lineno, text)) in lines.iter().enumerate() {
+        instrs.push(parse_line(text, *lineno, idx, &labels)?);
+    }
+    Ok(Program::new(name, instrs))
+}
+
+/// Expand a pseudo-instruction mnemonic to its base form, or return the
+/// line unchanged. Supported pseudo-ops (all one-to-one):
+///
+/// | pseudo          | expansion              |
+/// |-----------------|------------------------|
+/// | `li rd, imm`    | `addi rd, r0, imm`     |
+/// | `mv rd, rs`     | `addi rd, rs, 0`       |
+/// | `j target`      | `jal r0, target`       |
+/// | `ret rs`        | `jalr r0, rs, 0`       |
+/// | `beqz rs, t`    | `beq rs, r0, t`        |
+/// | `bnez rs, t`    | `bne rs, r0, t`        |
+/// | `ble a, b, t`   | `bge b, a, t`          |
+/// | `bgt a, b, t`   | `blt b, a, t`          |
+/// | `not rd, rs`    | `xori rd, rs, -1`      |
+/// | `neg rd, rs`    | `sub rd, r0, rs`       |
+fn expand_pseudo(mn: &str, rest: &str, line: usize) -> Result<Option<(Opcode, String)>, AsmError> {
+    let ops: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("'{mn}' needs {n} operand(s)")))
+        }
+    };
+    Ok(Some(match mn {
+        "li" => {
+            need(2)?;
+            (Opcode::Addi, format!("{}, r0, {}", ops[0], ops[1]))
+        }
+        "mv" => {
+            need(2)?;
+            (Opcode::Addi, format!("{}, {}, 0", ops[0], ops[1]))
+        }
+        "j" => {
+            need(1)?;
+            (Opcode::Jal, format!("r0, {}", ops[0]))
+        }
+        "ret" => {
+            need(1)?;
+            (Opcode::Jalr, format!("r0, {}, 0", ops[0]))
+        }
+        "beqz" => {
+            need(2)?;
+            (Opcode::Beq, format!("{}, r0, {}", ops[0], ops[1]))
+        }
+        "bnez" => {
+            need(2)?;
+            (Opcode::Bne, format!("{}, r0, {}", ops[0], ops[1]))
+        }
+        "ble" => {
+            need(3)?;
+            (Opcode::Bge, format!("{}, {}, {}", ops[1], ops[0], ops[2]))
+        }
+        "bgt" => {
+            need(3)?;
+            (Opcode::Blt, format!("{}, {}, {}", ops[1], ops[0], ops[2]))
+        }
+        "not" => {
+            need(2)?;
+            (Opcode::Xori, format!("{}, {}, -1", ops[0], ops[1]))
+        }
+        "neg" => {
+            need(2)?;
+            (Opcode::Sub, format!("{}, r0, {}", ops[0], ops[1]))
+        }
+        _ => return Ok(None),
+    }))
+}
+
+fn parse_line(
+    text: &str,
+    line: usize,
+    index: usize,
+    labels: &HashMap<String, usize>,
+) -> Result<Instruction, AsmError> {
+    let (mn, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    if let Some((opcode, expanded)) = expand_pseudo(mn, rest, line)? {
+        return parse_line(
+            &format!("{} {}", opcode.mnemonic(), expanded),
+            line,
+            index,
+            labels,
+        );
+    }
+    let opcode =
+        Opcode::from_mnemonic(mn).ok_or_else(|| err(line, format!("unknown mnemonic '{mn}'")))?;
+    let spec = opcode.operand_spec();
+
+    // Displacement form: "op reg, imm(base)".
+    if opcode.is_memory() {
+        let (regtok, memtok) = rest
+            .split_once(',')
+            .ok_or_else(|| err(line, "memory op needs 'reg, imm(base)'"))?;
+        let open = memtok
+            .find('(')
+            .ok_or_else(|| err(line, "missing '(' in address"))?;
+        let close = memtok
+            .find(')')
+            .ok_or_else(|| err(line, "missing ')' in address"))?;
+        let imm = match parse_imm_or_label(&memtok[..open], line)? {
+            ImmTok::Num(n) => n,
+            ImmTok::Label(_) => return Err(err(line, "labels not allowed as displacements")),
+        };
+        let base = expect_file(
+            parse_reg(&memtok[open + 1..close], line)?,
+            RegFile::Int,
+            line,
+        )?;
+        let reg = parse_reg(regtok, line)?;
+        let mut i = Instruction {
+            opcode,
+            dest: None,
+            src1: Some(base),
+            src2: None,
+            imm,
+        };
+        if opcode.is_store() {
+            i.src2 = Some(expect_file(reg, spec.src2, line)?);
+        } else {
+            i.dest = Some(expect_file(reg, spec.dest, line)?);
+        }
+        return finish(i, line);
+    }
+
+    let toks: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let mut it = toks.into_iter();
+    let mut next = |what: &str| {
+        it.next()
+            .ok_or_else(|| err(line, format!("missing operand: {what}")))
+    };
+
+    let mut instr = Instruction {
+        opcode,
+        dest: None,
+        src1: None,
+        src2: None,
+        imm: 0,
+    };
+    // Operand order in text follows the conventional forms produced by
+    // `Instruction`'s `Display`: dest first (if any), then sources, then
+    // immediate — except branches, which are "src1, src2, target".
+    if spec.dest != RegFile::None {
+        instr.dest = Some(expect_file(
+            parse_reg(next("dest")?, line)?,
+            spec.dest,
+            line,
+        )?);
+    }
+    if spec.src1 != RegFile::None {
+        instr.src1 = Some(expect_file(
+            parse_reg(next("src1")?, line)?,
+            spec.src1,
+            line,
+        )?);
+    }
+    if spec.src2 != RegFile::None {
+        instr.src2 = Some(expect_file(
+            parse_reg(next("src2")?, line)?,
+            spec.src2,
+            line,
+        )?);
+    }
+    if spec.has_imm {
+        let tok = next("immediate")?;
+        instr.imm = match parse_imm_or_label(tok, line)? {
+            ImmTok::Num(n) => n,
+            ImmTok::Label(l) => {
+                let target = *labels
+                    .get(&l)
+                    .ok_or_else(|| err(line, format!("unknown label '{l}'")))?;
+                if opcode.is_conditional_branch() || opcode == Opcode::Jal {
+                    target as i32 - index as i32
+                } else {
+                    return Err(err(line, "label operand only allowed on branches/jal"));
+                }
+            }
+        };
+    }
+    if it.next().is_some() {
+        return Err(err(line, "too many operands"));
+    }
+    finish(instr, line)
+}
+
+fn finish(instr: Instruction, line: usize) -> Result<Instruction, AsmError> {
+    instr
+        .validate()
+        .map_err(|e| err(line, format!("invalid instruction: {e}")))?;
+    Ok(instr)
+}
+
+/// Disassemble a program to text that [`assemble`] accepts (numeric branch
+/// offsets; no labels).
+pub fn disassemble(prog: &Program) -> String {
+    let mut out = String::new();
+    for instr in &prog.instrs {
+        out.push_str(&instr.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DataMemory;
+    use crate::semantics::ReferenceInterpreter;
+
+    const SUM_LOOP: &str = r#"
+        ; sum 1..10 into r2
+        start:
+            addi r1, r0, 10
+        loop:
+            add  r2, r2, r1
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+    "#;
+
+    #[test]
+    fn assembles_and_runs_sum_loop() {
+        let p = assemble("sum", SUM_LOOP).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.len(), 5);
+        // bne must resolve to -2 (from index 3 to index 1).
+        assert_eq!(p.instrs[3].imm, -2);
+        let mut interp = ReferenceInterpreter::new(DataMemory::new(8));
+        interp.run(&p.instrs, 1000);
+        assert_eq!(interp.state.iregs()[2], 55);
+    }
+
+    #[test]
+    fn memory_and_fp_syntax() {
+        let p = assemble(
+            "m",
+            "lw r1, 8(r2)\nsw r3, -4(r2)\nflw f1, 0(r5)\nfsw f2, 12(r5)\nfadd f3, f1, f2\nfcmplt r9, f1, f2\nfcvt.i.f f4, r1\nhalt",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0], Instruction::lw(IReg::new(1), IReg::new(2), 8));
+        assert_eq!(p.instrs[1], Instruction::sw(IReg::new(3), IReg::new(2), -4));
+        assert_eq!(p.instrs[2], Instruction::flw(FReg::new(1), IReg::new(5), 0));
+        assert_eq!(
+            p.instrs[3],
+            Instruction::fsw(FReg::new(2), IReg::new(5), 12)
+        );
+        assert_eq!(
+            p.instrs[5],
+            Instruction::fcmp(Opcode::Fcmplt, IReg::new(9), FReg::new(1), FReg::new(2))
+        );
+    }
+
+    #[test]
+    fn jal_with_label() {
+        let p = assemble("j", "jal r31, end\nnop\nend: halt").unwrap();
+        assert_eq!(p.instrs[0].imm, 2);
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let p = assemble("sum", SUM_LOOP).unwrap();
+        let text = disassemble(&p);
+        let q = assemble("sum", &text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("x", "bogus r1, r2").unwrap_err();
+        assert!(e.msg.contains("unknown mnemonic"), "{e}");
+        let e = assemble("x", "add r1, r2").unwrap_err();
+        assert!(e.msg.contains("missing operand"), "{e}");
+        let e = assemble("x", "add r1, r2, r3, r4").unwrap_err();
+        assert!(e.msg.contains("too many"), "{e}");
+        let e = assemble("x", "add r1, f2, r3").unwrap_err();
+        assert!(e.msg.contains("wrong register file"), "{e}");
+        let e = assemble("x", "beq r1, r0, nowhere").unwrap_err();
+        assert!(e.msg.contains("unknown label"), "{e}");
+        let e = assemble("x", "dup: nop\ndup: halt").unwrap_err();
+        assert!(e.msg.contains("duplicate label"), "{e}");
+        let e = assemble("x", "addi r1, r0, 99999").unwrap_err();
+        assert!(e.msg.contains("invalid instruction"), "{e}");
+        let e = assemble("x", "lw r1, r2").unwrap_err();
+        assert!(e.msg.contains("missing '('"), "{e}");
+        let e = assemble("x", "lw r1").unwrap_err();
+        assert!(e.msg.contains("imm(base)"), "{e}");
+        let e = assemble("x", "add r99, r0, r0").unwrap_err();
+        assert!(
+            e.msg.contains("bad register") || e.msg.contains("out of range"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let p = assemble(
+            "p",
+            "li r1, 42\nmv r2, r1\nbeqz r0, skip\nnot r3, r1\nskip: neg r4, r1\nbnez r1, done\nble r1, r2, done\nbgt r2, r1, done\ndone: j end\nend: halt",
+        )
+        .unwrap();
+        use crate::regs::IReg;
+        let r = IReg::new;
+        assert_eq!(p.instrs[0], Instruction::rri(Opcode::Addi, r(1), r(0), 42));
+        assert_eq!(p.instrs[1], Instruction::rri(Opcode::Addi, r(2), r(1), 0));
+        assert_eq!(p.instrs[2].opcode, Opcode::Beq);
+        assert_eq!(p.instrs[3], Instruction::rri(Opcode::Xori, r(3), r(1), -1));
+        assert_eq!(p.instrs[4], Instruction::rrr(Opcode::Sub, r(4), r(0), r(1)));
+        assert_eq!(p.instrs[5].opcode, Opcode::Bne);
+        // ble a,b swaps into bge b,a; bgt swaps into blt.
+        assert_eq!(p.instrs[6].opcode, Opcode::Bge);
+        assert_eq!(p.instrs[6].src1, Some(crate::regs::AnyReg::Int(r(2))));
+        assert_eq!(p.instrs[7].opcode, Opcode::Blt);
+        assert_eq!(p.instrs[8], Instruction::jal(r(0), 1));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn pseudo_semantics_match() {
+        use crate::mem::DataMemory;
+        use crate::semantics::ReferenceInterpreter;
+        let p = assemble(
+            "p",
+            "li r1, -5\nneg r2, r1\nnot r3, r0\nble r1, r2, ok\nli r9, 1\nok: halt",
+        )
+        .unwrap();
+        p.validate().unwrap();
+        let mut i = ReferenceInterpreter::new(DataMemory::new(8));
+        i.run(&p.instrs, 100);
+        assert!(i.halted());
+        assert_eq!(i.state.iregs()[2], 5);
+        assert_eq!(i.state.iregs()[3], -1);
+        assert_eq!(i.state.iregs()[9], 0, "-5 <= 5, branch taken");
+    }
+
+    #[test]
+    fn ret_expands_to_jalr() {
+        use crate::regs::IReg;
+        let p = assemble("r", "ret r31").unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instruction::jalr(IReg::new(0), IReg::new(31), 0)
+        );
+    }
+
+    #[test]
+    fn pseudo_operand_arity_errors() {
+        let e = assemble("x", "li r1").unwrap_err();
+        assert!(e.msg.contains("needs 2 operand"), "{e}");
+        let e = assemble("x", "ble r1, r2").unwrap_err();
+        assert!(e.msg.contains("needs 3 operand"), "{e}");
+    }
+
+    #[test]
+    fn labels_on_own_line_and_stacked() {
+        let p = assemble("l", "a:\nb: c: nop\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+        // All three labels point at index 0.
+        let p2 = assemble("l", "jal r0, a\nnop\na: halt").unwrap();
+        assert_eq!(p2.instrs[0].imm, 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("c", "# leading\n\n  ; only comment\nnop ; trailing\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

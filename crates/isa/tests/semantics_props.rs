@@ -1,0 +1,105 @@
+//! Property tests over the ISA semantics: algebraic identities and
+//! host-arithmetic agreement for arbitrary operand values, and total
+//! determinism of the reference interpreter.
+
+use proptest::prelude::*;
+use rsp_isa::semantics::{exec_compute, Value};
+use rsp_isa::Opcode;
+
+fn int(v: i64) -> Option<Value> {
+    Some(Value::Int(v))
+}
+
+fn fp(v: f64) -> Option<Value> {
+    Some(Value::Fp(v))
+}
+
+fn run2(op: Opcode, a: i64, b: i64) -> i64 {
+    exec_compute(op, int(a), int(b), 0, 0)
+        .write
+        .unwrap()
+        .as_int()
+}
+
+fn runf(op: Opcode, a: f64, b: f64) -> f64 {
+    exec_compute(op, fp(a), fp(b), 0, 0).write.unwrap().as_fp()
+}
+
+proptest! {
+    #[test]
+    fn integer_ops_match_host(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(run2(Opcode::Add, a, b), a.wrapping_add(b));
+        prop_assert_eq!(run2(Opcode::Sub, a, b), a.wrapping_sub(b));
+        prop_assert_eq!(run2(Opcode::And, a, b), a & b);
+        prop_assert_eq!(run2(Opcode::Or, a, b), a | b);
+        prop_assert_eq!(run2(Opcode::Xor, a, b), a ^ b);
+        prop_assert_eq!(run2(Opcode::Mul, a, b), a.wrapping_mul(b));
+        prop_assert_eq!(run2(Opcode::Slt, a, b), (a < b) as i64);
+        prop_assert_eq!(
+            run2(Opcode::Mulh, a, b),
+            ((a as i128 * b as i128) >> 64) as i64
+        );
+    }
+
+    #[test]
+    fn division_identity_holds(a in any::<i64>(), b in any::<i64>()) {
+        // For every b (including 0 and -1): a == q*b + r under wrapping
+        // arithmetic, with |r| < |b| when b != 0.
+        let q = run2(Opcode::Div, a, b);
+        let r = run2(Opcode::Rem, a, b);
+        if b != 0 {
+            prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+            if !(a == i64::MIN && b == -1) {
+                prop_assert!(r.unsigned_abs() < b.unsigned_abs());
+            }
+        } else {
+            prop_assert_eq!(q, -1);
+            prop_assert_eq!(r, a);
+        }
+    }
+
+    #[test]
+    fn shifts_match_host_with_masking(a in any::<i64>(), sh in any::<i64>()) {
+        let k = (sh as u32) & 63;
+        prop_assert_eq!(run2(Opcode::Sll, a, sh), a.wrapping_shl(k));
+        prop_assert_eq!(run2(Opcode::Srl, a, sh), ((a as u64) >> k) as i64);
+        prop_assert_eq!(run2(Opcode::Sra, a, sh), a >> k);
+    }
+
+    #[test]
+    fn fp_ops_match_host_bitwise(a in any::<f64>(), b in any::<f64>()) {
+        prop_assert_eq!(runf(Opcode::Fadd, a, b).to_bits(), (a + b).to_bits());
+        prop_assert_eq!(runf(Opcode::Fsub, a, b).to_bits(), (a - b).to_bits());
+        prop_assert_eq!(runf(Opcode::Fmul, a, b).to_bits(), (a * b).to_bits());
+        prop_assert_eq!(runf(Opcode::Fdiv, a, b).to_bits(), (a / b).to_bits());
+        prop_assert_eq!(runf(Opcode::Fmin, a, b).to_bits(), a.min(b).to_bits());
+        prop_assert_eq!(runf(Opcode::Fmax, a, b).to_bits(), a.max(b).to_bits());
+    }
+
+    #[test]
+    fn fp_compare_and_convert(a in any::<f64>(), b in any::<f64>(), i in any::<i64>()) {
+        let lt = exec_compute(Opcode::Fcmplt, fp(a), fp(b), 0, 0).write.unwrap().as_int();
+        prop_assert_eq!(lt, (a < b) as i64);
+        let le = exec_compute(Opcode::Fcmple, fp(a), fp(b), 0, 0).write.unwrap().as_int();
+        prop_assert_eq!(le, (a <= b) as i64);
+        let cvt = exec_compute(Opcode::Fcvtif, int(i), None, 0, 0).write.unwrap().as_fp();
+        prop_assert_eq!(cvt.to_bits(), (i as f64).to_bits());
+        let back = exec_compute(Opcode::Fcvtfi, fp(a), None, 0, 0).write.unwrap().as_int();
+        prop_assert_eq!(back, a as i64, "saturating/NaN-zero cast semantics");
+    }
+
+    #[test]
+    fn branches_resolve_consistently(a in any::<i64>(), b in any::<i64>(), off in -100i32..100, pc in 1000u64..2000) {
+        let beq = exec_compute(Opcode::Beq, int(a), int(b), off, pc).branch.unwrap();
+        prop_assert_eq!(beq.taken, a == b);
+        if beq.taken {
+            prop_assert_eq!(beq.target, pc as i64 + off as i64);
+        }
+        let bne = exec_compute(Opcode::Bne, int(a), int(b), off, pc).branch.unwrap();
+        prop_assert_eq!(bne.taken, a != b);
+        // blt and bge are complementary.
+        let blt = exec_compute(Opcode::Blt, int(a), int(b), off, pc).branch.unwrap();
+        let bge = exec_compute(Opcode::Bge, int(a), int(b), off, pc).branch.unwrap();
+        prop_assert_ne!(blt.taken, bge.taken);
+    }
+}

@@ -1,0 +1,506 @@
+//! The wake-up array (paper §4.1, Figs. 5 and 6).
+//!
+//! Each occupied entry holds:
+//! * a **resource vector** — which one of the five unit types the
+//!   instruction needs (Fig. 5's left columns);
+//! * **dependency columns** — which other entries must produce a result
+//!   before this one may execute (Fig. 5's right columns);
+//! * a **scheduled bit** — set on grant so the entry stops requesting
+//!   ("to keep an instruction from requesting execution once it has been
+//!   scheduled, since instructions may take several cycles");
+//! * a **countdown timer** — started on grant; the entry's
+//!   result-available line asserts when the producer's result can feed
+//!   dependents.
+//!
+//! ### Timer convention
+//!
+//! The paper sets the timer to `N − 1` for an `N`-cycle instruction and
+//! asserts the line "once the time reaches a count of one"; a one-cycle
+//! instruction asserts immediately. Observably this means: a dependent's
+//! request line can first assert `N` cycles after the producer's grant
+//! (the wake-up/select loop is one cycle). This module realises the same
+//! observable timing with a simpler convention: [`WakeupArray::grant`]
+//! sets `timer = N`; [`WakeupArray::tick`] decrements; the
+//! result-available line is the predicate `timer == 0`. Requests are
+//! evaluated at the top of each cycle, before grants and ticks, so a
+//! producer granted at cycle `C` with latency `N` wakes dependents at
+//! cycle `C + N` — one-cycle producers chain back-to-back.
+//! [`Entry::paper_timer`] converts back to the paper's `N − 1` count for
+//! the Fig. 6 trace output.
+//!
+//! Entries are **not** removed at completion but at retirement ("entries
+//! … are not removed until the instruction is retired"); clearing an
+//! entry clears its column in every other entry, so late-arriving
+//! dependents never wait on a retired producer.
+
+use rsp_isa::units::{TypeCounts, UnitType};
+use serde::{Deserialize, Serialize};
+
+/// The paper's instruction queue depth: seven entries, which is what
+/// makes the 3-bit requirement encoders and adders sufficient.
+pub const PAPER_QUEUE_SIZE: usize = 7;
+
+/// Index of a wake-up array slot.
+pub type SlotIdx = usize;
+
+/// One wake-up array entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The one functional-unit type this instruction needs (its one-hot
+    /// resource vector).
+    pub unit: UnitType,
+    /// Dependency columns: bit `i` set ⇒ this entry needs the result of
+    /// the entry in slot `i`. (Capacity ≤ 64 slots.)
+    pub deps: u64,
+    /// The scheduled bit.
+    pub scheduled: bool,
+    /// Remaining cycles until this entry's result-available line asserts
+    /// (`None` before grant; `Some(0)` = asserted).
+    pub timer: Option<u32>,
+    /// Caller-supplied identity (ROB index / sequence number); also the
+    /// age key for oldest-first arbitration.
+    pub tag: u64,
+}
+
+impl Entry {
+    /// The entry's result-available line.
+    #[inline]
+    pub fn result_available(&self) -> bool {
+        self.timer == Some(0)
+    }
+
+    /// The timer in the paper's `N − 1` convention (`None` before grant
+    /// or once asserted).
+    pub fn paper_timer(&self) -> Option<u32> {
+        match self.timer {
+            Some(t) if t > 0 => Some(t.saturating_sub(1)),
+            _ => None,
+        }
+    }
+}
+
+/// Lifecycle state of an entry, derived for traces and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryState {
+    /// Waiting on dependencies or resources; requesting when both clear.
+    Waiting,
+    /// Granted; executing (timer running).
+    Executing,
+    /// Result available; occupying the slot until retirement.
+    Done,
+}
+
+/// The wake-up array.
+///
+/// ```
+/// use rsp_sched::WakeupArray;
+/// use rsp_isa::UnitType;
+///
+/// let mut w = WakeupArray::paper(); // 7 entries
+/// let producer = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+/// let consumer = w.insert(UnitType::IntMdu, &[producer], 1).unwrap();
+///
+/// // Only the producer requests; the consumer waits on its column.
+/// assert_eq!(w.requests(&[true; 5]), vec![producer]);
+/// w.grant(producer, 2); // 2-cycle latency
+/// w.tick();
+/// assert!(w.requests(&[true; 5]).is_empty(), "result not ready yet");
+/// w.tick();
+/// assert_eq!(w.requests(&[true; 5]), vec![consumer]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WakeupArray {
+    slots: Vec<Option<Entry>>,
+}
+
+impl WakeupArray {
+    /// An empty array of `capacity` slots (≤ 64).
+    pub fn new(capacity: usize) -> WakeupArray {
+        assert!((1..=64).contains(&capacity), "capacity must be 1..=64");
+        WakeupArray {
+            slots: vec![None; capacity],
+        }
+    }
+
+    /// The paper's seven-entry array.
+    pub fn paper() -> WakeupArray {
+        WakeupArray::new(PAPER_QUEUE_SIZE)
+    }
+
+    /// Capacity in slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slot count.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True iff no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// True iff every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.slots.iter().all(|s| s.is_some())
+    }
+
+    /// The entry in `slot`, if any.
+    #[inline]
+    pub fn get(&self, slot: SlotIdx) -> Option<&Entry> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Iterate `(slot, entry)` over occupied slots.
+    pub fn entries(&self) -> impl Iterator<Item = (SlotIdx, &Entry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+    }
+
+    /// Insert an instruction needing `unit`, depending on the results of
+    /// `deps` (slot indices of in-flight producers), with age `tag`.
+    /// Returns the allocated slot, or `None` if the array is full.
+    ///
+    /// # Panics
+    /// Panics if a dependency references an empty slot — the register
+    /// update unit must only record dependencies on live entries.
+    pub fn insert(&mut self, unit: UnitType, deps: &[SlotIdx], tag: u64) -> Option<SlotIdx> {
+        let free = self.slots.iter().position(|s| s.is_none())?;
+        let mut depmask = 0u64;
+        for &d in deps {
+            assert!(d < self.capacity(), "dependency slot out of range");
+            assert!(d != free, "self-dependency");
+            assert!(self.slots[d].is_some(), "dependency on an empty slot {d}");
+            depmask |= 1 << d;
+        }
+        self.slots[free] = Some(Entry {
+            unit,
+            deps: depmask,
+            scheduled: false,
+            timer: None,
+            tag,
+        });
+        Some(free)
+    }
+
+    /// Fig. 6 for one entry: does it request execution this cycle?
+    ///
+    /// `resource_available[t]` are the five availability lines computed
+    /// by the Eq. 1 circuits (true = an idle unit of that type exists).
+    pub fn requests_entry(&self, slot: SlotIdx, resource_available: &[bool; 5]) -> bool {
+        let Some(e) = self.get(slot) else {
+            return false;
+        };
+        if e.scheduled {
+            return false;
+        }
+        if !resource_available[e.unit.index()] {
+            return false;
+        }
+        // Every needed entry column must have its available line high.
+        let mut deps = e.deps;
+        while deps != 0 {
+            let d = deps.trailing_zeros() as usize;
+            deps &= deps - 1;
+            match self.get(d) {
+                Some(p) if p.result_available() => {}
+                Some(_) => return false,
+                // Column bits on empty slots cannot exist: clear()
+                // removes them. Defensive: treat as satisfied.
+                None => {}
+            }
+        }
+        true
+    }
+
+    /// All requesting slots this cycle, in slot order.
+    pub fn requests(&self, resource_available: &[bool; 5]) -> Vec<SlotIdx> {
+        (0..self.capacity())
+            .filter(|&s| self.requests_entry(s, resource_available))
+            .collect()
+    }
+
+    /// Grant execution to `slot` with the instruction's `latency`
+    /// (cycles ≥ 1): sets the scheduled bit and starts the countdown.
+    ///
+    /// # Panics
+    /// Panics if the slot is empty or already scheduled.
+    pub fn grant(&mut self, slot: SlotIdx, latency: u32) {
+        let e = self.slots[slot].as_mut().expect("grant on empty slot");
+        assert!(!e.scheduled, "grant on already-scheduled slot {slot}");
+        assert!(latency >= 1, "latency must be at least one cycle");
+        e.scheduled = true;
+        e.timer = Some(latency);
+    }
+
+    /// The reschedule input of the scheduled bit (Fig. 6): de-assert it
+    /// so the entry requests again (replay). Clears the timer.
+    pub fn reschedule(&mut self, slot: SlotIdx) {
+        if let Some(e) = self.slots[slot].as_mut() {
+            e.scheduled = false;
+            e.timer = None;
+        }
+    }
+
+    /// Retire (or squash) the entry in `slot`: empty the slot and clear
+    /// its column in every other entry.
+    pub fn clear(&mut self, slot: SlotIdx) {
+        self.slots[slot] = None;
+        let col = !(1u64 << slot);
+        for s in self.slots.iter_mut().flatten() {
+            s.deps &= col;
+        }
+    }
+
+    /// Advance every running countdown timer by one cycle.
+    pub fn tick(&mut self) {
+        for e in self.slots.iter_mut().flatten() {
+            if let Some(t) = e.timer.as_mut() {
+                *t = t.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Derived lifecycle state of an entry.
+    pub fn state(&self, slot: SlotIdx) -> Option<EntryState> {
+        self.get(slot).map(|e| match (e.scheduled, e.timer) {
+            (false, _) => EntryState::Waiting,
+            (true, Some(0)) => EntryState::Done,
+            (true, _) => EntryState::Executing,
+        })
+    }
+
+    /// Demand signature of all **unscheduled** entries — the selection
+    /// unit's §3.2 reading ("instructions … that have not been
+    /// scheduled").
+    pub fn demand_unscheduled(&self) -> TypeCounts {
+        self.entries()
+            .filter(|(_, e)| !e.scheduled)
+            .map(|(_, e)| (e.unit, 1))
+            .collect()
+    }
+
+    /// Demand signature of entries that are **ready** (unscheduled with
+    /// all dependencies satisfied, ignoring resource availability) — the
+    /// selection unit's §3.1 reading ("ready to be executed").
+    pub fn demand_ready(&self) -> TypeCounts {
+        let all_avail = [true; 5];
+        self.requests(&all_avail)
+            .into_iter()
+            .map(|s| (self.get(s).unwrap().unit, 1))
+            .collect()
+    }
+
+    /// Render the Fig. 5 bit matrix: one row per occupied slot, the five
+    /// unit columns then one column per slot.
+    pub fn matrix(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "{:<12}", "entry");
+        for &t in &UnitType::ALL {
+            let _ = write!(s, "{:>8}", t.to_string());
+        }
+        for i in 0..self.capacity() {
+            let _ = write!(s, "  E{}", i + 1);
+        }
+        let _ = writeln!(s);
+        for (i, e) in self.entries() {
+            let _ = write!(s, "{:<12}", format!("Entry {}", i + 1));
+            for &t in &UnitType::ALL {
+                let _ = write!(s, "{:>8}", if e.unit == t { 1 } else { 0 });
+            }
+            for d in 0..self.capacity() {
+                let _ = write!(s, "{:>4}", if e.deps & (1 << d) != 0 { 1 } else { 0 });
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [bool; 5] = [true; 5];
+
+    fn no_unit(t: UnitType) -> [bool; 5] {
+        let mut a = [true; 5];
+        a[t.index()] = false;
+        a
+    }
+
+    #[test]
+    fn insert_until_full() {
+        let mut w = WakeupArray::paper();
+        for i in 0..7 {
+            assert_eq!(w.insert(UnitType::IntAlu, &[], i), Some(i as usize));
+        }
+        assert!(w.is_full());
+        assert_eq!(w.insert(UnitType::IntAlu, &[], 7), None);
+        assert_eq!(w.len(), 7);
+    }
+
+    #[test]
+    fn independent_entry_requests_when_resource_available() {
+        let mut w = WakeupArray::paper();
+        let s = w.insert(UnitType::Lsu, &[], 0).unwrap();
+        assert!(w.requests_entry(s, &ALL));
+        assert!(!w.requests_entry(s, &no_unit(UnitType::Lsu)));
+        // Other resources' availability is irrelevant.
+        assert!(w.requests_entry(s, &no_unit(UnitType::FpMdu)));
+    }
+
+    #[test]
+    fn dependent_waits_for_producer_result() {
+        let mut w = WakeupArray::paper();
+        let p = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        let c = w.insert(UnitType::IntMdu, &[p], 1).unwrap();
+        assert!(!w.requests_entry(c, &ALL), "producer not granted yet");
+        w.grant(p, 3);
+        assert!(!w.requests_entry(c, &ALL), "producer still executing");
+        w.tick();
+        w.tick();
+        assert!(!w.requests_entry(c, &ALL), "one cycle left");
+        w.tick();
+        assert!(w.get(p).unwrap().result_available());
+        assert!(w.requests_entry(c, &ALL), "result available after 3 ticks");
+    }
+
+    #[test]
+    fn one_cycle_producer_chains_next_cycle() {
+        let mut w = WakeupArray::paper();
+        let p = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        let c = w.insert(UnitType::IntAlu, &[p], 1).unwrap();
+        w.grant(p, 1);
+        assert!(!w.requests_entry(c, &ALL), "same cycle: not yet");
+        w.tick();
+        assert!(w.requests_entry(c, &ALL), "next cycle: ready");
+    }
+
+    #[test]
+    fn paper_timer_convention() {
+        let mut w = WakeupArray::paper();
+        let p = w.insert(UnitType::FpMdu, &[], 0).unwrap();
+        assert_eq!(w.get(p).unwrap().paper_timer(), None);
+        w.grant(p, 5);
+        // Paper: timer set to N−1 = 4.
+        assert_eq!(w.get(p).unwrap().paper_timer(), Some(4));
+        w.tick();
+        assert_eq!(w.get(p).unwrap().paper_timer(), Some(3));
+        for _ in 0..4 {
+            w.tick();
+        }
+        assert_eq!(w.get(p).unwrap().paper_timer(), None);
+        assert!(w.get(p).unwrap().result_available());
+    }
+
+    #[test]
+    fn scheduled_bit_stops_requests() {
+        let mut w = WakeupArray::paper();
+        let s = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        assert!(w.requests_entry(s, &ALL));
+        w.grant(s, 4);
+        assert!(!w.requests_entry(s, &ALL));
+        // Reschedule (replay) makes it request again.
+        w.reschedule(s);
+        assert!(w.requests_entry(s, &ALL));
+        assert_eq!(w.state(s), Some(EntryState::Waiting));
+    }
+
+    #[test]
+    fn retirement_clears_columns() {
+        let mut w = WakeupArray::paper();
+        let p = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        let c = w.insert(UnitType::IntAlu, &[p], 1).unwrap();
+        // Producer completes and retires before the consumer is granted.
+        w.grant(p, 1);
+        w.tick();
+        w.clear(p);
+        assert_eq!(w.get(p), None);
+        assert_eq!(w.get(c).unwrap().deps, 0, "column cleared");
+        assert!(w.requests_entry(c, &ALL));
+        // The freed slot is reusable and fresh inserts into it don't
+        // resurrect dependencies.
+        let n = w.insert(UnitType::FpAlu, &[], 2).unwrap();
+        assert_eq!(n, p);
+        assert!(!w.get(c).unwrap().deps & (1 << n) != 0 || w.get(c).unwrap().deps == 0);
+    }
+
+    #[test]
+    fn multi_dependency_needs_all_results() {
+        let mut w = WakeupArray::paper();
+        let a = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        let b = w.insert(UnitType::IntAlu, &[], 1).unwrap();
+        let c = w.insert(UnitType::FpAlu, &[a, b], 2).unwrap();
+        w.grant(a, 1);
+        w.tick();
+        assert!(!w.requests_entry(c, &ALL), "b still outstanding");
+        w.grant(b, 2);
+        w.tick();
+        w.tick();
+        assert!(w.requests_entry(c, &ALL));
+    }
+
+    #[test]
+    fn demand_signatures() {
+        let mut w = WakeupArray::paper();
+        let a = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        let _b = w.insert(UnitType::Lsu, &[], 1).unwrap();
+        let _c = w.insert(UnitType::FpMdu, &[a], 2).unwrap();
+        let unsched = w.demand_unscheduled();
+        assert_eq!(unsched.total(), 3);
+        let ready = w.demand_ready();
+        assert_eq!(ready.total(), 2, "FpMdu blocked on dependency");
+        assert_eq!(ready.get(UnitType::FpMdu), 0);
+        w.grant(a, 1);
+        assert_eq!(w.demand_unscheduled().total(), 2);
+    }
+
+    #[test]
+    fn state_machine() {
+        let mut w = WakeupArray::paper();
+        let s = w.insert(UnitType::IntMdu, &[], 0).unwrap();
+        assert_eq!(w.state(s), Some(EntryState::Waiting));
+        w.grant(s, 2);
+        assert_eq!(w.state(s), Some(EntryState::Executing));
+        w.tick();
+        assert_eq!(w.state(s), Some(EntryState::Executing));
+        w.tick();
+        assert_eq!(w.state(s), Some(EntryState::Done));
+        w.clear(s);
+        assert_eq!(w.state(s), None);
+    }
+
+    #[test]
+    fn matrix_renders_fig5_style() {
+        let mut w = WakeupArray::paper();
+        let p = w.insert(UnitType::Lsu, &[], 0).unwrap();
+        let _ = w.insert(UnitType::IntMdu, &[p], 1).unwrap();
+        let m = w.matrix();
+        assert!(m.contains("Entry 1"), "{m}");
+        assert!(m.contains("Entry 2"), "{m}");
+        assert!(m.contains("LSU"), "{m}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn dependency_on_empty_slot_panics() {
+        let mut w = WakeupArray::paper();
+        let _ = w.insert(UnitType::IntAlu, &[3], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_grant_panics() {
+        let mut w = WakeupArray::paper();
+        let s = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        w.grant(s, 1);
+        w.grant(s, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based scheduling test: random dependency DAGs pushed through
+//! the wake-up array + arbiter must schedule every instruction exactly
+//! once, never violate a dependency's latency, and never oversubscribe
+//! the available units.
+
+use proptest::prelude::*;
+use rsp_isa::units::{TypeCounts, UnitType};
+use rsp_sched::{arbitrate, WakeupArray};
+
+#[derive(Debug, Clone)]
+struct DagSpec {
+    /// (unit type index, predecessors as indices < own index)
+    nodes: Vec<(usize, Vec<usize>)>,
+    /// idle units per type, all ≥ 1 so every node can eventually run
+    units: [u8; 5],
+    /// latency per type, 1..=6
+    lat: [u32; 5],
+}
+
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = DagSpec> {
+    (1..=max_nodes).prop_flat_map(move |n| {
+        let nodes = (0..n)
+            .map(|i| {
+                let preds = if i == 0 {
+                    Just(Vec::new()).boxed()
+                } else {
+                    proptest::collection::vec(0..i, 0..=i.min(3)).boxed()
+                };
+                (0usize..5, preds)
+            })
+            .collect::<Vec<_>>();
+        (
+            nodes,
+            proptest::array::uniform5(1u8..4),
+            proptest::array::uniform5(1u32..7),
+        )
+            .prop_map(|(nodes, units, lat)| DagSpec { nodes, units, lat })
+    })
+}
+
+/// Schedule the whole DAG through a 7-entry array with windowed insertion
+/// (like the dispatcher): insert in index order as slots free up.
+fn schedule(spec: &DagSpec) -> Vec<(usize, u64)> {
+    let n = spec.nodes.len();
+    let mut w = WakeupArray::paper();
+    let idle = TypeCounts::new(spec.units);
+    let mut slot_of = vec![usize::MAX; n];
+    let mut granted_at = vec![None::<u64>; n];
+    let mut done_at = vec![None::<u64>; n];
+    let mut retired = vec![false; n];
+    let mut next_insert = 0usize;
+
+    for cycle in 0..10_000u64 {
+        // Retire entries whose results are available and whose own
+        // dependents no longer need the row? The paper retires in order;
+        // here we retire in index order once complete.
+        while let Some(first) = (0..n).find(|&i| !retired[i]) {
+            match done_at[first] {
+                Some(d) if d <= cycle => {
+                    w.clear(slot_of[first]);
+                    retired[first] = true;
+                }
+                _ => break,
+            }
+        }
+        // Dispatch in order while slots are free.
+        while next_insert < n && !w.is_full() {
+            let (t, preds) = &spec.nodes[next_insert];
+            // Deps only on still-live (unretired) producers.
+            let deps: Vec<usize> = preds
+                .iter()
+                .filter(|&&p| !retired[p])
+                .map(|&p| slot_of[p])
+                .collect();
+            let slot = w
+                .insert(UnitType::from_index(*t).unwrap(), &deps, next_insert as u64)
+                .unwrap();
+            slot_of[next_insert] = slot;
+            next_insert += 1;
+        }
+        // Issue.
+        let reqs = w.requests(&[true; 5]);
+        let grants = arbitrate(&w, &reqs, &idle);
+        // Per-cycle unit budget respected by construction; verify anyway.
+        let mut per_type = [0u8; 5];
+        for g in &grants {
+            per_type[g.unit.index()] += 1;
+            assert!(per_type[g.unit.index()] <= spec.units[g.unit.index()]);
+            let i = w.get(g.slot).unwrap().tag as usize;
+            let lat = spec.lat[g.unit.index()];
+            w.grant(g.slot, lat);
+            granted_at[i] = Some(cycle);
+            done_at[i] = Some(cycle + lat as u64);
+        }
+        w.tick();
+        if retired.iter().all(|&r| r) {
+            break;
+        }
+    }
+    assert!(retired.iter().all(|&r| r), "DAG did not drain");
+    (0..n).map(|i| (i, granted_at[i].unwrap())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dags_schedule_completely_and_respect_dependencies(spec in arb_dag(24)) {
+        let grants = schedule(&spec);
+        // Every node granted exactly once (by construction of the vec).
+        for (i, g) in &grants {
+            for &p in &spec.nodes[*i].1 {
+                let (_, pg) = grants[p];
+                let plat = spec.lat[spec.nodes[p].0] as u64;
+                prop_assert!(
+                    *g >= pg + plat,
+                    "node {i} granted at {g} before producer {p} (granted {pg}, latency {plat}) finished"
+                );
+            }
+        }
+    }
+
+    /// Greedy list-scheduling optimality bound: the wake-up schedule
+    /// finishes within (critical path × max latency + serialisation)
+    /// cycles — a coarse but real performance guarantee.
+    #[test]
+    fn schedule_length_is_bounded(spec in arb_dag(20)) {
+        let grants = schedule(&spec);
+        let makespan = grants
+            .iter()
+            .map(|&(i, g)| g + spec.lat[spec.nodes[i].0] as u64)
+            .max()
+            .unwrap_or(0);
+        let total_work: u64 = spec
+            .nodes
+            .iter()
+            .map(|(t, _)| spec.lat[*t] as u64)
+            .sum();
+        // With ≥1 unit per type and a 7-slot window, the makespan cannot
+        // exceed serial execution plus one window-refill bubble per node.
+        prop_assert!(
+            makespan <= total_work + spec.nodes.len() as u64 * 2 + 7,
+            "makespan {makespan} vs serial bound {total_work}"
+        );
+    }
+}

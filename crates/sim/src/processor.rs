@@ -1,0 +1,959 @@
+//! The pipeline driver.
+//!
+//! [`Processor`] validates a configuration and runs programs;
+//! [`Machine`] is one run's live state, stepped one cycle at a time and
+//! fully inspectable (wake-up array, fabric, register file), which is
+//! what the figure-reproduction experiments use for their traces.
+//!
+//! Stage order within [`Machine::step`] (one cycle):
+//! 1. **retire** — in-order completion from the register-update-unit
+//!    head, write-back to the architectural register file;
+//! 2. **complete** — executions whose latency elapsed this cycle finish:
+//!    units are freed, control flow is verified, mispredicts flush;
+//! 3. **issue** — select-free wake-up requests are arbitrated
+//!    oldest-first onto idle units; operands are forwarded and the
+//!    result computed (memory ops access memory here, in order and
+//!    non-speculatively);
+//! 4. **steer** — the configuration-steering policy observes the ready
+//!    demand and may start partial reconfigurations;
+//! 5. **dispatch** — decoded instructions enter the wake-up array and
+//!    the register update unit, with dependency columns from the
+//!    dependency buffer (plus the in-order memory/branch chains);
+//! 6. **fetch** — the front end fetches and decodes along the predicted
+//!    path;
+//! 7. **tick** — timers, reconfiguration progress, unit drain.
+
+use crate::config::{DemandMode, PolicyKind, SelectMode, SimConfig};
+use crate::exec::{execute, operand_value};
+use crate::frontend::{FetchUnit, FetchedInstr};
+use crate::rob::{Rob, Seq, Stage};
+use crate::stats::SimReport;
+use rsp_core::cem::CemUnit;
+use rsp_core::loader::LoaderStats;
+use rsp_core::policy::{DemandDriven, PaperSteering, PolicyOutcome, StaticPolicy, SteeringPolicy};
+use rsp_core::select::SelectionUnit;
+use rsp_core::smooth::SmoothedSteering;
+use rsp_fabric::fabric::{Fabric, UnitId};
+use rsp_isa::mem::DataMemory;
+use rsp_isa::program::ProgramError;
+use rsp_isa::semantics::ArchState;
+use rsp_isa::units::{TypeCounts, UnitType};
+use rsp_isa::Program;
+use rsp_sched::{arbitrate, WakeupArray};
+use std::collections::VecDeque;
+
+/// Errors surfaced by [`Processor::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The simulator configuration is inconsistent.
+    BadConfig(String),
+    /// The program failed static validation.
+    BadProgram(ProgramError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            RunError::BadProgram(e) => write!(f, "bad program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The steering policy instance driving one run.
+#[derive(Debug, Clone)]
+pub enum PolicyInstance {
+    /// The paper's mechanism.
+    Paper(PaperSteering),
+    /// Never reconfigure.
+    Static(StaticPolicy),
+    /// Greedy demand-driven steering (§5 future work / oracle).
+    Demand(DemandDriven),
+    /// The paper's mechanism behind an EWMA demand filter (E11).
+    Smoothed(SmoothedSteering),
+}
+
+impl PolicyInstance {
+    fn build(cfg: &SimConfig) -> PolicyInstance {
+        match cfg.policy {
+            PolicyKind::Paper { tie, cem, partial } => {
+                let unit = SelectionUnit {
+                    tie,
+                    cem: CemUnit { kind: cem },
+                    ..SelectionUnit::PAPER
+                };
+                let mut p = PaperSteering::new(unit, cfg.steering_set.clone());
+                p.loader.partial = partial;
+                PolicyInstance::Paper(p)
+            }
+            PolicyKind::Static => {
+                let label = cfg
+                    .initial_config
+                    .map(|i| cfg.steering_set.predefined[i].name.clone())
+                    .unwrap_or_else(|| "empty".into());
+                PolicyInstance::Static(StaticPolicy::new(label))
+            }
+            PolicyKind::DemandDriven => PolicyInstance::Demand(DemandDriven::default()),
+            PolicyKind::PaperSmoothed { shift } => {
+                let mut s = SmoothedSteering::paper_default(shift);
+                s.inner.loader = rsp_core::ConfigurationLoader::new(cfg.steering_set.clone());
+                PolicyInstance::Smoothed(s)
+            }
+        }
+    }
+
+    fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome {
+        match self {
+            PolicyInstance::Paper(p) => p.tick(demand, fabric),
+            PolicyInstance::Static(p) => p.tick(demand, fabric),
+            PolicyInstance::Demand(p) => p.tick(demand, fabric),
+            PolicyInstance::Smoothed(p) => p.tick(demand, fabric),
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            PolicyInstance::Paper(p) => p.name(),
+            PolicyInstance::Static(p) => p.name(),
+            PolicyInstance::Demand(p) => p.name(),
+            PolicyInstance::Smoothed(p) => p.name(),
+        }
+    }
+
+    /// Loader counters, for paper-policy runs.
+    pub fn loader_stats(&self) -> Option<&LoaderStats> {
+        match self {
+            PolicyInstance::Paper(p) => Some(p.loader.stats()),
+            PolicyInstance::Smoothed(p) => Some(p.inner.loader.stats()),
+            _ => None,
+        }
+    }
+
+    fn policy_loads(&self) -> u64 {
+        match self {
+            PolicyInstance::Demand(p) => p.loads_started,
+            _ => 0,
+        }
+    }
+}
+
+/// The simulator entry point: a validated configuration.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    cfg: SimConfig,
+}
+
+impl Processor {
+    /// Build a processor; panics on an invalid configuration (use
+    /// [`Processor::try_new`] to handle errors).
+    pub fn new(cfg: SimConfig) -> Processor {
+        Processor::try_new(cfg).expect("invalid simulator configuration")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(cfg: SimConfig) -> Result<Processor, RunError> {
+        cfg.validate().map_err(RunError::BadConfig)?;
+        Ok(Processor { cfg })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Run `program` to completion (or until `max_cycles`); the program
+    /// must pass [`Program::validate`].
+    pub fn run(&mut self, program: &Program, max_cycles: u64) -> Result<SimReport, RunError> {
+        let mut m = self.start(program)?;
+        while m.cycle() < max_cycles && m.step() {}
+        Ok(m.report())
+    }
+
+    /// Begin a run, returning the live machine for cycle-level driving
+    /// and inspection.
+    pub fn start(&self, program: &Program) -> Result<Machine, RunError> {
+        program.validate().map_err(RunError::BadProgram)?;
+        Ok(Machine::new(self.cfg.clone(), program))
+    }
+}
+
+/// Live state of one run.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: SimConfig,
+    cycle: u64,
+    halted: bool,
+    fetch: FetchUnit,
+    dispatch_buf: VecDeque<FetchedInstr>,
+    wakeup: WakeupArray,
+    rob: Rob,
+    regfile: ArchState,
+    mem: DataMemory,
+    fabric: Fabric,
+    policy: PolicyInstance,
+    draining: Vec<(UnitId, u64)>,
+    /// Select-free recovery: slot → first cycle it may request again.
+    collision_cooldown: std::collections::HashMap<usize, u64>,
+    // statistics
+    retired: u64,
+    collisions: u64,
+    retired_mix: TypeCounts,
+    issued_ffu: u64,
+    issued_rfu: u64,
+    flushes: u64,
+    squashed: u64,
+    stalls: crate::stats::StallStats,
+}
+
+impl Machine {
+    fn new(cfg: SimConfig, program: &Program) -> Machine {
+        let mut fabric = Fabric::new(cfg.fabric.clone());
+        if let Some(i) = cfg.initial_config {
+            fabric.load_instantly(&cfg.steering_set.predefined[i]);
+        }
+        let policy = PolicyInstance::build(&cfg);
+        Machine {
+            fetch: FetchUnit::new(program.to_words(), &cfg),
+            dispatch_buf: VecDeque::new(),
+            wakeup: WakeupArray::new(cfg.queue_size),
+            rob: Rob::new(cfg.rob_size),
+            regfile: ArchState::new(),
+            mem: DataMemory::new(cfg.data_mem_words),
+            fabric,
+            policy,
+            draining: Vec::new(),
+            collision_cooldown: std::collections::HashMap::new(),
+            cfg,
+            cycle: 0,
+            halted: false,
+            retired: 0,
+            collisions: 0,
+            retired_mix: TypeCounts::ZERO,
+            issued_ffu: 0,
+            issued_rfu: 0,
+            flushes: 0,
+            squashed: 0,
+            stalls: crate::stats::StallStats::default(),
+        }
+    }
+
+    /// The current cycle number.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True once the program has architecturally ended.
+    #[inline]
+    pub fn finished(&self) -> bool {
+        self.halted
+    }
+
+    /// The wake-up array (for figure traces).
+    pub fn wakeup(&self) -> &WakeupArray {
+        &self.wakeup
+    }
+
+    /// The fabric (for figure traces).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The committed architectural register state.
+    pub fn regfile(&self) -> &ArchState {
+        &self.regfile
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &DataMemory {
+        &self.mem
+    }
+
+    /// Mutable data memory access (for pre-loading inputs before the
+    /// first step).
+    pub fn mem_mut(&mut self) -> &mut DataMemory {
+        &mut self.mem
+    }
+
+    /// The steering policy instance.
+    pub fn policy(&self) -> &PolicyInstance {
+        &self.policy
+    }
+
+    /// The demand signature the steering policy would observe right now
+    /// (per the configured [`DemandMode`]).
+    pub fn current_demand(&self) -> TypeCounts {
+        match self.cfg.demand_mode {
+            DemandMode::Ready => self.wakeup.demand_ready(),
+            DemandMode::Unscheduled => self.wakeup.demand_unscheduled(),
+        }
+    }
+
+    /// In-flight instruction count (dispatched, not yet retired).
+    pub fn in_flight(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Snapshot report (valid mid-run or at the end).
+    pub fn report(&self) -> SimReport {
+        let (trace_hits, trace_misses) = self.fetch.trace_stats();
+        SimReport {
+            cycles: self.cycle,
+            retired: self.retired,
+            halted: self.halted,
+            retired_mix: self.retired_mix,
+            issued_ffu: self.issued_ffu,
+            issued_rfu: self.issued_rfu,
+            flushes: self.flushes,
+            squashed: self.squashed,
+            trace_hits,
+            trace_misses,
+            stalls: self.stalls,
+            collisions: self.collisions,
+            fabric: self.fabric.stats(),
+            loader: self.policy.loader_stats().cloned(),
+            policy: self.policy.name(),
+            policy_loads: self.policy.policy_loads(),
+        }
+    }
+
+    /// Render a one-glance snapshot of the whole pipeline: front end,
+    /// queue/ROB occupancy, per-entry states, and the fabric slot map —
+    /// the debugging view behind the Fig. 6 trace.
+    pub fn render_pipeline(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cycle {:<8} fetch pc {}  buffered {}  retired {}",
+            self.cycle,
+            self.fetch.pc(),
+            self.dispatch_buf.len(),
+            self.retired
+        );
+        let _ = writeln!(
+            s,
+            "queue {}/{}  in-flight {}/{}",
+            self.wakeup.len(),
+            self.wakeup.capacity(),
+            self.rob.len(),
+            self.cfg.rob_size
+        );
+        for e in self.rob.iter() {
+            let stage = match e.stage {
+                Stage::Dispatched => "waiting".to_string(),
+                Stage::Executing { unit, done_at } => {
+                    format!("executing on {unit:?}, done@{done_at}")
+                }
+                Stage::Completed => "completed".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  #{:<4} pc={:<5} slot={} {:<24} {}",
+                e.seq,
+                e.pc,
+                e.wakeup_slot,
+                e.instr.to_string(),
+                stage
+            );
+        }
+        let _ = writeln!(s, "fabric {}", self.fabric.slot_map());
+        s
+    }
+
+    /// Check cross-structure invariants (used by stress tests; cheap
+    /// enough to call every cycle in debug runs). Panics on violation.
+    ///
+    /// 1. Register-update-unit entries are in strictly increasing seq
+    ///    order and within capacity.
+    /// 2. Every entry's wake-up slot is occupied, tagged with its seq,
+    ///    carries its unit type, and the scheduled bit mirrors the entry
+    ///    stage.
+    /// 3. Every occupied wake-up slot belongs to a live entry.
+    /// 4. The set of busy functional units equals (executing entries'
+    ///    units) ∪ (draining squashed units), with no double booking.
+    /// 5. Completed entries with a destination have a pending value.
+    pub fn check_invariants(&self) {
+        use std::collections::HashSet;
+        // (1)
+        assert!(self.rob.len() <= self.cfg.rob_size);
+        let seqs: Vec<Seq> = self.rob.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ROB order violated");
+
+        // (2)
+        let mut slots_of_entries = HashSet::new();
+        for e in self.rob.iter() {
+            let w = self
+                .wakeup
+                .get(e.wakeup_slot)
+                .unwrap_or_else(|| panic!("seq {} lost its wake-up slot", e.seq));
+            assert_eq!(w.tag, e.seq, "wake-up tag mismatch");
+            assert_eq!(w.unit, e.instr.unit_type(), "wake-up unit column mismatch");
+            assert_eq!(
+                w.scheduled,
+                e.stage != Stage::Dispatched,
+                "scheduled bit out of sync for seq {}",
+                e.seq
+            );
+            assert!(slots_of_entries.insert(e.wakeup_slot), "slot double-booked");
+            // (5)
+            if e.stage == Stage::Completed && e.instr.arch_dest().is_some() {
+                assert!(e.value.is_some(), "completed seq {} missing value", e.seq);
+            }
+        }
+        // (3)
+        for (slot, _) in self.wakeup.entries() {
+            assert!(
+                slots_of_entries.contains(&slot),
+                "orphan wake-up entry in slot {slot}"
+            );
+        }
+        // (4)
+        let mut expected_busy: HashSet<UnitId> = self
+            .rob
+            .iter()
+            .filter_map(|e| match e.stage {
+                Stage::Executing { unit, .. } => Some(unit),
+                _ => None,
+            })
+            .collect();
+        for &(unit, _) in &self.draining {
+            assert!(
+                expected_busy.insert(unit),
+                "draining unit {unit:?} also executing"
+            );
+        }
+        let actually_busy: HashSet<UnitId> = self
+            .fabric
+            .units()
+            .into_iter()
+            .filter(|u| u.busy)
+            .map(|u| u.id)
+            .collect();
+        assert_eq!(actually_busy, expected_busy, "fabric busy-set mismatch");
+    }
+
+    /// Advance one cycle; returns `false` once the program has ended.
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        self.stage_retire();
+        if !self.halted {
+            self.stage_complete();
+            self.stage_issue();
+            self.stage_steer();
+            self.stage_dispatch();
+            self.stage_fetch();
+        }
+        self.stage_tick();
+        self.cycle += 1;
+        // Natural end: everything drained without an explicit halt.
+        if !self.halted
+            && self.rob.is_empty()
+            && self.dispatch_buf.is_empty()
+            && self.fetch.drained()
+        {
+            self.halted = true;
+        }
+        !self.halted
+    }
+
+    fn stage_retire(&mut self) {
+        for _ in 0..self.cfg.retire_width {
+            let Some(head) = self.rob.head() else { break };
+            if head.stage != Stage::Completed {
+                break;
+            }
+            let e = self.rob.retire_head();
+            self.wakeup.clear(e.wakeup_slot);
+            self.collision_cooldown.remove(&e.wakeup_slot);
+            if let (Some(d), Some(v)) = (e.instr.dest, e.value) {
+                self.regfile.write(d, v);
+            }
+            self.retired += 1;
+            if self.retired_mix.get(e.instr.unit_type()) < u8::MAX {
+                self.retired_mix.add(e.instr.unit_type(), 1);
+            }
+            // Train the branch predictor at retirement (non-speculative).
+            if e.instr.opcode.is_conditional_branch() {
+                let taken = e.resolved_next != Some(e.pc + 1);
+                self.fetch.train(e.pc, taken);
+            }
+            self.regfile.pc = e.resolved_next.unwrap_or(u64::MAX);
+            if e.resolved_next.is_none() {
+                self.halted = true;
+                break;
+            }
+        }
+    }
+
+    fn stage_complete(&mut self) {
+        // Collect due completions oldest-first; re-check existence because
+        // an older mispredict flushes younger due entries.
+        let due: Vec<Seq> = self
+            .rob
+            .iter()
+            .filter_map(|e| match e.stage {
+                Stage::Executing { done_at, .. } if done_at <= self.cycle => Some(e.seq),
+                _ => None,
+            })
+            .collect();
+        for seq in due {
+            let Some(e) = self.rob.get_mut(seq) else {
+                continue; // flushed by an older branch this same cycle
+            };
+            let Stage::Executing { unit, .. } = e.stage else {
+                continue;
+            };
+            e.stage = Stage::Completed;
+            let opcode = e.instr.opcode;
+            let predicted = e.predicted_next;
+            let resolved = e.resolved_next;
+            self.fabric.clear_busy(unit);
+            if opcode.is_control_flow() {
+                // `jal` is followed at decode and always matches; `jalr`
+                // stopped the front end, so it always needs a redirect;
+                // conditional branches redirect only on mispredict.
+                let mispredict = match opcode {
+                    rsp_isa::Opcode::Jalr => true,
+                    _ => resolved != Some(predicted),
+                };
+                if mispredict {
+                    self.flush_after(seq, resolved.unwrap_or(u64::MAX));
+                }
+            }
+        }
+    }
+
+    fn flush_after(&mut self, seq: Seq, redirect_to: u64) {
+        let squashed = self.rob.flush_after(seq);
+        for e in &squashed {
+            self.wakeup.clear(e.wakeup_slot);
+            self.collision_cooldown.remove(&e.wakeup_slot);
+            if let Stage::Executing { unit, done_at } = e.stage {
+                let remaining = done_at.saturating_sub(self.cycle);
+                if remaining == 0 {
+                    self.fabric.clear_busy(unit);
+                } else {
+                    // Paper §3.2: a unit mid-execution stays busy (and
+                    // non-reconfigurable) until its operation drains.
+                    self.draining.push((unit, remaining));
+                }
+            }
+        }
+        self.squashed += squashed.len() as u64;
+        self.flushes += 1;
+        self.dispatch_buf.clear();
+        self.fetch.redirect(redirect_to);
+    }
+
+    fn stage_issue(&mut self) {
+        if self.wakeup.is_empty() {
+            self.stalls.queue_empty += 1;
+            return;
+        }
+        // Idle units per type, and per-type configured-at-all flags.
+        let mut idle = TypeCounts::ZERO;
+        let mut configured = [false; 5];
+        for u in self.fabric.units() {
+            configured[u.unit.index()] = true;
+            if !u.busy {
+                idle.add(u.unit, 1);
+            }
+        }
+        let mut avail = [false; 5];
+        for &t in &UnitType::ALL {
+            avail[t.index()] = idle.get(t) > 0;
+            debug_assert_eq!(avail[t.index()], self.fabric.available(t));
+        }
+        // Stat: a waiting entry whose unit type is not configured at all.
+        if self
+            .wakeup
+            .entries()
+            .any(|(_, e)| !e.scheduled && !configured[e.unit.index()])
+        {
+            self.stalls.unit_unconfigured += 1;
+        }
+
+        let mut requests = self.wakeup.requests(&avail);
+        let ready_any = self.wakeup.requests(&[true; 5]);
+        // Select-free mode: slots in collision recovery cannot request.
+        if let SelectMode::SelectFree { .. } = self.cfg.select_mode {
+            let now = self.cycle;
+            let cd = &self.collision_cooldown;
+            requests.retain(|s| cd.get(s).is_none_or(|&until| until <= now));
+        }
+        let grants = arbitrate(&self.wakeup, &requests, &idle);
+        if ready_any.len() > grants.len() {
+            self.stalls.starved_requests += 1;
+        }
+        // Select-free mode: requesting entries that fired into a
+        // contended unit type collide and pay the recovery penalty.
+        if let SelectMode::SelectFree { penalty } = self.cfg.select_mode {
+            let granted: std::collections::HashSet<usize> = grants.iter().map(|g| g.slot).collect();
+            for &s in &requests {
+                if !granted.contains(&s) {
+                    // This entry asserted a request for a type whose idle
+                    // units were oversubscribed this cycle: a collision.
+                    self.collision_cooldown
+                        .insert(s, self.cycle + penalty.max(1) as u64);
+                    self.collisions += 1;
+                }
+            }
+        }
+        for g in grants {
+            let tag = self.wakeup.get(g.slot).expect("granted slot occupied").tag;
+            let unit = self
+                .fabric
+                .idle_unit(g.unit)
+                .expect("arbiter only grants within idle counts");
+            self.fabric.set_busy(unit);
+            match unit {
+                UnitId::Ffu(_) => self.issued_ffu += 1,
+                UnitId::Rfu { .. } => self.issued_rfu += 1,
+            }
+            // Read the entry's fields, resolve operands, execute.
+            let (instr, pc, producers) = {
+                let e = self.rob.get(tag).expect("wake-up tag names a live entry");
+                (e.instr, e.pc, e.src_producers)
+            };
+            let s1 = instr
+                .src1
+                .map(|r| operand_value(&self.rob, &self.regfile, r, producers[0]));
+            let s2 = instr
+                .src2
+                .map(|r| operand_value(&self.rob, &self.regfile, r, producers[1]));
+            let issued = execute(&instr, pc, s1, s2, &mut self.mem);
+            let latency = self.cfg.latencies.of(instr.opcode.latency_class());
+            let e = self.rob.get_mut(tag).unwrap();
+            e.value = issued.value;
+            e.resolved_next = issued.resolved_next;
+            e.stage = Stage::Executing {
+                unit,
+                done_at: self.cycle + latency as u64,
+            };
+            self.wakeup.grant(g.slot, latency);
+        }
+    }
+
+    fn stage_steer(&mut self) {
+        let demand = match self.cfg.demand_mode {
+            DemandMode::Ready => self.wakeup.demand_ready(),
+            DemandMode::Unscheduled => self.wakeup.demand_unscheduled(),
+        };
+        self.policy.tick(&demand, &mut self.fabric);
+    }
+
+    fn stage_dispatch(&mut self) {
+        // Groups whose front-end latency elapsed become dispatchable now.
+        let arrivals = self.fetch.drain(self.cycle);
+        self.dispatch_buf.extend(arrivals);
+
+        for _ in 0..self.cfg.dispatch_width {
+            if self.dispatch_buf.is_empty() {
+                break;
+            }
+            if self.wakeup.is_full() {
+                self.stalls.queue_full += 1;
+                break;
+            }
+            if self.rob.is_full() {
+                self.stalls.rob_full += 1;
+                break;
+            }
+            let f = self.dispatch_buf.pop_front().unwrap();
+            // Dependency columns: register producers, plus the in-order
+            // memory chain and branch chains (DESIGN.md §5 ordering
+            // rules).
+            let mut deps: Vec<usize> = Vec::with_capacity(4);
+            let add_dep = |rob: &Rob, seq: Option<Seq>, deps: &mut Vec<usize>| {
+                if let Some(e) = seq.and_then(|s| rob.get(s)) {
+                    deps.push(e.wakeup_slot);
+                }
+            };
+            for src in [f.instr.src1, f.instr.src2] {
+                if let Some(r) = src.filter(|r| !r.is_hardwired_zero()) {
+                    add_dep(&self.rob, self.rob.producer_of(r), &mut deps);
+                }
+            }
+            if f.instr.opcode.is_memory() {
+                add_dep(&self.rob, self.rob.last_mem(), &mut deps);
+                add_dep(&self.rob, self.rob.last_branch(), &mut deps);
+            }
+            if f.instr.opcode.is_control_flow() {
+                // In-order branch resolution: lets the branch chain act as
+                // a sound speculation guard for memory operations.
+                add_dep(&self.rob, self.rob.last_branch(), &mut deps);
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            let tag = self.rob.next_seq();
+            let slot = self
+                .wakeup
+                .insert(f.instr.unit_type(), &deps, tag)
+                .expect("checked not full");
+            let seq = self.rob.dispatch(&f, slot);
+            debug_assert_eq!(seq, tag);
+        }
+    }
+
+    fn stage_fetch(&mut self) {
+        // Backpressure: keep at most two groups' worth buffered.
+        if self.dispatch_buf.len() < 2 * self.cfg.fetch_width {
+            self.fetch.cycle(self.cycle);
+        }
+    }
+
+    fn stage_tick(&mut self) {
+        self.wakeup.tick();
+        self.fabric.tick();
+        let mut i = 0;
+        while i < self.draining.len() {
+            self.draining[i].1 -= 1;
+            if self.draining[i].1 == 0 {
+                let (unit, _) = self.draining.swap_remove(i);
+                self.fabric.clear_busy(unit);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_isa::asm::assemble;
+    use rsp_isa::semantics::ReferenceInterpreter;
+
+    fn run_text(src: &str) -> (SimReport, Machine) {
+        let p = assemble("t", src).unwrap();
+        let proc = Processor::new(SimConfig::default());
+        let mut m = proc.start(&p).unwrap();
+        while m.cycle() < 100_000 && m.step() {}
+        (m.report(), m)
+    }
+
+    /// Differential check against the golden model.
+    fn check_vs_reference(src: &str) -> SimReport {
+        let p = assemble("t", src).unwrap();
+        let cfg = SimConfig::default();
+        let mut reference = ReferenceInterpreter::new(DataMemory::new(cfg.data_mem_words));
+        reference.run(&p.instrs, 1_000_000);
+        assert!(reference.halted(), "reference did not halt");
+
+        let proc = Processor::new(cfg);
+        let mut m = proc.start(&p).unwrap();
+        while m.cycle() < 1_000_000 && m.step() {}
+        let r = m.report();
+        assert!(r.halted, "simulator did not halt");
+        assert_eq!(r.retired, reference.retired, "retired count diverged");
+        assert_eq!(
+            m.regfile().iregs(),
+            reference.state.iregs(),
+            "int registers diverged"
+        );
+        assert_eq!(
+            m.regfile().fregs(),
+            reference.state.fregs(),
+            "fp registers diverged"
+        );
+        assert_eq!(m.mem().cells(), reference.mem.cells(), "memory diverged");
+        r
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let r = check_vs_reference(
+            "addi r1, r0, 6\naddi r2, r0, 7\nmul r3, r1, r2\nsub r4, r3, r1\nhalt",
+        );
+        assert_eq!(r.retired, 5);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        check_vs_reference(
+            "addi r1, r0, 10\nloop: add r2, r2, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt",
+        );
+    }
+
+    #[test]
+    fn memory_ordering_store_then_load() {
+        check_vs_reference("addi r1, r0, 42\nsw r1, 5(r0)\nlw r2, 5(r0)\naddi r3, r2, 1\nhalt");
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        check_vs_reference(
+            "addi r1, r0, 9\nfcvt.i.f f1, r1\nfsqrt f2, f1\nfmul f3, f2, f2\nfcvt.f.i r2, f3\nhalt",
+        );
+    }
+
+    #[test]
+    fn taken_branch_flushes_wrong_path() {
+        let (r, m) =
+            run_text("addi r1, r0, 1\nbne r1, r0, 3\naddi r2, r0, 99\naddi r3, r0, 98\nhalt");
+        assert!(r.flushes >= 1, "taken branch must flush");
+        assert_eq!(
+            m.regfile().iregs()[2],
+            0,
+            "wrong-path write must not commit"
+        );
+        assert_eq!(m.regfile().iregs()[3], 0);
+        assert_eq!(r.retired, 3, "addi, bne, halt");
+    }
+
+    #[test]
+    fn wrong_path_stores_never_reach_memory() {
+        // bne jumps over a store; the store must not execute even
+        // speculatively.
+        let (_, m) = run_text("addi r1, r0, 1\nbne r1, r0, 3\nsw r1, 7(r0)\nnop\nhalt");
+        assert_eq!(m.mem().load_int(7), 0, "speculative store leaked");
+    }
+
+    #[test]
+    fn jal_and_jalr_flow() {
+        check_vs_reference("jal r31, 3\naddi r9, r0, 1\nhalt\naddi r5, r0, 7\njalr r0, r31, 0");
+    }
+
+    #[test]
+    fn fall_off_end_via_out_of_range_jalr() {
+        // jalr to an index past the program end: the front end drains and
+        // the machine halts after retiring everything — matching the
+        // reference interpreter's fall-off-the-end rule.
+        let (r, _) = run_text("addi r1, r0, 100\njalr r0, r1, 0");
+        assert!(r.halted);
+        assert_eq!(r.retired, 2);
+    }
+
+    #[test]
+    fn out_of_order_issue_overlaps_latencies() {
+        // A long divide followed by independent adds: the adds must
+        // retire without waiting ~12 cycles each.
+        let (r, _) = run_text(
+            "addi r1, r0, 100\naddi r2, r0, 7\ndiv r3, r1, r2\n\
+             addi r4, r0, 1\naddi r5, r0, 2\naddi r6, r0, 3\nhalt",
+        );
+        // In-order would take > 12 cycles for the divide alone; the
+        // machine must overlap: total well under divide latency + 5.
+        assert!(r.retired == 7);
+        assert!(r.cycles < 30, "no overlap? took {} cycles", r.cycles);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = "addi r1, r0, 50\nloop: mul r2, r1, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt";
+        let (a, _) = run_text(src);
+        let (b, _) = run_text(src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_policy_fields() {
+        let (r, _) = run_text("nop\nhalt");
+        assert_eq!(r.policy, "paper-steering");
+        assert!(r.loader.is_some());
+        let p = assemble("t", "nop\nhalt").unwrap();
+        let mut proc = Processor::new(SimConfig::static_on(1));
+        let r = proc.run(&p, 1000).unwrap();
+        assert_eq!(r.policy, "static:Config 2");
+        assert!(r.loader.is_none());
+        assert_eq!(r.fabric.loads_started, 0);
+    }
+
+    #[test]
+    fn cycle_budget_stops_infinite_loop() {
+        let p = assemble("t", "loop: jal r0, loop\nhalt").unwrap();
+        let mut proc = Processor::new(SimConfig::default());
+        let r = proc.run(&p, 500).unwrap();
+        assert!(!r.halted);
+        assert_eq!(r.cycles, 500);
+    }
+
+    #[test]
+    fn bimodal_predictor_removes_loop_flushes() {
+        // A counted loop whose back edge is taken 39 times: under
+        // not-taken prediction every taken edge flushes; bimodal learns
+        // it after two iterations.
+        let src = "addi r1, r0, 40\nloop: add r2, r2, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt";
+        let p = assemble("t", src).unwrap();
+        let not_taken = Processor::new(SimConfig::default())
+            .run(&p, 100_000)
+            .unwrap();
+        let cfg = SimConfig {
+            branch_prediction: crate::config::BranchPrediction::Bimodal { entries: 128 },
+            ..SimConfig::default()
+        };
+        let mut proc = Processor::new(cfg);
+        let bimodal = proc.run(&p, 100_000).unwrap();
+        assert_eq!(bimodal.retired, not_taken.retired);
+        assert!(
+            bimodal.flushes < not_taken.flushes / 4,
+            "bimodal {} vs not-taken {} flushes",
+            bimodal.flushes,
+            not_taken.flushes
+        );
+        assert!(
+            bimodal.ipc() > not_taken.ipc(),
+            "bimodal {:.3} vs not-taken {:.3}",
+            bimodal.ipc(),
+            not_taken.ipc()
+        );
+    }
+
+    #[test]
+    fn pipeline_renderer_shows_live_state() {
+        let p = assemble("t", "addi r1, r0, 3\ndiv r2, r1, r1\nmul r3, r2, r2\nhalt").unwrap();
+        let proc = Processor::new(SimConfig::default());
+        let mut m = proc.start(&p).unwrap();
+        let mut saw_executing = false;
+        while m.cycle() < 200 && m.step() {
+            let snap = m.render_pipeline();
+            assert!(snap.contains("queue"), "{snap}");
+            if snap.contains("executing on") {
+                saw_executing = true;
+                assert!(snap.contains("done@"), "{snap}");
+            }
+        }
+        assert!(saw_executing, "renderer never showed an executing entry");
+    }
+
+    #[test]
+    fn select_free_collisions_cost_cycles_but_preserve_results() {
+        // Four independent ALU ops on a machine with exactly one ALU:
+        // in select-free mode the three losers collide and replay.
+        let src = "addi r1, r0, 1\naddi r2, r0, 2\naddi r3, r0, 3\naddi r4, r0, 4\nhalt";
+        let p = assemble("t", src).unwrap();
+        let mut base = SimConfig {
+            policy: PolicyKind::Static,
+            initial_config: None,
+            ..SimConfig::default()
+        };
+        base.fabric.ffus = vec![UnitType::IntAlu];
+
+        let arb = Processor::new(base.clone()).run(&p, 10_000).unwrap();
+        let mut sf_cfg = base.clone();
+        sf_cfg.select_mode = crate::config::SelectMode::SelectFree { penalty: 2 };
+        let proc = Processor::new(sf_cfg);
+        let mut m = proc.start(&p).unwrap();
+        while m.cycle() < 10_000 && m.step() {}
+        let sf = m.report();
+
+        assert_eq!(arb.collisions, 0);
+        assert!(sf.collisions > 0, "oversubscription must collide");
+        assert!(sf.cycles >= arb.cycles, "collisions cannot speed things up");
+        assert_eq!(sf.retired, arb.retired);
+        assert_eq!(m.regfile().iregs()[1..=4], [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bad_program_rejected() {
+        let p = Program::new("bad", vec![]);
+        let proc = Processor::new(SimConfig::default());
+        assert!(matches!(proc.start(&p), Err(RunError::BadProgram(_))));
+    }
+}

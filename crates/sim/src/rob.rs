@@ -1,0 +1,403 @@
+//! The register update unit (reorder buffer + rename).
+//!
+//! Paper §2: "The register update unit collects decoded instructions from
+//! the instruction queue and dispatches them to the various functional
+//! units … resolves all dependencies that occur between instructions and
+//! registers [dependency buffer] … writes computation results back to the
+//! register file during the write-back stage … allows the processor to
+//! perform out-of-order execution of instructions, in-order completion of
+//! instructions, and operand forwarding."
+//!
+//! Realisation here:
+//! * entries live in program order; the head retires first (in-order
+//!   completion);
+//! * the *dependency buffer* is the rename map: architectural register →
+//!   sequence number of its latest in-flight writer; dispatch resolves
+//!   each source either to a producer (forwarded from the producer's ROB
+//!   entry at issue) or to the committed register file;
+//! * an instruction keeps its wake-up array slot from dispatch to
+//!   retirement (paper §4.1: entries are not removed until retirement),
+//!   so the array *is* the scheduling window.
+
+use crate::frontend::FetchedInstr;
+use rsp_fabric::fabric::UnitId;
+use rsp_isa::regs::AnyReg;
+use rsp_isa::semantics::Value;
+use rsp_isa::Instruction;
+use rsp_sched::SlotIdx;
+use std::collections::{HashMap, VecDeque};
+
+/// Monotone per-dispatch sequence number (also the age tag in the
+/// wake-up array).
+pub type Seq = u64;
+
+/// Where an entry is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// In the queue, not yet granted.
+    Dispatched,
+    /// Granted to a unit; completes at `done_at`.
+    Executing {
+        /// The functional unit executing it.
+        unit: UnitId,
+        /// Cycle at the top of which the result is complete.
+        done_at: u64,
+    },
+    /// Result computed; waiting for in-order retirement.
+    Completed,
+}
+
+/// One register-update-unit entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobEntry {
+    /// Age / identity.
+    pub seq: Seq,
+    /// The instruction's PC.
+    pub pc: u64,
+    /// The instruction.
+    pub instr: Instruction,
+    /// The PC the front end continued at (prediction to verify).
+    pub predicted_next: u64,
+    /// The wake-up array slot held from dispatch to retirement.
+    pub wakeup_slot: SlotIdx,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// Producer seq for src1/src2 (dependency buffer snapshot at
+    /// dispatch); `None` = read the committed register file.
+    pub src_producers: [Option<Seq>; 2],
+    /// The pending destination value (set at issue, written back at
+    /// retirement).
+    pub value: Option<Value>,
+    /// The resolved next PC (set at completion; `pc + 1` for straight-
+    /// line instructions, the branch target for taken control flow,
+    /// `None` = control flow left the program / halt).
+    pub resolved_next: Option<u64>,
+}
+
+/// The register update unit.
+#[derive(Debug, Clone, Default)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    next_seq: Seq,
+    rename: HashMap<AnyReg, Seq>,
+    last_mem: Option<Seq>,
+    last_branch: Option<Seq>,
+}
+
+impl Rob {
+    /// An empty unit with room for `capacity` in-flight instructions.
+    pub fn new(capacity: usize) -> Rob {
+        Rob {
+            capacity,
+            ..Rob::default()
+        }
+    }
+
+    /// In-flight instruction count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True iff dispatch must stall.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// The oldest entry.
+    #[inline]
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// The sequence number the next dispatch will receive (needed by the
+    /// caller to tag the wake-up entry before dispatching).
+    #[inline]
+    pub fn next_seq(&self) -> Seq {
+        self.next_seq
+    }
+
+    /// Entry by sequence number.
+    pub fn get(&self, seq: Seq) -> Option<&RobEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+
+    /// Mutable entry by sequence number.
+    pub fn get_mut(&mut self, seq: Seq) -> Option<&mut RobEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Iterate entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest-first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// The seq of the latest in-flight writer of `reg`, if any — the
+    /// dependency-buffer lookup.
+    pub fn producer_of(&self, reg: AnyReg) -> Option<Seq> {
+        self.rename.get(&reg).copied()
+    }
+
+    /// The latest in-flight memory operation (for the in-order memory
+    /// chain).
+    #[inline]
+    pub fn last_mem(&self) -> Option<Seq> {
+        self.last_mem
+    }
+
+    /// The latest in-flight control-flow instruction (the speculation
+    /// guard for memory operations).
+    #[inline]
+    pub fn last_branch(&self) -> Option<Seq> {
+        self.last_branch
+    }
+
+    /// Dispatch a fetched instruction into the unit. The caller has
+    /// already allocated `wakeup_slot`. Returns the entry's seq.
+    ///
+    /// # Panics
+    /// Panics if the unit is full.
+    pub fn dispatch(&mut self, f: &FetchedInstr, wakeup_slot: SlotIdx) -> Seq {
+        assert!(!self.is_full(), "dispatch into a full register update unit");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let srcs = [f.instr.src1, f.instr.src2];
+        let src_producers = [
+            srcs[0]
+                .filter(|r| !r.is_hardwired_zero())
+                .and_then(|r| self.producer_of(r)),
+            srcs[1]
+                .filter(|r| !r.is_hardwired_zero())
+                .and_then(|r| self.producer_of(r)),
+        ];
+        self.entries.push_back(RobEntry {
+            seq,
+            pc: f.pc,
+            instr: f.instr,
+            predicted_next: f.predicted_next,
+            wakeup_slot,
+            stage: Stage::Dispatched,
+            src_producers,
+            value: None,
+            resolved_next: None,
+        });
+        if let Some(d) = f.instr.arch_dest() {
+            self.rename.insert(d, seq);
+        }
+        if f.instr.opcode.is_memory() {
+            self.last_mem = Some(seq);
+        }
+        if f.instr.opcode.is_control_flow() {
+            self.last_branch = Some(seq);
+        }
+        seq
+    }
+
+    /// Retire the head entry (must be [`Stage::Completed`]); returns it.
+    ///
+    /// # Panics
+    /// Panics if the unit is empty or the head is not completed.
+    pub fn retire_head(&mut self) -> RobEntry {
+        let e = self.entries.pop_front().expect("retire on empty unit");
+        assert_eq!(e.stage, Stage::Completed, "in-order completion violated");
+        self.forget(&e);
+        e
+    }
+
+    /// Squash every entry younger than `seq` (exclusive); returns them
+    /// youngest-last for the caller to release wake-up slots and units.
+    /// Rebuilds the dependency buffer from the survivors.
+    pub fn flush_after(&mut self, seq: Seq) -> Vec<RobEntry> {
+        let split = self.entries.iter().position(|e| e.seq > seq);
+        let Some(split) = split else {
+            return Vec::new();
+        };
+        let squashed: Vec<RobEntry> = self.entries.drain(split..).collect();
+        // Rebuild rename / chain pointers from the survivors.
+        self.rename.clear();
+        self.last_mem = None;
+        self.last_branch = None;
+        let mut rename = HashMap::new();
+        for e in &self.entries {
+            if let Some(d) = e.instr.arch_dest() {
+                rename.insert(d, e.seq);
+            }
+            if e.instr.opcode.is_memory() {
+                self.last_mem = Some(e.seq);
+            }
+            if e.instr.opcode.is_control_flow() {
+                self.last_branch = Some(e.seq);
+            }
+        }
+        self.rename = rename;
+        squashed
+    }
+
+    /// Remove a retired entry's traces from the dependency buffer (its
+    /// consumers now read the committed register file).
+    fn forget(&mut self, e: &RobEntry) {
+        if let Some(d) = e.instr.arch_dest() {
+            if self.rename.get(&d) == Some(&e.seq) {
+                self.rename.remove(&d);
+            }
+        }
+        if self.last_mem == Some(e.seq) {
+            self.last_mem = None;
+        }
+        if self.last_branch == Some(e.seq) {
+            self.last_branch = None;
+        }
+    }
+}
+
+/// Convenience for tests: a fetched wrapper around a bare instruction.
+pub fn fetched(pc: u64, instr: Instruction) -> FetchedInstr {
+    FetchedInstr {
+        pc,
+        instr,
+        predicted_next: pc + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_isa::regs::IReg;
+    use rsp_isa::Opcode;
+
+    fn r(n: u8) -> IReg {
+        IReg::new(n)
+    }
+
+    #[test]
+    fn dispatch_tracks_rename() {
+        let mut rob = Rob::new(8);
+        let a = rob.dispatch(
+            &fetched(0, Instruction::rri(Opcode::Addi, r(1), r(0), 1)),
+            0,
+        );
+        let b = rob.dispatch(
+            &fetched(1, Instruction::rrr(Opcode::Add, r(2), r(1), r(1))),
+            1,
+        );
+        assert_eq!(rob.get(b).unwrap().src_producers, [Some(a), Some(a)]);
+        // r2's writer is b; r1's writer is a.
+        assert_eq!(rob.producer_of(AnyReg::Int(r(2))), Some(b));
+        assert_eq!(rob.producer_of(AnyReg::Int(r(1))), Some(a));
+        assert_eq!(rob.producer_of(AnyReg::Int(r(3))), None);
+    }
+
+    #[test]
+    fn zero_register_sources_have_no_producer() {
+        let mut rob = Rob::new(8);
+        rob.dispatch(
+            &fetched(0, Instruction::rri(Opcode::Addi, r(0), r(0), 1)),
+            0,
+        );
+        let b = rob.dispatch(
+            &fetched(1, Instruction::rri(Opcode::Addi, r(1), r(0), 2)),
+            1,
+        );
+        assert_eq!(rob.get(b).unwrap().src_producers, [None, None]);
+    }
+
+    #[test]
+    fn mem_and_branch_chains() {
+        let mut rob = Rob::new(8);
+        assert_eq!(rob.last_mem(), None);
+        let l = rob.dispatch(&fetched(0, Instruction::lw(r(1), r(0), 0)), 0);
+        assert_eq!(rob.last_mem(), Some(l));
+        let br = rob.dispatch(
+            &fetched(1, Instruction::branch(Opcode::Beq, r(0), r(0), 1)),
+            1,
+        );
+        assert_eq!(rob.last_branch(), Some(br));
+        let s = rob.dispatch(&fetched(2, Instruction::sw(r(1), r(0), 1)), 2);
+        assert_eq!(rob.last_mem(), Some(s));
+    }
+
+    #[test]
+    fn retirement_is_in_order_and_forgets() {
+        let mut rob = Rob::new(8);
+        let a = rob.dispatch(
+            &fetched(0, Instruction::rri(Opcode::Addi, r(1), r(0), 1)),
+            0,
+        );
+        rob.get_mut(a).unwrap().stage = Stage::Completed;
+        let e = rob.retire_head();
+        assert_eq!(e.seq, a);
+        assert_eq!(rob.producer_of(AnyReg::Int(r(1))), None, "rename forgotten");
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn retiring_incomplete_head_panics() {
+        let mut rob = Rob::new(8);
+        rob.dispatch(&fetched(0, Instruction::NOP), 0);
+        let _ = rob.retire_head();
+    }
+
+    #[test]
+    fn flush_rebuilds_dependency_buffer() {
+        let mut rob = Rob::new(8);
+        let a = rob.dispatch(
+            &fetched(0, Instruction::rri(Opcode::Addi, r(1), r(0), 1)),
+            0,
+        );
+        let br = rob.dispatch(
+            &fetched(1, Instruction::branch(Opcode::Bne, r(1), r(0), 3)),
+            1,
+        );
+        let c = rob.dispatch(
+            &fetched(2, Instruction::rri(Opcode::Addi, r(1), r(0), 2)),
+            2,
+        );
+        let _d = rob.dispatch(&fetched(3, Instruction::lw(r(2), r(1), 0)), 3);
+        assert_eq!(rob.producer_of(AnyReg::Int(r(1))), Some(c));
+        let squashed = rob.flush_after(br);
+        assert_eq!(squashed.len(), 2);
+        assert_eq!(rob.len(), 2);
+        // r1's writer reverts to a; the squashed load leaves no chain.
+        assert_eq!(rob.producer_of(AnyReg::Int(r(1))), Some(a));
+        assert_eq!(rob.last_mem(), None);
+        assert_eq!(rob.last_branch(), Some(br));
+    }
+
+    #[test]
+    fn flush_after_youngest_is_noop() {
+        let mut rob = Rob::new(8);
+        let a = rob.dispatch(&fetched(0, Instruction::NOP), 0);
+        assert!(rob.flush_after(a).is_empty());
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut rob = Rob::new(2);
+        rob.dispatch(&fetched(0, Instruction::NOP), 0);
+        rob.dispatch(&fetched(1, Instruction::NOP), 1);
+        assert!(rob.is_full());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dispatch_into_full_panics() {
+        let mut rob = Rob::new(1);
+        rob.dispatch(&fetched(0, Instruction::NOP), 0);
+        rob.dispatch(&fetched(1, Instruction::NOP), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Dependency-chain workloads with *exactly known* instruction-level
+//! parallelism — calibration inputs for the simulator and for
+//! interpreting the queue-depth scaling of experiment E9.
+//!
+//! [`chains`] builds `width` independent chains of `depth` dependent
+//! operations each: at any instant exactly `width` instructions are
+//! eligible, so measured IPC is bounded by
+//! `min(width, units-of-type, dispatch width, queue capacity)` divided by
+//! the operation latency — each bound observable by sweeping one knob.
+//!
+//! Note: load/store chains do **not** expose `width`-way parallelism on
+//! this machine — memory operations issue in program order by design
+//! (DESIGN.md §5) — so [`chains`] supports the compute unit types only.
+
+use rsp_isa::regs::{FReg, IReg};
+use rsp_isa::units::UnitType;
+use rsp_isa::{Instruction, Opcode, Program};
+
+/// Build a `width`-way chain workload of `depth` steps on unit type `t`
+/// (compute types only: `IntAlu`, `IntMdu`, `FpAlu`, `FpMdu`).
+///
+/// Chain `i` repeatedly does `acc_i ← acc_i op step` where `acc_i` is a
+/// dedicated register, so consecutive operations of a chain are RAW
+/// dependent and different chains are fully independent.
+///
+/// # Panics
+/// Panics for `t == Lsu` (see module docs), `width == 0`,
+/// `width > 24`, or `depth == 0`.
+pub fn chains(width: usize, depth: usize, t: UnitType) -> Program {
+    assert!(t != UnitType::Lsu, "memory chains are serialised by design");
+    assert!((1..=24).contains(&width), "width must be 1..=24");
+    assert!(depth >= 1, "depth must be at least 1");
+
+    let mut instrs = Vec::with_capacity(width * depth + width + 4);
+    match t {
+        UnitType::IntAlu | UnitType::IntMdu => {
+            // Seed accumulators r1..=width with 1 and the step in r30.
+            for i in 0..width {
+                instrs.push(Instruction::rri(
+                    Opcode::Addi,
+                    IReg::new(1 + i as u8),
+                    IReg::ZERO,
+                    1,
+                ));
+            }
+            instrs.push(Instruction::rri(Opcode::Addi, IReg::new(30), IReg::ZERO, 3));
+            let op = if t == UnitType::IntAlu {
+                Opcode::Add
+            } else {
+                Opcode::Mul
+            };
+            for _ in 0..depth {
+                for i in 0..width {
+                    let acc = IReg::new(1 + i as u8);
+                    instrs.push(Instruction::rrr(op, acc, acc, IReg::new(30)));
+                }
+            }
+        }
+        UnitType::FpAlu | UnitType::FpMdu => {
+            instrs.push(Instruction::rri(Opcode::Addi, IReg::new(29), IReg::ZERO, 1));
+            for i in 0..width {
+                instrs.push(Instruction::fcvt_if(FReg::new(1 + i as u8), IReg::new(29)));
+            }
+            instrs.push(Instruction::rri(Opcode::Addi, IReg::new(30), IReg::ZERO, 2));
+            instrs.push(Instruction::fcvt_if(FReg::new(30), IReg::new(30)));
+            let op = if t == UnitType::FpAlu {
+                Opcode::Fadd
+            } else {
+                Opcode::Fmul
+            };
+            for _ in 0..depth {
+                for i in 0..width {
+                    let acc = FReg::new(1 + i as u8);
+                    instrs.push(Instruction::fff(op, acc, acc, FReg::new(30)));
+                }
+            }
+        }
+        UnitType::Lsu => unreachable!(),
+    }
+    instrs.push(Instruction::HALT);
+    let p = Program::new(format!("chains-{}x{}-{}", width, depth, t), instrs);
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_isa::semantics::ReferenceInterpreter;
+    use rsp_isa::DataMemory;
+
+    #[test]
+    fn chains_compute_known_values() {
+        // width 3, depth 10 integer add chains: acc = 1 + 10*3 = 31.
+        let p = chains(3, 10, UnitType::IntAlu);
+        let mut i = ReferenceInterpreter::new(DataMemory::new(8));
+        i.run(&p.instrs, 10_000);
+        assert!(i.halted());
+        for r in 1..=3 {
+            assert_eq!(i.state.iregs()[r], 31);
+        }
+        // FP multiply chain: 1 * 2^depth.
+        let p = chains(2, 8, UnitType::FpMdu);
+        let mut i = ReferenceInterpreter::new(DataMemory::new(8));
+        i.run(&p.instrs, 10_000);
+        assert_eq!(i.state.fregs()[1], 256.0);
+        assert_eq!(i.state.fregs()[2], 256.0);
+    }
+
+    #[test]
+    fn chain_dependencies_are_exact() {
+        use rsp_sched::DepGraph;
+        let p = chains(2, 5, UnitType::IntAlu);
+        let g = DepGraph::build(&p.instrs);
+        // Critical path = seed (depth 1) then the 5 dependent chain
+        // steps (each step depends on the previous step of its own chain).
+        assert_eq!(g.critical_path_len(), 1 + 5, "seed -> 5 chain steps");
+    }
+
+    #[test]
+    #[should_panic]
+    fn lsu_chains_rejected() {
+        let _ = chains(2, 2, UnitType::Lsu);
+    }
+}

@@ -1,0 +1,65 @@
+//! Cross-representation roundtrips over *generated* programs: assembly
+//! text, binary words, and JSON must each reproduce the exact program.
+//! Generators produce far weirder (but valid) programs than hand-written
+//! tests, so these are effectively fuzzed roundtrips.
+
+use rsp_isa::asm::{assemble, disassemble};
+use rsp_isa::Program;
+use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+
+fn all_programs() -> Vec<Program> {
+    let mut out = Vec::new();
+    for (name, mix) in UnitMix::named() {
+        for seed in 0..3 {
+            out.push(SynthSpec::new(name, mix, seed).generate());
+            out.push(
+                SynthSpec {
+                    body_len: 120,
+                    branch_prob: 0.25,
+                    iterations: 3,
+                    ..SynthSpec::new(name, mix, 50 + seed)
+                }
+                .generate(),
+            );
+        }
+    }
+    out.push(PhasedSpec::int_fp_mem(150, 2, 1).generate());
+    out.extend(kernels::suite());
+    out
+}
+
+#[test]
+fn assembly_roundtrip() {
+    for p in all_programs() {
+        let text = disassemble(&p);
+        let q = assemble(p.name.clone(), &text)
+            .unwrap_or_else(|e| panic!("[{}] reassembly failed: {e}", p.name));
+        assert_eq!(p, q, "[{}] assembly roundtrip diverged", p.name);
+    }
+}
+
+#[test]
+fn binary_roundtrip() {
+    for p in all_programs() {
+        let words = p.to_words();
+        let q = Program::from_words(p.name.clone(), &words).unwrap();
+        assert_eq!(p, q, "[{}] binary roundtrip diverged", p.name);
+    }
+}
+
+#[test]
+fn json_roundtrip() {
+    for p in all_programs().into_iter().take(6) {
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q, "[{}] JSON roundtrip diverged", p.name);
+    }
+}
+
+#[test]
+fn all_generated_programs_validate() {
+    for p in all_programs() {
+        p.validate()
+            .unwrap_or_else(|e| panic!("[{}] invalid: {e}", p.name));
+    }
+}

@@ -1,0 +1,60 @@
+//! Search for an optimal steering basis (the paper's §5 future work):
+//! which three predefined configurations minimise the expected CEM error
+//! over a workload population?
+//!
+//! ```text
+//! cargo run --release --example basis_search
+//! ```
+
+use rsp::isa::units::TypeCounts;
+use rsp::steering::basis::{basis_score, exhaustive_basis, greedy_basis, maximal_shapes};
+use rsp::steering::cem::CemUnit;
+use rsp::workloads::mixes::mixed_population;
+
+fn main() {
+    let ffu = TypeCounts::new([1, 1, 1, 1, 1]);
+    let candidates = maximal_shapes(8);
+    println!(
+        "candidate space: {} maximal shapes for the 8-slot fabric",
+        candidates.len()
+    );
+
+    let samples = mixed_population(600, 7);
+    println!("demand population: {} queue signatures\n", samples.len());
+
+    // The paper's hand-designed basis (Table 1).
+    let paper = [
+        TypeCounts::new([2, 1, 2, 0, 0]),
+        TypeCounts::new([1, 1, 1, 1, 0]),
+        TypeCounts::new([0, 0, 2, 1, 1]),
+    ];
+    let paper_score = basis_score(&paper, &ffu, &samples, CemUnit::PAPER);
+    println!("paper basis (Table 1):");
+    for b in &paper {
+        println!("  {b}");
+    }
+    println!("  mean CEM error: {paper_score:.1}\n");
+
+    let (gb, gs) = greedy_basis(3, &candidates, &ffu, &samples, CemUnit::PAPER);
+    println!("greedy-optimal basis:");
+    for b in &gb {
+        println!("  {b}");
+    }
+    println!("  mean CEM error: {gs:.1}\n");
+
+    let (eb, es) = exhaustive_basis(3, &candidates, &ffu, &samples, CemUnit::PAPER);
+    println!(
+        "exhaustive-optimal basis (over all C({}, 3) subsets):",
+        candidates.len()
+    );
+    for b in &eb {
+        println!("  {b}");
+    }
+    println!("  mean CEM error: {es:.1}\n");
+
+    println!(
+        "summary: paper {paper_score:.1}  greedy {gs:.1}  exhaustive {es:.1}  \
+         (lower is better; greedy/exhaustive gap {:.1}%)",
+        (gs - es) / es.max(1e-9) * 100.0
+    );
+}

@@ -1,0 +1,88 @@
+//! Walk the configuration selection unit stage by stage (paper Figs. 2
+//! and 3) on hand-built queue snapshots — the circuit in isolation,
+//! without the simulator around it.
+//!
+//! ```text
+//! cargo run --release --example selection_circuit
+//! ```
+
+use rsp::fabric::config::SteeringSet;
+use rsp::isa::regs::{FReg, IReg};
+use rsp::isa::{Instruction, Opcode};
+use rsp::steering::decode::decode_queue;
+use rsp::steering::{RequirementEncoder, SelectionUnit};
+
+fn show(name: &str, queue: &[Instruction], set: &SteeringSet, current: usize) {
+    println!("=== queue: {name} ===");
+    for (i, instr) in queue.iter().enumerate() {
+        println!(
+            "  [{i}] {:<22} -> unit decoder one-hot {}",
+            instr.to_string(),
+            rsp::steering::unit_decoder(instr.opcode)
+        );
+    }
+    let required = RequirementEncoder::PAPER.encode(&decode_queue(queue));
+    println!("  stage 2, requirement encoders: {required}");
+
+    let cur = &set.predefined[current];
+    let current_counts = cur.counts.saturating_add(&set.ffu);
+    let r = SelectionUnit::PAPER.select(queue, current_counts, &cur.placement, set);
+    println!("  stage 3, CEM errors (scaled /840):");
+    for (i, (e, c)) in r.errors.iter().zip(&r.candidate_counts).enumerate() {
+        let label = if i == 0 {
+            format!("current (= {})", cur.name)
+        } else {
+            set.predefined[i - 1].name.clone()
+        };
+        println!(
+            "    {:<22} avail {}  error {:>5}  reload cost {}",
+            label, c, e, r.reconfig_cost[i]
+        );
+    }
+    println!(
+        "  stage 4, minimal error selection: {} (two-bit output {:02b})\n",
+        r.choice,
+        r.two_bit()
+    );
+}
+
+fn main() {
+    let set = SteeringSet::paper_default();
+    println!("{}", set.table1());
+
+    let r = IReg::new;
+    let f = FReg::new;
+
+    let int_queue = vec![
+        Instruction::rrr(Opcode::Add, r(1), r(2), r(3)),
+        Instruction::rrr(Opcode::Sub, r(4), r(5), r(6)),
+        Instruction::rrr(Opcode::Xor, r(7), r(8), r(9)),
+        Instruction::rrr(Opcode::Mul, r(10), r(11), r(12)),
+        Instruction::lw(r(13), r(1), 0),
+        Instruction::lw(r(14), r(1), 1),
+        Instruction::rrr(Opcode::And, r(15), r(16), r(17)),
+    ];
+    let fp_queue = vec![
+        Instruction::fff(Opcode::Fadd, f(1), f(2), f(3)),
+        Instruction::fff(Opcode::Fsub, f(4), f(5), f(6)),
+        Instruction::fff(Opcode::Fmul, f(7), f(8), f(9)),
+        Instruction::fff(Opcode::Fdiv, f(10), f(11), f(12)),
+        Instruction::flw(f(13), r(1), 0),
+        Instruction::flw(f(14), r(1), 1),
+    ];
+    let mixed_queue = vec![
+        Instruction::rrr(Opcode::Add, r(1), r(2), r(3)),
+        Instruction::fff(Opcode::Fadd, f(1), f(2), f(3)),
+        Instruction::lw(r(4), r(1), 0),
+        Instruction::rrr(Opcode::Mul, r(5), r(6), r(7)),
+    ];
+
+    // Running on the integer configuration:
+    show("integer-heavy, on Config 1", &int_queue, &set, 0);
+    // The same FP queue seen from the integer configuration steers away:
+    show("FP-heavy, on Config 1", &fp_queue, &set, 0);
+    // …but seen from the FP configuration it stays (stability rule):
+    show("FP-heavy, on Config 3", &fp_queue, &set, 2);
+    // A mixed queue on the mixed configuration:
+    show("mixed, on Config 2", &mixed_queue, &set, 1);
+}

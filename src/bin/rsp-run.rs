@@ -1,0 +1,240 @@
+//! `rsp-run` — assemble and execute a program on the reconfigurable
+//! superscalar simulator from the command line.
+//!
+//! ```text
+//! rsp-run <file.s> [options]
+//!
+//!   --policy <paper|static:<n>|demand|oracle>   steering policy (default paper)
+//!   --latency <cycles>                          per-slot reconfiguration latency
+//!   --ports <n>                                 concurrent reconfigurations
+//!   --queue <n>                                 wake-up array depth (default 7)
+//!   --initial <n|none>                          preloaded predefined config
+//!   --max-cycles <n>                            cycle budget (default 10M)
+//!   --trace <out.json> [--trace-every <n>]      record a steering trace
+//!   --config <cfg.json>                         load a full SimConfig (JSON)
+//!   --dump-config                               print the default SimConfig
+//!   --check                                     differential-check vs reference
+//!   --json                                      emit the report as JSON
+//! ```
+
+use rsp::isa::asm::assemble;
+use rsp::isa::semantics::ReferenceInterpreter;
+use rsp::isa::DataMemory;
+use rsp::sim::{PolicyKind, Processor, SimConfig, SteeringTrace};
+use std::process::exit;
+
+fn die(msg: &str) -> ! {
+    eprintln!("rsp-run: {msg}");
+    exit(2);
+}
+
+struct Args {
+    file: String,
+    cfg: SimConfig,
+    max_cycles: u64,
+    trace: Option<String>,
+    trace_every: u64,
+    check: bool,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut file = None;
+    let mut cfg = SimConfig::default();
+    let mut max_cycles = 10_000_000u64;
+    let mut trace = None;
+    let mut trace_every = 16u64;
+    let mut check = false;
+    let mut json = false;
+
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => {
+                let path = next_val(&mut args, "--config");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                cfg = serde_json::from_str(&text)
+                    .unwrap_or_else(|e| die(&format!("bad config {path}: {e}")));
+            }
+            "--dump-config" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&SimConfig::default()).unwrap()
+                );
+                exit(0);
+            }
+            "--policy" => {
+                let v = next_val(&mut args, "--policy");
+                match v.as_str() {
+                    "paper" => cfg.policy = PolicyKind::PAPER,
+                    "demand" => cfg.policy = PolicyKind::DemandDriven,
+                    "oracle" => {
+                        let base = SimConfig::oracle();
+                        cfg.policy = base.policy;
+                        cfg.fabric = base.fabric;
+                        cfg.initial_config = base.initial_config;
+                    }
+                    s if s.starts_with("static:") => {
+                        let n: usize = s["static:".len()..]
+                            .parse()
+                            .unwrap_or_else(|_| die("bad static config index"));
+                        cfg.policy = PolicyKind::Static;
+                        cfg.initial_config = Some(n);
+                    }
+                    other => die(&format!("unknown policy '{other}'")),
+                }
+            }
+            "--latency" => {
+                cfg.fabric.per_slot_load_latency = next_val(&mut args, "--latency")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad latency"));
+            }
+            "--ports" => {
+                cfg.fabric.reconfig_ports = next_val(&mut args, "--ports")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad ports"));
+            }
+            "--queue" => {
+                cfg.queue_size = next_val(&mut args, "--queue")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad queue size"));
+                cfg.rob_size = cfg.rob_size.max(cfg.queue_size);
+            }
+            "--initial" => {
+                let v = next_val(&mut args, "--initial");
+                cfg.initial_config = if v == "none" {
+                    None
+                } else {
+                    Some(v.parse().unwrap_or_else(|_| die("bad initial config")))
+                };
+            }
+            "--max-cycles" => {
+                max_cycles = next_val(&mut args, "--max-cycles")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad cycle budget"));
+            }
+            "--trace" => trace = Some(next_val(&mut args, "--trace")),
+            "--trace-every" => {
+                trace_every = next_val(&mut args, "--trace-every")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad trace interval"));
+            }
+            "--check" => check = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: rsp-run <file.s> [--policy paper|static:<n>|demand|oracle]");
+                eprintln!("       [--latency N] [--ports N] [--queue N] [--initial n|none]");
+                eprintln!("       [--max-cycles N] [--trace out.json [--trace-every N]]");
+                eprintln!("       [--config cfg.json] [--dump-config] [--check] [--json]");
+                exit(0);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    Args {
+        file: file.unwrap_or_else(|| die("no input file (try --help)")),
+        cfg,
+        max_cycles,
+        trace,
+        trace_every,
+        check,
+        json,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let src = std::fs::read_to_string(&args.file)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", args.file)));
+    let program =
+        assemble(args.file.clone(), &src).unwrap_or_else(|e| die(&format!("assembly failed: {e}")));
+    program
+        .validate()
+        .unwrap_or_else(|e| die(&format!("invalid program: {e}")));
+
+    let proc = Processor::try_new(args.cfg.clone()).unwrap_or_else(|e| die(&e.to_string()));
+    let mut m = proc.start(&program).unwrap_or_else(|e| die(&e.to_string()));
+
+    let report = if let Some(path) = &args.trace {
+        let mut trace = SteeringTrace::new();
+        let report = trace.drive(&mut m, args.trace_every, args.max_cycles);
+        std::fs::write(path, trace.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write trace: {e}")));
+        eprintln!("trace: {} samples -> {path}", trace.samples.len());
+        eprint!("{}", trace.render_timeline());
+        report
+    } else {
+        while m.cycle() < args.max_cycles && m.step() {}
+        m.report()
+    };
+
+    if args.check {
+        let mut reference = ReferenceInterpreter::new(DataMemory::new(args.cfg.data_mem_words));
+        reference.run(&program.instrs, args.max_cycles * 8);
+        if !reference.halted() {
+            die("reference interpreter did not halt within budget");
+        }
+        let ok = report.retired == reference.retired
+            && m.regfile().iregs() == reference.state.iregs()
+            && m.regfile()
+                .fregs()
+                .iter()
+                .zip(reference.state.fregs())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && m.mem().cells() == reference.mem.cells();
+        if ok {
+            eprintln!("check: OK (registers, memory, retired count all match the reference)");
+        } else {
+            die("differential check FAILED");
+        }
+    }
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        println!(
+            "program:          {} ({} instructions)",
+            program.name,
+            program.len()
+        );
+        println!("policy:           {}", report.policy);
+        println!("halted:           {}", report.halted);
+        println!("cycles:           {}", report.cycles);
+        println!("retired:          {}", report.retired);
+        println!("IPC:              {:.3}", report.ipc());
+        println!("retired mix:      {}", report.retired_mix);
+        println!(
+            "reconfigurations: {} ({} slots)",
+            report.fabric.loads_started, report.fabric.slots_reloaded
+        );
+        println!(
+            "RFU issue share:  {:.1}%",
+            report.rfu_issue_fraction() * 100.0
+        );
+        println!("flushes/squashed: {}/{}", report.flushes, report.squashed);
+        println!(
+            "stalls: queue-full {}  rob-full {}  starved {}  queue-empty {}",
+            report.stalls.queue_full,
+            report.stalls.rob_full,
+            report.stalls.starved_requests,
+            report.stalls.queue_empty
+        );
+        if let Some(l) = &report.loader {
+            println!(
+                "selections:       {:?} (changes {})",
+                l.selections, l.selection_changes
+            );
+        }
+    }
+    if !report.halted {
+        exit(1);
+    }
+}

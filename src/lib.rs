@@ -1,0 +1,39 @@
+//! # rsp — configuration steering for a reconfigurable superscalar processor
+//!
+//! Facade crate for the reproduction of *"Configuration Steering for a
+//! Reconfigurable Superscalar Processor"* (Veale, Antonio, Tull;
+//! IPDPS 2005). Re-exports the workspace crates:
+//!
+//! * [`isa`] — the RISC instruction set and the five functional-unit types.
+//! * [`fabric`] — FFUs + 8-slot reconfigurable fabric, the resource
+//!   allocation vector, and the Eq. 1 availability circuit.
+//! * [`steering`] — the paper's contribution: the configuration selection
+//!   unit (unit decoders → requirement encoders → CEM generators →
+//!   minimal-error selection) and the configuration loader.
+//! * [`sched`] — select-free wake-up-array scheduling (Figs. 4–6).
+//! * [`sim`] — the cycle-accurate out-of-order simulator.
+//! * [`workloads`] — synthetic workload and kernel generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rsp::sim::{Processor, SimConfig};
+//! use rsp::workloads::kernels;
+//!
+//! let program = kernels::dot_product(64);
+//! let mut cpu = Processor::new(SimConfig::default());
+//! let report = cpu.run(&program, 1_000_000).expect("program halts");
+//! println!("IPC = {:.3}", report.ipc());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rsp_fabric as fabric;
+pub use rsp_isa as isa;
+pub use rsp_sched as sched;
+pub use rsp_sim as sim;
+pub use rsp_workloads as workloads;
+
+/// The paper's configuration-steering machinery (`rsp-core`).
+pub use rsp_core as steering;

@@ -1,0 +1,132 @@
+//! Configuration-space fuzzing: random machine shapes (widths, queue
+//! depth, latencies, reconfiguration parameters, policies) running random
+//! workloads must always (a) terminate, (b) match the golden model
+//! architecturally, and (c) keep the cross-structure invariants.
+
+use proptest::prelude::*;
+use rsp::isa::semantics::ReferenceInterpreter;
+use rsp::isa::DataMemory;
+use rsp::sim::{
+    BranchPrediction, DemandMode, Latencies, PolicyKind, Processor, SelectMode, SimConfig,
+};
+use rsp::workloads::{SynthSpec, UnitMix};
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::PAPER),
+        Just(PolicyKind::Static),
+        Just(PolicyKind::DemandDriven),
+        (0u32..6).prop_map(|shift| PolicyKind::PaperSmoothed { shift }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        1usize..6,  // fetch width
+        1usize..6,  // dispatch width
+        1usize..6,  // retire width
+        1usize..24, // queue size
+        0u64..40,   // per-slot reconfiguration latency
+        1usize..4,  // reconfiguration ports
+        arb_policy(),
+        prop_oneof![Just(DemandMode::Ready), Just(DemandMode::Unscheduled)],
+        prop_oneof![
+            Just(SelectMode::Arbitrated),
+            (1u32..4).prop_map(|p| SelectMode::SelectFree { penalty: p })
+        ],
+        (1u32..8, 1u32..20, 1u32..6), // int_mul, fp_div, load latencies
+        proptest::option::of(0usize..3), // initial config
+        (0usize..3, any::<bool>()),   // trace cache groups, predictor
+    )
+        .prop_map(
+            |(
+                fw,
+                dw,
+                rw,
+                q,
+                lat,
+                ports,
+                policy,
+                demand,
+                select,
+                (lm, lfd, lld),
+                init,
+                (tc, pred),
+            )| {
+                let mut cfg = SimConfig {
+                    fetch_width: fw,
+                    dispatch_width: dw,
+                    retire_width: rw,
+                    queue_size: q,
+                    rob_size: q.max(32),
+                    policy,
+                    demand_mode: demand,
+                    select_mode: select,
+                    initial_config: init,
+                    trace_cache_groups: [0, 64, 256][tc],
+                    branch_prediction: if pred {
+                        BranchPrediction::Bimodal { entries: 64 }
+                    } else {
+                        BranchPrediction::NotTaken
+                    },
+                    latencies: Latencies {
+                        int_mul: lm,
+                        fp_div: lfd,
+                        load: lld,
+                        ..Latencies::default()
+                    },
+                    ..SimConfig::default()
+                };
+                cfg.fabric.per_slot_load_latency = lat;
+                cfg.fabric.reconfig_ports = ports;
+                cfg
+            },
+        )
+}
+
+fn arb_workload() -> impl Strategy<Value = rsp::isa::Program> {
+    (0u64..1000, 0usize..4, 0.0f64..0.9, 0.0f64..0.4, 1u32..4).prop_map(
+        |(seed, mix_i, dep, br, iters)| {
+            let (name, mix) = UnitMix::named()[mix_i];
+            SynthSpec {
+                body_len: 80,
+                dep_density: dep,
+                branch_prob: br,
+                iterations: iters,
+                ..SynthSpec::new(name, mix, seed)
+            }
+            .generate()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_configs_match_reference(cfg in arb_config(), program in arb_workload()) {
+        let mut reference = ReferenceInterpreter::new(DataMemory::new(cfg.data_mem_words));
+        reference.run(&program.instrs, 2_000_000);
+        prop_assert!(reference.halted());
+
+        let proc = Processor::try_new(cfg).expect("generated config valid");
+        let mut m = proc.start(&program).unwrap();
+        let mut check_at = 64u64;
+        while m.cycle() < 2_000_000 && m.step() {
+            // Periodic (not per-cycle: keep the fuzz fast) invariant checks.
+            if m.cycle() >= check_at {
+                m.check_invariants();
+                check_at += 97;
+            }
+        }
+        m.check_invariants();
+        prop_assert!(m.finished(), "machine hung");
+        let r = m.report();
+        prop_assert_eq!(r.retired, reference.retired);
+        prop_assert_eq!(m.regfile().iregs(), reference.state.iregs());
+        let sim_f: Vec<u64> = m.regfile().fregs().iter().map(|f| f.to_bits()).collect();
+        let ref_f: Vec<u64> = reference.state.fregs().iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(sim_f, ref_f);
+        prop_assert_eq!(m.mem().cells(), reference.mem.cells());
+    }
+}

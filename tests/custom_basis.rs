@@ -1,0 +1,103 @@
+//! Close the loop on the paper's §5 future work: take the steering basis
+//! the E6 optimizer finds, install it as the machine's predefined
+//! configuration set, and run real workloads — the searched basis must be
+//! usable end-to-end (and not regress against the paper's hand-built
+//! basis on the population it was optimised for).
+
+use rsp::fabric::config::{Configuration, SteeringSet};
+use rsp::isa::units::TypeCounts;
+use rsp::sim::{Processor, SimConfig};
+use rsp::steering::basis::{greedy_basis, maximal_shapes};
+use rsp::steering::cem::CemUnit;
+use rsp::workloads::mixes::mixed_population;
+use rsp::workloads::{PhasedSpec, SynthSpec, UnitMix};
+
+fn set_from(basis: &[TypeCounts]) -> SteeringSet {
+    let predefined = basis
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| Configuration::place(format!("Opt {}", i + 1), c, 8).unwrap())
+        .collect();
+    SteeringSet::new(predefined, TypeCounts::new([1, 1, 1, 1, 1]), 8).unwrap()
+}
+
+fn run_with(set: SteeringSet, p: &rsp::isa::Program) -> rsp::sim::SimReport {
+    let cfg = SimConfig {
+        steering_set: set,
+        initial_config: Some(0),
+        ..SimConfig::default()
+    };
+    Processor::new(cfg).run(p, 5_000_000).expect("run")
+}
+
+#[test]
+fn searched_basis_runs_end_to_end() {
+    let ffu = TypeCounts::new([1, 1, 1, 1, 1]);
+    let candidates = maximal_shapes(8);
+    let samples = mixed_population(300, 7);
+    let (basis, score) = greedy_basis(3, &candidates, &ffu, &samples, CemUnit::PAPER);
+    assert_eq!(basis.len(), 3);
+    assert!(score.is_finite());
+
+    let optimised = set_from(&basis);
+    // Architectural correctness is policy-independent; here we check the
+    // machine accepts and uses the custom set.
+    let p = PhasedSpec::int_fp_mem(400, 1, 7).generate();
+    let r = run_with(optimised.clone(), &p);
+    assert!(r.halted);
+    assert!(r.retired > 0);
+    // The loader steered over the custom set (selections vector sized
+    // 1 + 3 candidates).
+    let loader = r.loader.unwrap();
+    assert_eq!(loader.selections.len(), 4);
+    assert!(loader.selections.iter().sum::<u64>() > 0);
+}
+
+#[test]
+fn searched_basis_competitive_on_its_population() {
+    // Build a workload matching the optimisation population (the named
+    // mixes, uniformly), and compare mean IPC: the optimised basis must
+    // not lose badly to the paper basis on its own distribution.
+    let ffu = TypeCounts::new([1, 1, 1, 1, 1]);
+    let candidates = maximal_shapes(8);
+    let samples = mixed_population(400, 7);
+    let (basis, _) = greedy_basis(3, &candidates, &ffu, &samples, CemUnit::PAPER);
+    let optimised = set_from(&basis);
+    let paper = SteeringSet::paper_default();
+
+    let mut opt_total = 0.0;
+    let mut paper_total = 0.0;
+    for (i, (name, mix)) in UnitMix::named().into_iter().enumerate() {
+        let p = SynthSpec {
+            body_len: 1200,
+            ..SynthSpec::new(name, mix, 70 + i as u64)
+        }
+        .generate();
+        opt_total += run_with(optimised.clone(), &p).ipc();
+        paper_total += run_with(paper.clone(), &p).ipc();
+    }
+    assert!(
+        opt_total > paper_total * 0.93,
+        "optimised basis mean IPC {:.3} vs paper {:.3}",
+        opt_total / 4.0,
+        paper_total / 4.0
+    );
+}
+
+#[test]
+fn two_and_five_config_bases_also_work() {
+    // The selection unit's two-bit output covers up to 3 predefined
+    // configurations, but the implementation generalises; verify the
+    // machinery handles k != 3 (the encoding widens transparently).
+    let ffu = TypeCounts::new([1, 1, 1, 1, 1]);
+    let candidates = maximal_shapes(8);
+    let samples = mixed_population(150, 11);
+    for k in [1usize, 2, 5] {
+        let (basis, _) = greedy_basis(k, &candidates, &ffu, &samples, CemUnit::PAPER);
+        assert_eq!(basis.len(), k);
+        let p = SynthSpec::new("mixed", UnitMix::BALANCED, 99).generate();
+        let r = run_with(set_from(&basis), &p);
+        assert!(r.halted);
+        assert_eq!(r.loader.unwrap().selections.len(), 1 + k);
+    }
+}

@@ -1,0 +1,251 @@
+//! Differential testing: the out-of-order, steering, partially
+//! reconfiguring pipeline must retire the *exact* architectural state the
+//! in-order golden-model interpreter produces — same registers, same
+//! memory, same retired-instruction count — for every workload, policy,
+//! and fabric parameterisation.
+//!
+//! This is DESIGN.md invariant 7 and the backbone of the reproduction's
+//! credibility: steering may change *when* things execute, never *what*
+//! they compute.
+
+use rsp::isa::semantics::ReferenceInterpreter;
+use rsp::isa::{DataMemory, Program};
+use rsp::sim::{Processor, SimConfig};
+use rsp::workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+
+/// Run both engines and compare final architectural state. FP registers
+/// and memory compare bit-exactly (NaN-safe).
+fn check(program: &Program, cfg: SimConfig) {
+    let mut reference = ReferenceInterpreter::new(DataMemory::new(cfg.data_mem_words));
+    reference.run(&program.instrs, 5_000_000);
+    assert!(
+        reference.halted(),
+        "[{}] reference did not halt",
+        program.name
+    );
+
+    let proc = Processor::new(cfg);
+    let mut m = proc.start(program).expect("program valid");
+    while m.cycle() < 5_000_000 && m.step() {}
+    let r = m.report();
+    assert!(r.halted, "[{}] simulator did not halt", program.name);
+    assert_eq!(
+        r.retired, reference.retired,
+        "[{}] retired count diverged",
+        program.name
+    );
+    assert_eq!(
+        m.regfile().iregs(),
+        reference.state.iregs(),
+        "[{}] integer registers diverged",
+        program.name
+    );
+    let sim_f: Vec<u64> = m.regfile().fregs().iter().map(|f| f.to_bits()).collect();
+    let ref_f: Vec<u64> = reference
+        .state
+        .fregs()
+        .iter()
+        .map(|f| f.to_bits())
+        .collect();
+    assert_eq!(sim_f, ref_f, "[{}] fp registers diverged", program.name);
+    assert_eq!(
+        m.mem().cells(),
+        reference.mem.cells(),
+        "[{}] memory diverged",
+        program.name
+    );
+}
+
+#[test]
+fn synthetic_mixes_default_config() {
+    for (name, mix) in UnitMix::named() {
+        for seed in 0..4 {
+            let p = SynthSpec::new(name, mix, seed).generate();
+            check(&p, SimConfig::default());
+        }
+    }
+}
+
+#[test]
+fn synthetic_high_dependency_density() {
+    for seed in 0..3 {
+        let p = SynthSpec {
+            dep_density: 0.95,
+            ..SynthSpec::new("dense", UnitMix::BALANCED, seed)
+        }
+        .generate();
+        check(&p, SimConfig::default());
+    }
+}
+
+#[test]
+fn synthetic_no_dependencies() {
+    let p = SynthSpec {
+        dep_density: 0.0,
+        ..SynthSpec::new("sparse", UnitMix::BALANCED, 11)
+    }
+    .generate();
+    check(&p, SimConfig::default());
+}
+
+#[test]
+fn looped_workloads_with_flushes() {
+    for seed in 0..3 {
+        let p = SynthSpec {
+            body_len: 80,
+            iterations: 12,
+            ..SynthSpec::new("loop", UnitMix::BALANCED, seed)
+        }
+        .generate();
+        check(&p, SimConfig::default());
+    }
+}
+
+#[test]
+fn phased_workloads_steering_transitions() {
+    for seed in 0..3 {
+        let p = PhasedSpec::int_fp_mem(200, 1, seed).generate();
+        check(&p, SimConfig::default());
+        let p = PhasedSpec::int_fp_mem(60, 4, 100 + seed).generate();
+        check(&p, SimConfig::default());
+    }
+}
+
+#[test]
+fn all_policies_same_architecture() {
+    let p = PhasedSpec::int_fp_mem(150, 2, 77).generate();
+    check(&p, SimConfig::default());
+    check(&p, SimConfig::static_on(0));
+    check(&p, SimConfig::static_on(1));
+    check(&p, SimConfig::static_on(2));
+    check(&p, SimConfig::oracle());
+}
+
+#[test]
+fn extreme_reconfiguration_latencies() {
+    let p = PhasedSpec::int_fp_mem(120, 1, 5).generate();
+    for latency in [0, 1, 7, 64, 512] {
+        let mut cfg = SimConfig::default();
+        cfg.fabric.per_slot_load_latency = latency;
+        check(&p, cfg);
+    }
+}
+
+#[test]
+fn varied_pipeline_shapes() {
+    let p = SynthSpec::new("shape", UnitMix::BALANCED, 21).generate();
+    // Narrow machine.
+    let cfg = SimConfig {
+        fetch_width: 1,
+        dispatch_width: 1,
+        retire_width: 1,
+        ..SimConfig::default()
+    };
+    check(&p, cfg);
+    // Wide machine, tiny queue.
+    let cfg = SimConfig {
+        fetch_width: 8,
+        dispatch_width: 8,
+        retire_width: 8,
+        queue_size: 3,
+        ..SimConfig::default()
+    };
+    check(&p, cfg);
+    // Large queue.
+    let cfg = SimConfig {
+        queue_size: 32,
+        rob_size: 64,
+        ..SimConfig::default()
+    };
+    check(&p, cfg);
+}
+
+#[test]
+fn no_trace_cache() {
+    let p = SynthSpec {
+        body_len: 60,
+        iterations: 6,
+        ..SynthSpec::new("tc", UnitMix::MEM_HEAVY, 2)
+    }
+    .generate();
+    let cfg = SimConfig {
+        trace_cache_groups: 0,
+        ..SimConfig::default()
+    };
+    check(&p, cfg);
+}
+
+#[test]
+fn kernels_all_policies() {
+    for p in kernels::suite() {
+        check(&p, SimConfig::default());
+        check(&p, SimConfig::static_on(2));
+        check(&p, SimConfig::oracle());
+    }
+}
+
+#[test]
+fn empty_fabric_start_runs_on_ffus() {
+    let p = SynthSpec::new("ffu-only-start", UnitMix::BALANCED, 33).generate();
+    let cfg = SimConfig {
+        initial_config: None,
+        ..SimConfig::default()
+    };
+    check(&p, cfg);
+}
+
+#[test]
+fn unscheduled_demand_mode() {
+    use rsp::sim::DemandMode;
+    let p = PhasedSpec::int_fp_mem(100, 2, 9).generate();
+    let cfg = SimConfig {
+        demand_mode: DemandMode::Unscheduled,
+        ..SimConfig::default()
+    };
+    check(&p, cfg);
+}
+
+#[test]
+fn select_free_scheduling_preserves_architecture() {
+    use rsp::sim::SelectMode;
+    let p = PhasedSpec::int_fp_mem(150, 2, 93).generate();
+    for penalty in [1u32, 2, 4] {
+        let cfg = SimConfig {
+            select_mode: SelectMode::SelectFree { penalty },
+            ..SimConfig::default()
+        };
+        check(&p, cfg);
+    }
+}
+
+#[test]
+fn smoothed_steering_preserves_architecture() {
+    use rsp::sim::PolicyKind;
+    let p = PhasedSpec::int_fp_mem(150, 2, 91).generate();
+    for shift in [1u32, 3, 5] {
+        let cfg = SimConfig {
+            policy: PolicyKind::PaperSmoothed { shift },
+            ..SimConfig::default()
+        };
+        check(&p, cfg);
+    }
+}
+
+#[test]
+fn ablation_policies_preserve_architecture() {
+    use rsp::sim::PolicyKind;
+    use rsp::steering::cem::CemKind;
+    use rsp::steering::select::TieBreak;
+    let p = PhasedSpec::int_fp_mem(120, 2, 13).generate();
+    for (tie, cem, partial) in [
+        (TieBreak::PreferPredefined, CemKind::BarrelShifter, true),
+        (TieBreak::FavorCurrent, CemKind::ExactDivider, true),
+        (TieBreak::FavorCurrent, CemKind::BarrelShifter, false),
+    ] {
+        let cfg = SimConfig {
+            policy: PolicyKind::Paper { tie, cem, partial },
+            ..SimConfig::default()
+        };
+        check(&p, cfg);
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden timing regression corpus: the simulator is fully deterministic,
+//! so exact cycle counts for a fixed corpus of (workload, configuration)
+//! pairs are stable artifacts. This test pins them, catching accidental
+//! timing-model changes that the architectural differential tests (which
+//! only check *results*) would miss.
+//!
+//! To bless intentional timing changes:
+//! `BLESS_TIMINGS=1 cargo test --test golden_timings` rewrites the corpus
+//! file; review and commit the diff.
+
+use rsp::isa::Program;
+use rsp::sim::{Processor, SimConfig};
+use rsp::workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+use std::collections::BTreeMap;
+
+const GOLDEN_PATH: &str = "tests/golden_timings.json";
+
+fn corpus() -> Vec<(String, SimConfig, Program)> {
+    let mut out = Vec::new();
+    let add = |out: &mut Vec<_>, label: &str, cfg: SimConfig, p: Program| {
+        out.push((label.to_string(), cfg, p));
+    };
+    add(
+        &mut out,
+        "dot_product/paper",
+        SimConfig::default(),
+        kernels::dot_product(48),
+    );
+    add(
+        &mut out,
+        "matmul/paper",
+        SimConfig::default(),
+        kernels::matmul(6),
+    );
+    add(
+        &mut out,
+        "bubble_sort/paper",
+        SimConfig::default(),
+        kernels::bubble_sort(16),
+    );
+    add(
+        &mut out,
+        "phased/paper",
+        SimConfig::default(),
+        PhasedSpec::int_fp_mem(250, 1, 2024).generate(),
+    );
+    add(
+        &mut out,
+        "phased/static1",
+        SimConfig::static_on(0),
+        PhasedSpec::int_fp_mem(250, 1, 2024).generate(),
+    );
+    add(
+        &mut out,
+        "phased/oracle",
+        SimConfig::oracle(),
+        PhasedSpec::int_fp_mem(250, 1, 2024).generate(),
+    );
+    add(
+        &mut out,
+        "fp-heavy/paper",
+        SimConfig::default(),
+        SynthSpec::new("fp", UnitMix::FP_HEAVY, 11).generate(),
+    );
+    out
+}
+
+fn measure() -> BTreeMap<String, (u64, u64)> {
+    corpus()
+        .into_iter()
+        .map(|(label, cfg, p)| {
+            let r = Processor::new(cfg).run(&p, 5_000_000).unwrap();
+            assert!(r.halted, "{label} must halt");
+            (label, (r.cycles, r.retired))
+        })
+        .collect()
+}
+
+#[test]
+fn timings_match_golden_corpus() {
+    let measured = measure();
+    if std::env::var("BLESS_TIMINGS").is_ok() {
+        std::fs::write(GOLDEN_PATH, serde_json::to_string_pretty(&measured).unwrap()).unwrap();
+        eprintln!("blessed {} timing entries", measured.len());
+        return;
+    }
+    let golden_text = match std::fs::read_to_string(GOLDEN_PATH) {
+        Ok(t) => t,
+        Err(_) => {
+            // First run in a fresh checkout without the corpus: create it
+            // so CI has a baseline, and pass.
+            std::fs::write(GOLDEN_PATH, serde_json::to_string_pretty(&measured).unwrap())
+                .unwrap();
+            return;
+        }
+    };
+    let golden: BTreeMap<String, (u64, u64)> = serde_json::from_str(&golden_text).unwrap();
+    assert_eq!(
+        measured, golden,
+        "timing regression: if intentional, re-bless with BLESS_TIMINGS=1"
+    );
+}

@@ -1,0 +1,244 @@
+//! End-to-end behavioural properties of configuration steering — the
+//! dynamics the paper claims, observed on the full simulator.
+
+use rsp::fabric::config::SteeringSet;
+use rsp::sim::{PolicyKind, Processor, SimConfig};
+use rsp::workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+
+fn run(cfg: SimConfig, p: &rsp::isa::Program) -> rsp::sim::SimReport {
+    Processor::new(cfg).run(p, 5_000_000).expect("run")
+}
+
+/// Sustained FP demand must steer the fabric away from the integer
+/// configuration and onto the FP configuration, and then settle (the
+/// "stable and well-matched current configuration" of §3.1).
+#[test]
+fn steering_converges_and_settles_on_stable_demand() {
+    let p = SynthSpec {
+        body_len: 1200,
+        ..SynthSpec::new("fp", UnitMix::FP_ONLY, 3)
+    }
+    .generate();
+    let proc = Processor::new(SimConfig::default()); // starts on Config 1 (int)
+    let mut m = proc.start(&p).unwrap();
+    while m.cycle() < 1_000_000 && m.step() {}
+    let set = SteeringSet::paper_default();
+    // The fabric ends holding Config 3's unit counts (FP config).
+    assert_eq!(
+        m.fabric().rfu_counts(),
+        set.predefined[2].counts,
+        "fabric: {}",
+        m.fabric().slot_map()
+    );
+    let r = m.report();
+    let loader = r.loader.unwrap();
+    // Selections eventually settle on "current": far more current picks
+    // than config switches.
+    assert!(
+        loader.selections[0] > loader.selection_changes * 4,
+        "selections={:?} changes={}",
+        loader.selections,
+        loader.selection_changes
+    );
+}
+
+/// Steering must beat the *mismatched* static configuration on a
+/// single-mix workload (the paper's core value proposition).
+#[test]
+fn steering_beats_mismatched_static_config() {
+    let p = SynthSpec {
+        body_len: 2000,
+        ..SynthSpec::new("fp", UnitMix::FP_HEAVY, 17)
+    }
+    .generate();
+    let steer = run(SimConfig::default(), &p);
+    let wrong_static = run(SimConfig::static_on(0), &p); // int config forever
+    assert!(
+        steer.ipc() > wrong_static.ipc() * 1.02,
+        "steering {:.3} vs mismatched static {:.3}",
+        steer.ipc(),
+        wrong_static.ipc()
+    );
+}
+
+/// On a phased workload no single static configuration should dominate
+/// steering, and the zero-latency demand-driven oracle bounds everyone.
+#[test]
+fn phased_workload_ordering() {
+    let p = PhasedSpec::int_fp_mem(1000, 1, 23).generate();
+    let steer = run(SimConfig::default(), &p);
+    let oracle = run(SimConfig::oracle(), &p);
+    assert!(
+        oracle.ipc() >= steer.ipc() * 0.98,
+        "oracle {:.3} must be ~an upper bound vs steering {:.3}",
+        oracle.ipc(),
+        steer.ipc()
+    );
+    for i in 0..3 {
+        let s = run(SimConfig::static_on(i), &p);
+        assert!(
+            oracle.ipc() >= s.ipc() * 0.98,
+            "oracle {:.3} vs static{i} {:.3}",
+            oracle.ipc(),
+            s.ipc()
+        );
+    }
+}
+
+/// FFU guarantee (E8): with an empty fabric and reconfiguration
+/// effectively disabled (enormous latency), every program still
+/// terminates — the fixed units execute everything.
+#[test]
+fn ffus_guarantee_forward_progress() {
+    let mut cfg = SimConfig {
+        initial_config: None,
+        ..SimConfig::default()
+    };
+    cfg.fabric.per_slot_load_latency = 1_000_000_000;
+    for p in kernels::suite() {
+        let r = run(cfg.clone(), &p);
+        assert!(r.halted, "{} must halt on FFUs alone", p.name);
+        assert_eq!(r.issued_rfu, 0, "nothing can issue to an unloaded RFU");
+    }
+}
+
+/// The current configuration is generally a hybrid: during a phased
+/// workload the fabric passes through states that match *no* predefined
+/// configuration (the "overlap of two or more steering configurations").
+#[test]
+fn hybrid_configurations_appear() {
+    let p = PhasedSpec::int_fp_mem(400, 1, 31).generate();
+    let mut cfg = SimConfig::default();
+    cfg.fabric.per_slot_load_latency = 16;
+    let proc = Processor::new(cfg);
+    let mut m = proc.start(&p).unwrap();
+    let set = SteeringSet::paper_default();
+    let mut hybrid_seen = false;
+    while m.cycle() < 1_000_000 && m.step() {
+        let counts = m.fabric().rfu_counts();
+        let is_predefined = set.predefined.iter().any(|c| c.counts == counts);
+        let is_partial_empty = counts.total() == 0;
+        if !is_predefined && !is_partial_empty && m.fabric().loads_in_flight() == 0 {
+            hybrid_seen = true;
+        }
+    }
+    assert!(hybrid_seen, "expected a settled hybrid configuration");
+}
+
+/// Busy RFUs must defer reconfiguration (§3.2): with long FP latencies
+/// and a switch to an integer phase, the loader records busy deferrals.
+#[test]
+fn busy_rfus_defer_reconfiguration() {
+    let p = PhasedSpec {
+        name: "fp-then-int".into(),
+        phases: vec![(UnitMix::FP_ONLY, 300), (UnitMix::INT_ONLY, 300)],
+        dep_density: 0.1,
+        branch_prob: 0.0,
+        iterations: 2,
+        seed: 3,
+    }
+    .generate();
+    let mut cfg = SimConfig {
+        initial_config: Some(2), // start on the FP config
+        ..SimConfig::default()
+    };
+    cfg.latencies.fp_div = 100; // long multicycle occupancy of the FP RFUs
+    cfg.latencies.fp_mul = 40;
+    cfg.fabric.reconfig_ports = 8; // the port is never the bottleneck
+    cfg.fabric.per_slot_load_latency = 2;
+    let r = run(cfg, &p);
+    let loader = r.loader.unwrap();
+    assert!(
+        loader.deferred_busy > 0,
+        "expected busy-RFU deferrals, loader={loader:?}"
+    );
+}
+
+/// Partial reconfiguration must reload strictly fewer slots than the
+/// full-reload ablation on the same workload (E2).
+#[test]
+fn partial_reconfig_cheaper_than_full_reload() {
+    let p = PhasedSpec::int_fp_mem(250, 3, 41).generate();
+    let partial = run(SimConfig::default(), &p);
+    let full = run(
+        SimConfig {
+            policy: PolicyKind::Paper {
+                tie: rsp::steering::TieBreak::FavorCurrent,
+                cem: rsp::steering::cem::CemKind::BarrelShifter,
+                partial: false,
+            },
+            ..SimConfig::default()
+        },
+        &p,
+    );
+    assert!(
+        partial.fabric.slots_reloaded < full.fabric.slots_reloaded,
+        "partial {} vs full {}",
+        partial.fabric.slots_reloaded,
+        full.fabric.slots_reloaded
+    );
+    assert!(partial.ipc() >= full.ipc() * 0.95);
+}
+
+/// The favor-current tie rule suppresses steering churn (E3): removing
+/// it must not *reduce* the actual reconfiguration work (slots reloaded)
+/// — without the rule, equal-error predefined configurations keep
+/// displacing a perfectly good current configuration.
+#[test]
+fn favor_current_reduces_churn() {
+    let p = SynthSpec {
+        body_len: 1500,
+        ..SynthSpec::new("bal", UnitMix::BALANCED, 47)
+    }
+    .generate();
+    let favored = run(SimConfig::default(), &p);
+    let ablated = run(
+        SimConfig {
+            policy: PolicyKind::Paper {
+                tie: rsp::steering::TieBreak::PreferPredefined,
+                cem: rsp::steering::cem::CemKind::BarrelShifter,
+                partial: true,
+            },
+            ..SimConfig::default()
+        },
+        &p,
+    );
+    assert!(
+        favored.fabric.slots_reloaded <= ablated.fabric.slots_reloaded,
+        "favor-current reloads={} vs ablated={}",
+        favored.fabric.slots_reloaded,
+        ablated.fabric.slots_reloaded
+    );
+    // And it never reports "current" as the choice when ablated.
+    assert_eq!(ablated.loader.unwrap().selections[0], 0);
+}
+
+/// Determinism (DESIGN.md invariant 8): identical configuration and
+/// program give identical reports, cycle for cycle.
+#[test]
+fn end_to_end_determinism() {
+    let p = PhasedSpec::int_fp_mem(300, 2, 53).generate();
+    let a = run(SimConfig::default(), &p);
+    let b = run(SimConfig::default(), &p);
+    assert_eq!(a, b);
+}
+
+/// Reconfiguration-latency monotonicity, coarse-grained (E4): a fabric
+/// with catastrophic reconfiguration latency cannot beat the
+/// zero-latency one under the same steering policy.
+#[test]
+fn reconfig_latency_hurts_at_the_extremes() {
+    let p = PhasedSpec::int_fp_mem(600, 1, 59).generate();
+    let mut fast_cfg = SimConfig::default();
+    fast_cfg.fabric.per_slot_load_latency = 0;
+    let mut slow_cfg = SimConfig::default();
+    slow_cfg.fabric.per_slot_load_latency = 4096;
+    let fast = run(fast_cfg, &p);
+    let slow = run(slow_cfg, &p);
+    assert!(
+        fast.ipc() >= slow.ipc(),
+        "fast {:.3} vs slow {:.3}",
+        fast.ipc(),
+        slow.ipc()
+    );
+}

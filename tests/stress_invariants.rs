@@ -1,0 +1,123 @@
+//! Stress testing: step branch-heavy, flush-heavy, and latency-extreme
+//! machines while checking the cross-structure invariants of
+//! `Machine::check_invariants` every single cycle, and differentially
+//! validating final state against the golden model.
+
+use rsp::isa::semantics::ReferenceInterpreter;
+use rsp::isa::{DataMemory, Program};
+use rsp::sim::{Processor, SimConfig};
+use rsp::workloads::{SynthSpec, UnitMix};
+
+fn stress(program: &Program, cfg: SimConfig) {
+    let mut reference = ReferenceInterpreter::new(DataMemory::new(cfg.data_mem_words));
+    reference.run(&program.instrs, 5_000_000);
+    assert!(reference.halted(), "[{}] reference hung", program.name);
+
+    let proc = Processor::new(cfg);
+    let mut m = proc.start(program).unwrap();
+    while m.cycle() < 5_000_000 && m.step() {
+        m.check_invariants();
+    }
+    m.check_invariants();
+    assert!(m.finished(), "[{}] machine hung", program.name);
+    let r = m.report();
+    assert_eq!(
+        r.retired, reference.retired,
+        "[{}] retired diverged",
+        program.name
+    );
+    assert_eq!(
+        m.regfile().iregs(),
+        reference.state.iregs(),
+        "[{}]",
+        program.name
+    );
+    assert_eq!(m.mem().cells(), reference.mem.cells(), "[{}]", program.name);
+}
+
+fn branchy(seed: u64, branch_prob: f64, iterations: u32) -> Program {
+    SynthSpec {
+        body_len: 150,
+        branch_prob,
+        iterations,
+        ..SynthSpec::new("branchy", UnitMix::BALANCED, seed)
+    }
+    .generate()
+}
+
+#[test]
+fn branch_heavy_default_machine() {
+    for seed in 0..6 {
+        stress(&branchy(seed, 0.25, 1), SimConfig::default());
+    }
+}
+
+#[test]
+fn branch_heavy_looped() {
+    for seed in 0..4 {
+        stress(&branchy(seed, 0.2, 5), SimConfig::default());
+    }
+}
+
+#[test]
+fn branch_storm() {
+    // Nearly half the instructions are unpredictable branches.
+    for seed in 0..4 {
+        stress(&branchy(100 + seed, 0.45, 2), SimConfig::default());
+    }
+}
+
+#[test]
+fn branches_with_long_latencies_and_slow_reconfig() {
+    let mut cfg = SimConfig::default();
+    cfg.latencies.fp_div = 60;
+    cfg.latencies.int_div = 40;
+    cfg.fabric.per_slot_load_latency = 3;
+    cfg.fabric.reconfig_ports = 4;
+    for seed in 0..4 {
+        stress(&branchy(200 + seed, 0.3, 2), cfg.clone());
+    }
+}
+
+#[test]
+fn branches_on_narrow_and_wide_machines() {
+    let narrow = SimConfig {
+        fetch_width: 1,
+        dispatch_width: 1,
+        retire_width: 1,
+        queue_size: 2,
+        ..SimConfig::default()
+    };
+    let wide = SimConfig {
+        fetch_width: 8,
+        dispatch_width: 8,
+        retire_width: 8,
+        queue_size: 48,
+        rob_size: 64,
+        ..SimConfig::default()
+    };
+    for seed in 0..3 {
+        stress(&branchy(300 + seed, 0.3, 1), narrow.clone());
+        stress(&branchy(400 + seed, 0.3, 1), wide.clone());
+    }
+}
+
+#[test]
+fn branches_under_oracle_and_static_policies() {
+    for seed in 0..3 {
+        let p = branchy(500 + seed, 0.3, 3);
+        stress(&p, SimConfig::oracle());
+        stress(&p, SimConfig::static_on((seed % 3) as usize));
+    }
+}
+
+#[test]
+fn flushes_actually_happen_in_these_workloads() {
+    // Guard the guard: this suite is only meaningful if the workloads
+    // really cause mispredicts.
+    let p = branchy(1, 0.25, 1);
+    let mut proc = Processor::new(SimConfig::default());
+    let r = proc.run(&p, 1_000_000).unwrap();
+    assert!(r.flushes > 5, "only {} flushes", r.flushes);
+    assert!(r.squashed > 0);
+}
