@@ -1,0 +1,268 @@
+//! Minimal vendored stand-in for `criterion`, used because this build
+//! environment has no cargo registry access.
+//!
+//! Provides the macro + API shape the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `bench_function`,
+//! `benchmark_group`, `iter`, `iter_batched`, `Throughput`) with a simple
+//! adaptive timing loop: warm up briefly, then run batches until an
+//! accumulated measurement window is filled, and report mean ns/iteration
+//! (plus derived element throughput when configured) on stdout. No
+//! statistics, baselines, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// How `iter_batched` amortises setup. The stand-in runs every batch with
+/// a single input regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement window per benchmark.
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok();
+        Criterion {
+            measurement: if quick {
+                Duration::from_millis(60)
+            } else {
+                Duration::from_millis(400)
+            },
+            warm_up: if quick {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(60)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, None, &id.into(), None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        run_one(self.criterion, Some(&group), &id.into(), throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        warm_up: criterion.warm_up,
+        measurement: criterion.measurement,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if bencher.iters == 0 {
+        println!("bench: {label:<60} (no measurement)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let mut line = format!(
+        "bench: {label:<60} {:>14} ns/iter ({} iters)",
+        format_ns(ns_per_iter),
+        bencher.iters
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_sec = n as f64 * 1e9 / ns_per_iter;
+        line.push_str(&format!("  {:.3e} elem/s", per_sec));
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.1}", ns)
+    } else if ns >= 100.0 {
+        format!("{:.2}", ns)
+    } else {
+        format!("{:.3}", ns)
+    }
+}
+
+/// Passed to the closure of `bench_function`; runs the timing loops.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also discovers an iteration count per timing slice.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let slice = (warm_iters / 4).max(1);
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            for _ in 0..slice {
+                black_box(routine());
+            }
+            self.iters += slice;
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup time is excluded from the measurement, like criterion.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let slice = (warm_iters / 4).max(1);
+        let mut measured = Duration::ZERO;
+        while measured < self.measurement {
+            let inputs: Vec<I> = (0..slice).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            measured += start.elapsed();
+            self.iters += slice;
+        }
+        self.elapsed += measured;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// `criterion_group!(name, fn1, fn2, ...)` — collects bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,577 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the offline
+//! serde stand-in. Parses the item's token text directly (no syn/quote)
+//! and emits impls of the simplified value-tree traits.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!  * named-field structs
+//!  * tuple structs (newtype arity 1, wider arities as arrays)
+//!  * unit structs
+//!  * enums with unit / newtype / tuple / struct variants
+//!    (serialized externally tagged, matching serde_json conventions)
+//!
+//! Not supported (panics with a clear message): generic types and
+//! `#[serde(...)]` field attributes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(&input.to_string());
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(&input.to_string());
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this arity.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip a string literal starting at the current `"`.
+    fn skip_string(&mut self) {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'\\' => self.pos += 1, // skip the escaped byte
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Skip one `#[...]` attribute (including `#![...]`), assuming the
+    /// cursor is on `#`. Handles nested brackets and string literals
+    /// (doc comments routinely contain `[` and `]`).
+    fn skip_attribute(&mut self) {
+        debug_assert_eq!(self.peek(), Some(b'#'));
+        self.pos += 1;
+        self.skip_ws();
+        if self.peek() == Some(b'!') {
+            self.pos += 1;
+            self.skip_ws();
+        }
+        assert_eq!(self.peek(), Some(b'['), "malformed attribute in derive input");
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' => {
+                    self.skip_string();
+                    continue;
+                }
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        panic!("unterminated attribute in derive input");
+    }
+
+    /// Skip a `//...` line comment or `/* ... */` block comment (nested),
+    /// assuming the cursor is on the leading `/`. Returns false if the
+    /// `/` does not start a comment.
+    fn skip_comment(&mut self) -> bool {
+        match self.src.get(self.pos + 1).copied() {
+            Some(b'/') => {
+                while !matches!(self.peek(), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+                true
+            }
+            Some(b'*') => {
+                self.pos += 2;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(), self.src.get(self.pos + 1).copied()) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            self.pos += 2;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            self.pos += 2;
+                        }
+                        (Some(_), _) => self.pos += 1,
+                        (None, _) => panic!("unterminated block comment in derive input"),
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'#') => self.skip_attribute(),
+                Some(b'/') => {
+                    if !self.skip_comment() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // `pub`, optionally `pub(crate)` / `pub(in ...)`.
+        if self.eat_keyword("pub") {
+            self.skip_ws();
+            if self.peek() == Some(b'(') {
+                self.skip_group(b'(', b')');
+            }
+        }
+        self.skip_ws();
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        if self.src.get(self.pos..end) == Some(kw.as_bytes()) {
+            let next = self.src.get(end).copied();
+            let boundary = !matches!(next, Some(b) if b == b'_' || b.is_ascii_alphanumeric());
+            if boundary {
+                self.pos = end;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b == b'_' || b.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        assert!(self.pos > start, "expected identifier in derive input at byte {start}");
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Skip a delimited group assuming the cursor is on `open`; leaves the
+    /// cursor just past the matching `close`. Ignores delimiters inside
+    /// string literals.
+    fn skip_group(&mut self, open: u8, close: u8) {
+        debug_assert_eq!(self.peek(), Some(open));
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                self.skip_string();
+                continue;
+            }
+            self.pos += 1;
+            if b == open {
+                depth += 1;
+            } else if b == close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+        panic!("unterminated group in derive input");
+    }
+
+    /// The byte span of a delimited group's interior (cursor on `open`);
+    /// advances past the closing delimiter.
+    fn group_interior(&mut self, open: u8, close: u8) -> (usize, usize) {
+        let start = self.pos + 1;
+        self.skip_group(open, close);
+        (start, self.pos - 1)
+    }
+
+    /// Skip tokens until a top-level `,` or the end of input, balancing
+    /// (), [], {} and <> — enough to step over a field type or an enum
+    /// discriminant. Returns true if a comma was consumed.
+    fn skip_to_comma(&mut self) -> bool {
+        let mut round = 0usize;
+        let mut square = 0usize;
+        let mut curly = 0usize;
+        let mut angle = 0isize;
+        let mut prev = 0u8;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                self.skip_string();
+                prev = b'"';
+                continue;
+            }
+            match b {
+                b',' if round == 0 && square == 0 && curly == 0 && angle <= 0 => {
+                    self.pos += 1;
+                    return true;
+                }
+                b'(' => round += 1,
+                b')' => round -= 1,
+                b'[' => square += 1,
+                b']' => square -= 1,
+                b'{' => curly += 1,
+                b'}' => curly -= 1,
+                b'<' => angle += 1,
+                b'>' if prev != b'-' => angle -= 1, // `->` is not a closer
+                _ => {}
+            }
+            prev = b;
+            self.pos += 1;
+        }
+        false
+    }
+}
+
+fn parse_item(src: &str) -> Item {
+    let mut c = Cursor::new(src);
+    c.skip_attrs_and_vis();
+    let is_enum = if c.eat_keyword("struct") {
+        false
+    } else if c.eat_keyword("enum") {
+        true
+    } else {
+        panic!("derive input is neither struct nor enum: {src}");
+    };
+    let name = c.ident();
+    c.skip_ws();
+    if c.peek() == Some(b'<') {
+        panic!("serde derive stub does not support generic type `{name}`");
+    }
+    // `where` clauses can't occur without generics here.
+    let shape = if is_enum {
+        let (start, end) = {
+            c.skip_ws();
+            c.group_interior(b'{', b'}')
+        };
+        Shape::Enum(parse_variants(&src[start..end]))
+    } else {
+        c.skip_ws();
+        match c.peek() {
+            Some(b'{') => {
+                let (start, end) = c.group_interior(b'{', b'}');
+                Shape::Struct(Fields::Named(parse_named_fields(&src[start..end])))
+            }
+            Some(b'(') => {
+                let (start, end) = c.group_interior(b'(', b')');
+                Shape::Struct(Fields::Tuple(count_tuple_fields(&src[start..end])))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        }
+    };
+    Item { name, shape }
+}
+
+fn parse_named_fields(body: &str) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.ident();
+        c.skip_ws();
+        assert_eq!(c.peek(), Some(b':'), "expected ':' after field `{name}`");
+        c.pos += 1;
+        fields.push(name);
+        if !c.skip_to_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &str) -> usize {
+    let mut c = Cursor::new(body);
+    let mut n = 0usize;
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        n += 1;
+        if !c.skip_to_comma() {
+            break;
+        }
+    }
+    n
+}
+
+fn parse_variants(body: &str) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.ident();
+        c.skip_ws();
+        let fields = match c.peek() {
+            Some(b'{') => {
+                let (start, end) = c.group_interior(b'{', b'}');
+                Fields::Named(parse_named_fields(&body[start..end]))
+            }
+            Some(b'(') => {
+                let (start, end) = c.group_interior(b'(', b')');
+                Fields::Tuple(count_tuple_fields(&body[start..end]))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        c.skip_ws();
+        // Optional explicit discriminant `= expr`.
+        if c.peek() == Some(b'=') {
+            c.pos += 1;
+        }
+        if !c.skip_to_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::json::Value::Null".to_string(),
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let mut __members: Vec<(String, ::serde::json::Value)> = Vec::with_capacity({});\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__members.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::json::Value::Object(__members)");
+            format!("{{ {s} }}")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::json::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__t0) => ::serde::json::variant(\"{vname}\", ::serde::Serialize::to_value(__t0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__t{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::json::variant(\"{vname}\", ::serde::json::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = format!(
+                            "let mut __members: Vec<(String, ::serde::json::Value)> = Vec::with_capacity({});\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__members.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ {inner} ::serde::json::variant(\"{vname}\", ::serde::json::Value::Object(__members)) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let __a = __v.as_array().ok_or_else(|| ::serde::json::Error::expected(\"array\", __v))?;\n\
+                     if __a.len() != {n} {{\n\
+                         return Err(::serde::json::Error::msg(\"wrong tuple length for {name}\"));\n\
+                     }}\n\
+                     Ok({name}({}))\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::json::field(__v, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "{{\n\
+                     if __v.as_object().is_none() {{\n\
+                         return Err(::serde::json::Error::expected(\"object\", __v));\n\
+                     }}\n\
+                     Ok({name} {{ {} }})\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"));
+                        // Also accept `{"Variant": null}`.
+                        tagged_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| ::serde::json::Error::expected(\"array\", __inner))?;\n\
+                                 if __a.len() != {n} {{\n\
+                                     return Err(::serde::json::Error::msg(\"wrong tuple length for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::json::field(__inner, \"{f}\", \"{name}::{vname}\")?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{{\n\
+                     if let Some(__s) = __v.as_str() {{\n\
+                         match __s {{\n\
+                             {unit_arms}\n\
+                             _ => return Err(::serde::json::Error::msg(format!(\"unknown variant `{{__s}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     let (__tag, __inner) = __v\n\
+                         .as_variant()\n\
+                         .ok_or_else(|| ::serde::json::Error::expected(\"variant of {name}\", __v))?;\n\
+                     match __tag {{\n\
+                         {tagged_arms}\n\
+                         _ => Err(::serde::json::Error::msg(format!(\"unknown variant `{{__tag}}` of {name}\"))),\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::json::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,55 @@
+//! Minimal vendored stand-in for `serde_json`, matching the subset of its
+//! API this workspace uses: `to_string`, `to_string_pretty`, `from_str`,
+//! `to_value`, `from_value`, `Value`, `Error`, `Result`.
+
+pub use serde::json::{Error, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::write_compact(&value.to_value()))
+}
+
+/// Serialize to human-readable (2-space indented) JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::write_pretty(&value.to_value()))
+}
+
+/// Serialize to a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize directly into a writer.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let v = serde::json::parse(text)?;
+    T::from_value(&v)
+}
+
+/// Deserialize from a JSON byte slice.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(text)
+}
+
+/// Convert a value into the JSON tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a value from the JSON tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
