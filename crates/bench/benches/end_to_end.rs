@@ -2,7 +2,8 @@
 //! complete program runs per policy.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use rsp_sim::{Processor, SimConfig};
+use rsp_bench::throughput::workload_classes;
+use rsp_sim::{run_batch, Processor, SimConfig};
 use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -51,6 +52,28 @@ fn bench_end_to_end(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
+    g.finish();
+
+    // Steady-state cycles/sec through the batched driver — the exact
+    // path the standalone throughput harness (`rsp-bench --bin
+    // throughput`, BENCH_throughput.json) measures: one machine reused
+    // across the whole program set, so per-run setup is amortised and
+    // the number tracks the cost of `Machine::step` itself.
+    let cfg = SimConfig::default();
+    let classes = workload_classes();
+    let mix = classes
+        .iter()
+        .find(|c| c.name == "synthetic-mix")
+        .expect("harness always defines the synthetic-mix class");
+    let pass_cycles = run_batch(&cfg, &mix.programs, 10_000_000)
+        .unwrap()
+        .sim_cycles;
+    let mut g = c.benchmark_group("batched-throughput");
+    g.throughput(Throughput::Elements(pass_cycles));
+    g.bench_function(
+        format!("synthetic-mix/{} sim-cycles per pass", pass_cycles),
+        |b| b.iter(|| black_box(run_batch(&cfg, &mix.programs, 10_000_000).unwrap())),
+    );
     g.finish();
 }
 

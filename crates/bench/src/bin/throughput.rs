@@ -1,0 +1,61 @@
+//! CLI for the cycles/sec throughput harness: runs every workload class
+//! through the batched driver and writes `BENCH_throughput.json`.
+//!
+//! ```text
+//! throughput [--quick] [--out PATH] [--seconds N]
+//! ```
+//!
+//! `--quick` runs a single pass per class (CI smoke); the default runs
+//! each class for ≥ 2 s of wall clock for stable numbers.
+
+use rsp_bench::throughput::{measure_all, ThroughputReport};
+use rsp_sim::SimConfig;
+use std::time::Duration;
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_throughput.json");
+    let mut seconds: f64 = 2.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--seconds" => {
+                seconds = args
+                    .next()
+                    .expect("--seconds needs a number")
+                    .parse()
+                    .expect("--seconds needs a number")
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: throughput [--quick] [--out PATH] [--seconds N]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let min_wall = if quick {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(seconds)
+    };
+
+    let cfg = SimConfig::default();
+    let report: ThroughputReport = measure_all(&cfg, min_wall, quick);
+
+    println!(
+        "{:<16} {:>9} {:>7} {:>14} {:>12} {:>15}",
+        "class", "programs", "passes", "sim cycles", "wall (s)", "cycles/sec"
+    );
+    for c in &report.classes {
+        println!(
+            "{:<16} {:>9} {:>7} {:>14} {:>12.3} {:>15.0}",
+            c.name, c.programs, c.passes, c.sim_cycles, c.wall_seconds, c.cycles_per_sec
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, json).expect("write throughput report");
+    println!("wrote {out}");
+}

@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod scaled;
+pub mod throughput;
 
 pub use harness::{policies, run_one, PolicySpec, Row};
 pub use scaled::scaled_paper_set;

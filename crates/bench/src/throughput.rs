@@ -1,0 +1,203 @@
+//! Simulated-cycles-per-wall-second throughput harness.
+//!
+//! Measures how fast the simulator itself runs (host perf, not modelled
+//! perf): each *workload class* is a fixed set of generated programs, run
+//! back to back on one reused machine via [`rsp_sim::BatchRunner`], and
+//! timed with repeated passes until a minimum wall-clock window fills.
+//! The result — simulated cycles per wall-second per class — is written
+//! as `BENCH_throughput.json` so optimisation work on the hot loop has a
+//! stable before/after yardstick. The `throughput` binary is the CLI;
+//! the steady-state Criterion benchmark in `benches/end_to_end.rs`
+//! reuses [`workload_classes`].
+
+use rsp_sim::{BatchRunner, SimConfig, SimReport};
+use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+use rsp_isa::Program;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Per-program cycle budget. Generous: every class program halts well
+/// under this, so hitting it indicates a simulator bug.
+pub const CYCLE_BUDGET: u64 = 10_000_000;
+
+/// A named set of programs measured as one unit.
+pub struct WorkloadClass {
+    /// Class name (the JSON key).
+    pub name: &'static str,
+    /// Programs run back to back each pass.
+    pub programs: Vec<Program>,
+}
+
+/// The harness's workload classes. Deterministic (fixed seeds): the
+/// same programs are generated on every invocation, so cycles/sec
+/// numbers are comparable across builds.
+///
+/// * one class per named synthetic mix (int/fp/mem-heavy, balanced);
+/// * `synthetic-mix` — all four mixes interleaved across seeds (the
+///   acceptance-gate class);
+/// * `phased` — mix changes mid-program, exercising steering churn;
+/// * `kernels` — the real-kernel suite.
+pub fn workload_classes() -> Vec<WorkloadClass> {
+    let mut classes = Vec::new();
+    for (name, mix) in UnitMix::named() {
+        let programs = (0..4)
+            .map(|seed| {
+                let mut spec = SynthSpec::new(format!("{name}-{seed}"), mix, 1000 + seed);
+                spec.iterations = 4;
+                spec.generate()
+            })
+            .collect();
+        classes.push(WorkloadClass { name, programs });
+    }
+    let mut mixed = Vec::new();
+    for (name, mix) in UnitMix::named() {
+        for seed in 0..3 {
+            let mut spec = SynthSpec::new(format!("mix-{name}-{seed}"), mix, 2000 + seed);
+            spec.iterations = 4;
+            mixed.push(spec.generate());
+        }
+    }
+    classes.push(WorkloadClass {
+        name: "synthetic-mix",
+        programs: mixed,
+    });
+    classes.push(WorkloadClass {
+        name: "phased",
+        programs: (0..3)
+            .map(|seed| PhasedSpec::int_fp_mem(300, 3, 3000 + seed).generate())
+            .collect(),
+    });
+    classes.push(WorkloadClass {
+        name: "kernels",
+        programs: kernels::suite(),
+    });
+    classes
+}
+
+/// Measured throughput of one class.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassResult {
+    /// Class name.
+    pub name: String,
+    /// Programs per pass.
+    pub programs: usize,
+    /// Full passes over the program set.
+    pub passes: u64,
+    /// Simulated cycles accumulated over all passes.
+    pub sim_cycles: u64,
+    /// Instructions retired over all passes.
+    pub retired: u64,
+    /// Wall-clock seconds spent stepping (includes per-program machine
+    /// resets — that is part of the batched driver's cost).
+    pub wall_seconds: f64,
+    /// The headline number: simulated cycles per wall-second.
+    pub cycles_per_sec: f64,
+    /// Retired instructions per wall-second.
+    pub instrs_per_sec: f64,
+}
+
+/// The whole report, serialised to `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    /// True when produced with `--quick` (single pass; CI smoke only —
+    /// numbers are noisy).
+    pub quick: bool,
+    /// Steering policy of the measured configuration.
+    pub policy: String,
+    /// Per-class results.
+    pub classes: Vec<ClassResult>,
+}
+
+impl ThroughputReport {
+    /// The result for a class, by name.
+    pub fn class(&self, name: &str) -> Option<&ClassResult> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+/// Run one class until at least `min_wall` of measured stepping has
+/// accumulated (always at least one full pass).
+pub fn measure_class(
+    cfg: &SimConfig,
+    class: &WorkloadClass,
+    min_wall: Duration,
+) -> ClassResult {
+    let mut runner = BatchRunner::new(cfg.clone()).expect("valid config");
+    let mut sim_cycles = 0u64;
+    let mut retired = 0u64;
+    let mut passes = 0u64;
+    let started = Instant::now();
+    loop {
+        for p in &class.programs {
+            let report: SimReport = runner.run(p, CYCLE_BUDGET).expect("valid program");
+            assert!(
+                report.halted,
+                "{} hit the cycle budget in class {}",
+                p.name, class.name
+            );
+            sim_cycles += report.cycles;
+            retired += report.retired;
+        }
+        passes += 1;
+        if started.elapsed() >= min_wall {
+            break;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    ClassResult {
+        name: class.name.to_string(),
+        programs: class.programs.len(),
+        passes,
+        sim_cycles,
+        retired,
+        wall_seconds: wall,
+        cycles_per_sec: sim_cycles as f64 / wall,
+        instrs_per_sec: retired as f64 / wall,
+    }
+}
+
+/// Measure every class under `cfg`. `min_wall` is per class.
+pub fn measure_all(cfg: &SimConfig, min_wall: Duration, quick: bool) -> ThroughputReport {
+    let classes = workload_classes()
+        .iter()
+        .map(|c| measure_class(cfg, c, min_wall))
+        .collect();
+    ThroughputReport {
+        quick,
+        policy: format!("{:?}", cfg.policy),
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_deterministic_and_halt() {
+        let a = workload_classes();
+        let b = workload_classes();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.programs, y.programs, "class {} not deterministic", x.name);
+            assert!(!x.programs.is_empty());
+        }
+    }
+
+    #[test]
+    fn quick_measurement_produces_sane_numbers() {
+        // One pass over the smallest class; just shape-checks the plumbing.
+        let cfg = SimConfig::default();
+        let class = WorkloadClass {
+            name: "smoke",
+            programs: vec![kernels::dot_product(16)],
+        };
+        let r = measure_class(&cfg, &class, Duration::ZERO);
+        assert_eq!(r.passes, 1);
+        assert!(r.sim_cycles > 0);
+        assert!(r.cycles_per_sec > 0.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("cycles_per_sec"));
+    }
+}

@@ -186,7 +186,9 @@ impl SteeringPolicy for DemandDriven {
     }
 
     fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome {
-        let ffu: TypeCounts = fabric.ffu_signals().iter().map(|&(t, _)| (t, 1)).collect();
+        // Count the fixed units straight off the parameters (the old
+        // `ffu_signals()` path allocated a Vec every cycle).
+        let ffu: TypeCounts = fabric.params().ffus.iter().map(|&t| (t, 1)).collect();
         let slots = fabric.params().rfu_slots;
         let mix = Self::desired_mix(demand, &ffu, slots);
         if mix == fabric.rfu_counts() {

@@ -149,6 +149,20 @@ pub struct Fabric {
     ffu_busy: Vec<bool>,
     loads: Vec<LoadInFlight>,
     stats: FabricStats,
+    /// Incremental count of configured units per type (FFUs + RFU units,
+    /// excluding in-flight loads) — updated on every grant, drain, and
+    /// reconfiguration event so per-cycle queries need no unit scan.
+    configured: TypeCounts,
+    /// Incremental count of configured **idle** units per type.
+    idle: TypeCounts,
+}
+
+/// Decrement one type's count in an incremental unit-count cache.
+#[inline]
+fn dec(counts: &mut TypeCounts, t: UnitType) {
+    let v = counts.get(t);
+    debug_assert!(v > 0, "incremental unit counter underflow for {t:?}");
+    counts.set(t, v.saturating_sub(1));
 }
 
 impl Fabric {
@@ -156,14 +170,26 @@ impl Fabric {
     pub fn new(params: FabricParams) -> Fabric {
         let n = params.rfu_slots;
         let f = params.ffus.len();
-        Fabric {
+        let mut fab = Fabric {
             params,
             alloc: AllocationVector::empty(n),
             slot_busy: vec![false; n],
             ffu_busy: vec![false; f],
             loads: Vec::new(),
             stats: FabricStats::default(),
-        }
+            configured: TypeCounts::ZERO,
+            idle: TypeCounts::ZERO,
+        };
+        fab.rebuild_counts();
+        fab
+    }
+
+    /// Recompute the incremental unit counts from scratch (construction
+    /// and wholesale reloads; every per-event update is checked against
+    /// these scans by debug assertions and the differential tests).
+    fn rebuild_counts(&mut self) {
+        self.configured = self.configured_counts_scan();
+        self.idle = self.idle_counts_scan();
     }
 
     /// A fabric pre-loaded with `config` (no latency — initial state).
@@ -183,6 +209,7 @@ impl Fabric {
         );
         assert_eq!(config.placement.len(), self.params.rfu_slots);
         self.alloc = config.placement.clone();
+        self.rebuild_counts();
     }
 
     /// Static parameters.
@@ -212,10 +239,43 @@ impl Fabric {
     /// Units of each type currently configured in the whole processor —
     /// the "number of each type of functional units currently configured"
     /// signal the configuration loader feeds the selection unit (Fig. 2).
+    /// O(1): maintained incrementally across reconfiguration events.
     pub fn configured_counts(&self) -> TypeCounts {
+        debug_assert_eq!(self.configured, self.configured_counts_scan());
+        self.configured
+    }
+
+    /// [`Fabric::configured_counts`] recomputed from scratch — the
+    /// specification the incremental count is checked against.
+    pub fn configured_counts_scan(&self) -> TypeCounts {
         let mut c = self.rfu_counts();
         for &t in &self.params.ffus {
             c.add(t, 1);
+        }
+        c
+    }
+
+    /// Idle configured units of each type (FFUs + RFU units). O(1):
+    /// maintained incrementally on every grant, drain, and
+    /// reconfiguration event.
+    pub fn idle_counts(&self) -> TypeCounts {
+        debug_assert_eq!(self.idle, self.idle_counts_scan());
+        self.idle
+    }
+
+    /// [`Fabric::idle_counts`] recomputed by scanning every unit — the
+    /// specification the incremental count is checked against.
+    pub fn idle_counts_scan(&self) -> TypeCounts {
+        let mut c = TypeCounts::ZERO;
+        for (i, &t) in self.params.ffus.iter().enumerate() {
+            if !self.ffu_busy[i] {
+                c.add(t, 1);
+            }
+        }
+        for PlacedUnit { head, unit } in self.alloc.units() {
+            if !self.slot_busy[head] {
+                c.add(unit, 1);
+            }
         }
         c
     }
@@ -238,8 +298,18 @@ impl Fabric {
             .collect()
     }
 
-    /// Eq. 1: is an idle unit of type `t` configured anywhere?
+    /// Eq. 1: is an idle unit of type `t` configured anywhere? O(1) via
+    /// the incremental idle counts; the gate-level circuit is retained as
+    /// [`Fabric::available_scan`] and checked in debug builds.
     pub fn available(&self, t: UnitType) -> bool {
+        let fast = self.idle.get(t) > 0;
+        debug_assert_eq!(fast, self.available_scan(t));
+        fast
+    }
+
+    /// Eq. 1 evaluated through the availability circuit model — the
+    /// specification [`Fabric::available`] is checked against.
+    pub fn available_scan(&self, t: UnitType) -> bool {
         let slots = self.slot_available_signals();
         let ffus = self.ffu_signals();
         available(
@@ -279,11 +349,20 @@ impl Fabric {
 
     /// An idle unit of type `t`, preferring FFUs (keeping RFUs idle keeps
     /// them reconfigurable). Returns `None` if none is available.
+    /// Allocation-free: walks the FFU list then the allocation vector
+    /// directly, in the same order as [`Fabric::units`].
     pub fn idle_unit(&self, t: UnitType) -> Option<UnitId> {
-        self.units()
-            .into_iter()
-            .find(|u| u.unit == t && !u.busy)
-            .map(|u| u.id)
+        for (i, &ft) in self.params.ffus.iter().enumerate() {
+            if ft == t && !self.ffu_busy[i] {
+                return Some(UnitId::Ffu(i));
+            }
+        }
+        for PlacedUnit { head, unit } in self.alloc.units() {
+            if unit == t && !self.slot_busy[head] {
+                return Some(UnitId::Rfu { head });
+            }
+        }
+        None
     }
 
     /// The type of a unit, if it (still) exists.
@@ -304,6 +383,7 @@ impl Fabric {
             UnitId::Ffu(i) => {
                 assert!(!self.ffu_busy[i], "FFU {i} already busy");
                 self.ffu_busy[i] = true;
+                dec(&mut self.idle, self.params.ffus[i]);
             }
             UnitId::Rfu { head } => {
                 let pu = self
@@ -315,6 +395,7 @@ impl Fabric {
                 for s in pu.span() {
                     self.slot_busy[s] = true;
                 }
+                dec(&mut self.idle, pu.unit);
             }
         }
     }
@@ -322,9 +403,17 @@ impl Fabric {
     /// Mark a unit idle again (its instruction completed).
     pub fn clear_busy(&mut self, id: UnitId) {
         match id {
-            UnitId::Ffu(i) => self.ffu_busy[i] = false,
+            UnitId::Ffu(i) => {
+                if self.ffu_busy[i] {
+                    self.idle.add(self.params.ffus[i], 1);
+                }
+                self.ffu_busy[i] = false;
+            }
             UnitId::Rfu { head } => {
                 if let Some(pu) = self.alloc.unit_at(head) {
+                    if self.slot_busy[head] {
+                        self.idle.add(pu.unit, 1);
+                    }
                     for s in pu.span() {
                         self.slot_busy[s] = false;
                     }
@@ -399,6 +488,14 @@ impl Fabric {
             return Err(LoadError::SpanLoading);
         }
         for s in span {
+            // Destroying an overlapped unit drops it from the unit counts.
+            // It is provably idle: a busy unit's whole span is marked busy,
+            // so any overlap would have tripped the SpanBusy check above.
+            if let Some(pu) = self.alloc.unit_at(s) {
+                debug_assert!(!self.slot_busy[pu.head]);
+                dec(&mut self.configured, pu.unit);
+                dec(&mut self.idle, pu.unit);
+            }
             self.alloc.clear_unit_at(s);
         }
         debug_assert_eq!(self.alloc.check(), Ok(()));
@@ -415,10 +512,18 @@ impl Fabric {
     /// Advance reconfiguration by one cycle; returns the units whose load
     /// completed this cycle (now configured and idle).
     pub fn tick(&mut self) -> Vec<PlacedUnit> {
+        let mut done = Vec::new();
+        self.tick_into(&mut done);
+        done
+    }
+
+    /// [`Fabric::tick`] into a caller-provided buffer (cleared first) so
+    /// the per-cycle hot loop can reuse one buffer across cycles.
+    pub fn tick_into(&mut self, done: &mut Vec<PlacedUnit>) {
+        done.clear();
         if !self.loads.is_empty() {
             self.stats.load_busy_cycles += 1;
         }
-        let mut done = Vec::new();
         self.loads.retain_mut(|l| {
             l.remaining = l.remaining.saturating_sub(1);
             if l.remaining == 0 {
@@ -431,12 +536,14 @@ impl Fabric {
                 true
             }
         });
-        for pu in &done {
+        for pu in done.iter() {
             self.alloc.place(pu.head, pu.unit);
+            // The freshly loaded unit arrives configured and idle.
+            self.configured.add(pu.unit, 1);
+            self.idle.add(pu.unit, 1);
             self.stats.loads_completed += 1;
             debug_assert_eq!(self.alloc.check(), Ok(()));
         }
-        done
     }
 
     /// Human-readable one-line slot map, e.g.
@@ -653,6 +760,75 @@ mod tests {
             f.begin_load_forced(0, UnitType::IntAlu),
             Err(LoadError::SpanBusy)
         );
+    }
+
+    /// The incremental configured/idle counts must track the
+    /// from-scratch scans through every event class: issue, completion,
+    /// load start (with unit destruction), load completion, and
+    /// wholesale reload.
+    #[test]
+    fn incremental_counts_track_scans() {
+        let set = SteeringSet::paper_default();
+        let check = |f: &Fabric| {
+            assert_eq!(f.configured_counts(), f.configured_counts_scan());
+            assert_eq!(f.idle_counts(), f.idle_counts_scan());
+            for &t in &UnitType::ALL {
+                assert_eq!(f.available(t), f.available_scan(t));
+            }
+        };
+        let mut f = Fabric::new(params(2, 1));
+        check(&f);
+        f.load_instantly(&set.predefined[0]);
+        check(&f);
+        // Issue to an FFU, then to an RFU.
+        let ffu = f.idle_unit(UnitType::IntAlu).unwrap();
+        f.set_busy(ffu);
+        check(&f);
+        let rfu = f.idle_unit(UnitType::IntAlu).unwrap();
+        assert!(matches!(rfu, UnitId::Rfu { .. }));
+        f.set_busy(rfu);
+        check(&f);
+        f.clear_busy(ffu);
+        f.clear_busy(rfu);
+        check(&f);
+        // A load that destroys overlapped units, then completes.
+        let before = f.configured_counts().total();
+        let lsu_before = f.rfu_counts().get(UnitType::Lsu);
+        f.begin_load(0, UnitType::Lsu).unwrap();
+        check(&f);
+        assert!(f.configured_counts().total() < before, "old unit destroyed");
+        f.tick();
+        check(&f);
+        f.tick(); // 1 slot × 2 cycles: completes now
+        check(&f);
+        assert_eq!(f.rfu_counts().get(UnitType::Lsu), lsu_before + 1);
+        // Forced reload of an identical unit.
+        f.begin_load_forced(0, UnitType::Lsu).unwrap();
+        check(&f);
+        f.tick();
+        f.tick();
+        check(&f);
+    }
+
+    #[test]
+    fn tick_into_reuses_buffer() {
+        let mut f = Fabric::new(params(1, 1));
+        let mut done = vec![PlacedUnit {
+            head: 7,
+            unit: UnitType::Lsu,
+        }];
+        f.begin_load(0, UnitType::Lsu).unwrap();
+        f.tick_into(&mut done);
+        assert_eq!(
+            done,
+            vec![PlacedUnit {
+                head: 0,
+                unit: UnitType::Lsu
+            }],
+            "buffer cleared then filled"
+        );
+        f.tick_into(&mut done);
+        assert!(done.is_empty());
     }
 
     #[test]

@@ -99,6 +99,12 @@ impl DataMemory {
     pub fn cells(&self) -> &[u64] {
         &self.cells
     }
+
+    /// Zero every cell in place, keeping the allocation. Used by batched
+    /// runs that reuse one machine's memory across programs.
+    pub fn reset(&mut self) {
+        self.cells.fill(0);
+    }
 }
 
 #[cfg(test)]

@@ -21,28 +21,53 @@ pub struct Grant {
     pub unit: UnitType,
 }
 
-/// Arbitrate one cycle: `requests` are the requesting slots (from
-/// [`WakeupArray::requests`]); `idle_units[t]` is the number of idle
-/// units of each type. Returns the grants, oldest tag first per type.
+/// Arbitrate one cycle into a caller-provided buffer (cleared first):
+/// `requests` are the requesting slots (from
+/// [`WakeupArray::requests_into`]); `idle_units[t]` is the number of
+/// idle units of each type. Grants come out grouped by unit type in
+/// [`UnitType::ALL`] order, oldest tag first within a type.
+///
+/// Allocation-free: requests fit a fixed on-stack table (the array
+/// capacity is ≤ 64 slots) and the per-type grouping is a single sort
+/// by `(type, tag)`. The hot loop reuses one grant buffer per machine.
 ///
 /// Note the arbiter does **not** mutate the array — the caller issues
 /// [`WakeupArray::grant`] per returned grant once it has bound a concrete
 /// unit (the simulator also marks the unit busy in the fabric).
-pub fn arbitrate(array: &WakeupArray, requests: &[SlotIdx], idle_units: &TypeCounts) -> Vec<Grant> {
-    // Group requesting slots by unit type, keeping (tag, slot).
-    let mut by_type: [Vec<(u64, SlotIdx)>; 5] = Default::default();
-    for &s in requests {
+pub fn arbitrate_into(
+    array: &WakeupArray,
+    requests: &[SlotIdx],
+    idle_units: &TypeCounts,
+    grants: &mut Vec<Grant>,
+) {
+    grants.clear();
+    // (type index, tag, slot) sorts into exactly the emission order:
+    // types ascending, oldest tag first within a type.
+    let mut keyed = [(0usize, 0u64, 0usize); 64];
+    let n = requests.len();
+    debug_assert!(n <= 64, "more requests than the 64-slot maximum");
+    for (k, &s) in keyed.iter_mut().zip(requests) {
         let e = array.get(s).expect("requesting slot must be occupied");
-        by_type[e.unit.index()].push((e.tag, s));
+        *k = (e.unit.index(), e.tag, s);
     }
-    let mut grants = Vec::new();
-    for &t in &UnitType::ALL {
-        let lane = &mut by_type[t.index()];
-        lane.sort_unstable(); // oldest tag first
-        for &(_, slot) in lane.iter().take(idle_units.get(t) as usize) {
-            grants.push(Grant { slot, unit: t });
+    let keyed = &mut keyed[..n];
+    keyed.sort_unstable();
+    let mut quota_left = idle_units.as_array();
+    for &(t, _, slot) in keyed.iter() {
+        if quota_left[t] > 0 {
+            quota_left[t] -= 1;
+            grants.push(Grant {
+                slot,
+                unit: UnitType::from_index(t).expect("valid type index"),
+            });
         }
     }
+}
+
+/// [`arbitrate_into`] with a freshly allocated grant buffer.
+pub fn arbitrate(array: &WakeupArray, requests: &[SlotIdx], idle_units: &TypeCounts) -> Vec<Grant> {
+    let mut grants = Vec::with_capacity(requests.len());
+    arbitrate_into(array, requests, idle_units, &mut grants);
     grants
 }
 

@@ -24,6 +24,6 @@ pub mod arbiter;
 pub mod depgraph;
 pub mod wakeup;
 
-pub use arbiter::{arbitrate, Grant};
+pub use arbiter::{arbitrate, arbitrate_into, Grant};
 pub use depgraph::DepGraph;
 pub use wakeup::{Entry, EntryState, SlotIdx, WakeupArray, PAPER_QUEUE_SIZE};

@@ -40,6 +40,14 @@ use serde::{Deserialize, Serialize};
 /// makes the 3-bit requirement encoders and adders sufficient.
 pub const PAPER_QUEUE_SIZE: usize = 7;
 
+/// Decrement one type's count in an incremental demand signature.
+#[inline]
+fn dec(counts: &mut TypeCounts, t: UnitType) {
+    let v = counts.get(t);
+    debug_assert!(v > 0, "incremental demand counter underflow for {t:?}");
+    counts.set(t, v.saturating_sub(1));
+}
+
 /// Index of a wake-up array slot.
 pub type SlotIdx = usize;
 
@@ -111,6 +119,20 @@ pub enum EntryState {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WakeupArray {
     slots: Vec<Option<Entry>>,
+    /// Per-slot count of dependency columns whose producer result is not
+    /// yet available (0 for empty slots). `pending[s] == 0` means entry
+    /// `s`'s wake-up condition is met; maintained incrementally by every
+    /// mutation so requests and demand signatures need no dep-walk.
+    pending: Vec<u8>,
+    /// Incremental demand signature over unscheduled entries (§3.2).
+    demand_unsched: TypeCounts,
+    /// Incremental demand signature over ready entries — unscheduled
+    /// with `pending == 0` (§3.1).
+    demand_rdy: TypeCounts,
+    /// Bitmask of slots whose countdown timer is still running
+    /// (`timer == Some(t)` with `t > 0`): `tick` walks only these
+    /// instead of scanning every slot.
+    ticking: u64,
 }
 
 impl WakeupArray {
@@ -119,12 +141,28 @@ impl WakeupArray {
         assert!((1..=64).contains(&capacity), "capacity must be 1..=64");
         WakeupArray {
             slots: vec![None; capacity],
+            pending: vec![0; capacity],
+            demand_unsched: TypeCounts::ZERO,
+            demand_rdy: TypeCounts::ZERO,
+            ticking: 0,
         }
     }
 
     /// The paper's seven-entry array.
     pub fn paper() -> WakeupArray {
         WakeupArray::new(PAPER_QUEUE_SIZE)
+    }
+
+    /// Empty every slot for a fresh run, keeping the allocation (used by
+    /// the simulator's batched driver).
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.pending.fill(0);
+        self.demand_unsched = TypeCounts::ZERO;
+        self.demand_rdy = TypeCounts::ZERO;
+        self.ticking = 0;
     }
 
     /// Capacity in slots.
@@ -178,6 +216,17 @@ impl WakeupArray {
             assert!(self.slots[d].is_some(), "dependency on an empty slot {d}");
             depmask |= 1 << d;
         }
+        // Count producers whose result is not yet available (the mask
+        // de-duplicates repeated dependency mentions).
+        let mut pending = 0u8;
+        let mut m = depmask;
+        while m != 0 {
+            let d = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if !self.slots[d].as_ref().unwrap().result_available() {
+                pending += 1;
+            }
+        }
         self.slots[free] = Some(Entry {
             unit,
             deps: depmask,
@@ -185,6 +234,11 @@ impl WakeupArray {
             timer: None,
             tag,
         });
+        self.pending[free] = pending;
+        self.demand_unsched.add(unit, 1);
+        if pending == 0 {
+            self.demand_rdy.add(unit, 1);
+        }
         Some(free)
     }
 
@@ -218,11 +272,36 @@ impl WakeupArray {
         true
     }
 
+    /// All requesting slots this cycle, in slot order, appended to a
+    /// caller-provided buffer (cleared first). The hot loop reuses one
+    /// buffer across cycles so no allocation happens in steady state;
+    /// the incremental `pending` counters stand in for the per-entry
+    /// dependency walk of [`WakeupArray::requests_entry`].
+    pub fn requests_into(&self, resource_available: &[bool; 5], out: &mut Vec<SlotIdx>) {
+        out.clear();
+        for (s, e) in self.slots.iter().enumerate() {
+            let requesting = match e {
+                Some(e) => {
+                    !e.scheduled && self.pending[s] == 0 && resource_available[e.unit.index()]
+                }
+                None => false,
+            };
+            debug_assert_eq!(
+                requesting,
+                self.requests_entry(s, resource_available),
+                "pending counter out of sync with dependency walk in slot {s}"
+            );
+            if requesting {
+                out.push(s);
+            }
+        }
+    }
+
     /// All requesting slots this cycle, in slot order.
     pub fn requests(&self, resource_available: &[bool; 5]) -> Vec<SlotIdx> {
-        (0..self.capacity())
-            .filter(|&s| self.requests_entry(s, resource_available))
-            .collect()
+        let mut out = Vec::with_capacity(self.capacity());
+        self.requests_into(resource_available, &mut out);
+        out
     }
 
     /// Grant execution to `slot` with the instruction's `latency`
@@ -236,33 +315,130 @@ impl WakeupArray {
         assert!(latency >= 1, "latency must be at least one cycle");
         e.scheduled = true;
         e.timer = Some(latency);
+        self.ticking |= 1 << slot;
+        // Was unscheduled (and ready iff pending == 0); now neither. The
+        // timer starts ≥ 1, so no result became available.
+        let unit = e.unit;
+        dec(&mut self.demand_unsched, unit);
+        if self.pending[slot] == 0 {
+            dec(&mut self.demand_rdy, unit);
+        }
     }
 
     /// The reschedule input of the scheduled bit (Fig. 6): de-assert it
     /// so the entry requests again (replay). Clears the timer.
     pub fn reschedule(&mut self, slot: SlotIdx) {
-        if let Some(e) = self.slots[slot].as_mut() {
-            e.scheduled = false;
-            e.timer = None;
+        let Some(e) = self.slots[slot].as_mut() else {
+            return;
+        };
+        if !e.scheduled {
+            // Unscheduled entries carry no timer; nothing changes.
+            debug_assert_eq!(e.timer, None);
+            return;
+        }
+        let was_available = e.result_available();
+        let unit = e.unit;
+        e.scheduled = false;
+        e.timer = None;
+        self.ticking &= !(1 << slot);
+        self.demand_unsched.add(unit, 1);
+        if self.pending[slot] == 0 {
+            self.demand_rdy.add(unit, 1);
+        }
+        if was_available {
+            // The result line de-asserts: dependents lose a satisfied
+            // column and may fall out of the ready set.
+            self.producer_result_lost(slot);
         }
     }
 
     /// Retire (or squash) the entry in `slot`: empty the slot and clear
     /// its column in every other entry.
     pub fn clear(&mut self, slot: SlotIdx) {
-        self.slots[slot] = None;
-        let col = !(1u64 << slot);
-        for s in self.slots.iter_mut().flatten() {
-            s.deps &= col;
+        let Some(e) = self.slots[slot].take() else {
+            // Already empty: column bits on empty slots cannot exist.
+            return;
+        };
+        if !e.scheduled {
+            dec(&mut self.demand_unsched, e.unit);
+            if self.pending[slot] == 0 {
+                dec(&mut self.demand_rdy, e.unit);
+            }
+        }
+        self.pending[slot] = 0;
+        self.ticking &= !(1 << slot);
+        let bit = 1u64 << slot;
+        let result_was_missing = !e.result_available();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            let Some(d) = s.as_mut() else { continue };
+            if d.deps & bit == 0 {
+                continue;
+            }
+            d.deps &= !bit;
+            if result_was_missing {
+                // The dependent was counting this unavailable producer;
+                // dropping the column may complete its wake-up.
+                debug_assert!(self.pending[i] > 0);
+                self.pending[i] -= 1;
+                if self.pending[i] == 0 && !d.scheduled {
+                    self.demand_rdy.add(d.unit, 1);
+                }
+            }
         }
     }
 
     /// Advance every running countdown timer by one cycle.
     pub fn tick(&mut self) {
-        for e in self.slots.iter_mut().flatten() {
-            if let Some(t) = e.timer.as_mut() {
-                *t = t.saturating_sub(1);
+        // Pass 1: decrement running timers (only the slots in the
+        // `ticking` mask — expired timers stay at zero and are skipped),
+        // recording which result lines assert this cycle (the 1 → 0
+        // transitions).
+        let mut newly_available = 0u64;
+        let mut running = self.ticking;
+        while running != 0 {
+            let i = running.trailing_zeros() as usize;
+            running &= running - 1;
+            let e = self.slots[i]
+                .as_mut()
+                .expect("ticking bit set on empty slot");
+            let t = e.timer.as_mut().expect("ticking bit set without timer");
+            debug_assert!(*t > 0, "ticking bit set on expired timer");
+            *t -= 1;
+            if *t == 0 {
+                newly_available |= 1 << i;
+                self.ticking &= !(1 << i);
             }
+        }
+        if newly_available == 0 {
+            return;
+        }
+        // Pass 2: wake dependents of the newly available results.
+        for (i, e) in self.slots.iter_mut().enumerate() {
+            let Some(e) = e else { continue };
+            let hits = (e.deps & newly_available).count_ones() as u8;
+            if hits > 0 {
+                debug_assert!(self.pending[i] >= hits);
+                self.pending[i] -= hits;
+                if self.pending[i] == 0 && !e.scheduled {
+                    self.demand_rdy.add(e.unit, 1);
+                }
+            }
+        }
+    }
+
+    /// A producer's asserted result line went away (replay): every
+    /// dependent regains a pending column; ready ones drop out.
+    fn producer_result_lost(&mut self, slot: SlotIdx) {
+        let bit = 1u64 << slot;
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            let Some(d) = s.as_mut() else { continue };
+            if d.deps & bit == 0 {
+                continue;
+            }
+            if self.pending[i] == 0 && !d.scheduled {
+                dec(&mut self.demand_rdy, d.unit);
+            }
+            self.pending[i] += 1;
         }
     }
 
@@ -277,21 +453,38 @@ impl WakeupArray {
 
     /// Demand signature of all **unscheduled** entries — the selection
     /// unit's §3.2 reading ("instructions … that have not been
-    /// scheduled").
+    /// scheduled"). O(1): maintained incrementally on every mutation.
     pub fn demand_unscheduled(&self) -> TypeCounts {
+        debug_assert_eq!(self.demand_unsched, self.demand_unscheduled_scan());
+        self.demand_unsched
+    }
+
+    /// Demand signature of entries that are **ready** (unscheduled with
+    /// all dependencies satisfied, ignoring resource availability) — the
+    /// selection unit's §3.1 reading ("ready to be executed"). O(1):
+    /// maintained incrementally on every mutation.
+    pub fn demand_ready(&self) -> TypeCounts {
+        debug_assert_eq!(self.demand_rdy, self.demand_ready_scan());
+        self.demand_rdy
+    }
+
+    /// [`WakeupArray::demand_unscheduled`] recomputed from scratch by
+    /// scanning every slot — the specification the incremental counter
+    /// is checked against (differential tests and debug assertions).
+    pub fn demand_unscheduled_scan(&self) -> TypeCounts {
         self.entries()
             .filter(|(_, e)| !e.scheduled)
             .map(|(_, e)| (e.unit, 1))
             .collect()
     }
 
-    /// Demand signature of entries that are **ready** (unscheduled with
-    /// all dependencies satisfied, ignoring resource availability) — the
-    /// selection unit's §3.1 reading ("ready to be executed").
-    pub fn demand_ready(&self) -> TypeCounts {
+    /// [`WakeupArray::demand_ready`] recomputed from scratch via the
+    /// per-entry dependency walk — the specification the incremental
+    /// counter is checked against.
+    pub fn demand_ready_scan(&self) -> TypeCounts {
         let all_avail = [true; 5];
-        self.requests(&all_avail)
-            .into_iter()
+        (0..self.capacity())
+            .filter(|&s| self.requests_entry(s, &all_avail))
             .map(|s| (self.get(s).unwrap().unit, 1))
             .collect()
     }
@@ -486,6 +679,70 @@ mod tests {
         assert!(m.contains("Entry 1"), "{m}");
         assert!(m.contains("Entry 2"), "{m}");
         assert!(m.contains("LSU"), "{m}");
+    }
+
+    /// The incremental demand counters must track the from-scratch scans
+    /// through every mutation, including the reschedule (replay) path
+    /// that de-asserts an already-available result line.
+    #[test]
+    fn incremental_demand_tracks_scans() {
+        let mut w = WakeupArray::paper();
+        let check = |w: &WakeupArray| {
+            assert_eq!(w.demand_unscheduled(), w.demand_unscheduled_scan());
+            assert_eq!(w.demand_ready(), w.demand_ready_scan());
+        };
+        let a = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        let b = w.insert(UnitType::Lsu, &[a], 1).unwrap();
+        let c = w.insert(UnitType::FpMdu, &[a, b], 2).unwrap();
+        check(&w);
+        w.grant(a, 2);
+        check(&w);
+        w.tick();
+        check(&w);
+        w.tick(); // a's result line asserts; b becomes ready
+        check(&w);
+        assert_eq!(w.demand_ready().get(UnitType::Lsu), 1);
+        assert_eq!(w.demand_ready().get(UnitType::FpMdu), 0);
+        // Replay a: its result de-asserts and b leaves the ready set.
+        w.reschedule(a);
+        check(&w);
+        assert_eq!(w.demand_ready().get(UnitType::Lsu), 0);
+        // Reschedule of an unscheduled slot is a no-op.
+        w.reschedule(b);
+        check(&w);
+        // Re-grant and complete both producers; c becomes ready.
+        w.grant(a, 1);
+        w.tick();
+        w.grant(b, 1);
+        w.tick();
+        check(&w);
+        assert_eq!(w.demand_ready().get(UnitType::FpMdu), 1);
+        // Retire the producers; c keeps its readiness, columns clear.
+        w.clear(a);
+        w.clear(b);
+        check(&w);
+        assert_eq!(w.get(c).unwrap().deps, 0);
+        // Clearing a still-executing producer must also wake dependents.
+        let d = w.insert(UnitType::IntMdu, &[c], 3).unwrap();
+        w.grant(c, 5);
+        check(&w);
+        w.clear(c); // squash mid-execution
+        check(&w);
+        assert_eq!(w.demand_ready().get(UnitType::IntMdu), 1);
+        let _ = d;
+    }
+
+    #[test]
+    fn requests_into_reuses_buffer() {
+        let mut w = WakeupArray::paper();
+        let a = w.insert(UnitType::IntAlu, &[], 0).unwrap();
+        let b = w.insert(UnitType::Lsu, &[], 1).unwrap();
+        let mut buf = vec![99, 98, 97];
+        w.requests_into(&ALL, &mut buf);
+        assert_eq!(buf, vec![a, b], "buffer cleared then filled in slot order");
+        w.grant(a, 1);
+        w.requests_into(&no_unit(UnitType::Lsu), &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

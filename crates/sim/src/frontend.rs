@@ -112,10 +112,15 @@ impl TraceCache {
 /// The fetch unit.
 #[derive(Debug, Clone)]
 pub struct FetchUnit {
-    words: Vec<Word>,
+    /// The program image, decoded once at construction — refetching a
+    /// loop body costs an array read, not a re-decode.
+    decoded: Vec<Instruction>,
     pc: u64,
     stopped: bool,
     inflight: VecDeque<FetchGroup>,
+    /// Recycled group buffers (drained or squashed): `cycle` pops one
+    /// instead of allocating, so steady-state fetch is allocation-free.
+    spare: Vec<Vec<FetchedInstr>>,
     trace: TraceCache,
     predictor: Option<Bimodal>,
     fetch_width: usize,
@@ -125,12 +130,20 @@ pub struct FetchUnit {
 
 impl FetchUnit {
     /// A fetch unit over an encoded program image.
+    ///
+    /// # Panics
+    /// Panics if any word fails to decode (images come from
+    /// [`rsp_isa::Program::to_words`], which only emits decodable words).
     pub fn new(words: Vec<Word>, cfg: &SimConfig) -> FetchUnit {
         FetchUnit {
-            words,
+            decoded: words
+                .iter()
+                .map(|&w| decode(w).expect("instruction memory holds undecodable word"))
+                .collect(),
             pc: 0,
             stopped: false,
             inflight: VecDeque::new(),
+            spare: Vec::new(),
             trace: TraceCache::new(cfg.trace_cache_groups),
             predictor: match cfg.branch_prediction {
                 BranchPrediction::NotTaken => None,
@@ -151,7 +164,7 @@ impl FetchUnit {
     /// True iff fetch is stopped (after `jalr`/`halt`, or PC past the
     /// program end) *and* nothing is in flight.
     pub fn drained(&self) -> bool {
-        self.inflight.is_empty() && (self.stopped || self.pc as usize >= self.words.len())
+        self.inflight.is_empty() && (self.stopped || self.pc as usize >= self.decoded.len())
     }
 
     /// Trace-cache `(hits, misses)` so far.
@@ -162,7 +175,7 @@ impl FetchUnit {
     /// Fetch one group this cycle (call at most once per cycle, and only
     /// when the dispatch buffer has room).
     pub fn cycle(&mut self, now: u64) {
-        if self.stopped || self.pc as usize >= self.words.len() {
+        if self.stopped || self.pc as usize >= self.decoded.len() {
             return;
         }
         let hit = self.trace.access(self.pc);
@@ -171,12 +184,12 @@ impl FetchUnit {
         } else {
             self.latency_miss
         };
-        let mut instrs = Vec::with_capacity(self.fetch_width);
+        let mut instrs = self.spare.pop().unwrap_or_default();
+        instrs.clear();
         for _ in 0..self.fetch_width {
-            let Some(&word) = self.words.get(self.pc as usize) else {
+            let Some(&instr) = self.decoded.get(self.pc as usize) else {
                 break;
             };
-            let instr = decode(word).expect("instruction memory holds undecodable word");
             let pc = self.pc;
             let predicted_next = match instr.opcode {
                 // Static target: follow it at decode.
@@ -205,7 +218,9 @@ impl FetchUnit {
                 break;
             }
         }
-        if !instrs.is_empty() {
+        if instrs.is_empty() {
+            self.spare.push(instrs);
+        } else {
             self.inflight.push_back(FetchGroup {
                 ready_at: now + latency,
                 instrs,
@@ -213,24 +228,35 @@ impl FetchUnit {
         }
     }
 
-    /// Pop the decoded instructions whose front-end latency has elapsed.
-    pub fn drain(&mut self, now: u64) -> Vec<FetchedInstr> {
-        let mut out = Vec::new();
+    /// Append the decoded instructions whose front-end latency has
+    /// elapsed to `out` (the simulator's dispatch buffer), recycling the
+    /// group buffers — the steady-state path allocates nothing.
+    pub fn drain_into(&mut self, now: u64, out: &mut VecDeque<FetchedInstr>) {
         while let Some(g) = self.inflight.front() {
-            if g.ready_at <= now {
-                out.extend(self.inflight.pop_front().unwrap().instrs);
-            } else {
+            if g.ready_at > now {
                 break;
             }
+            let mut g = self.inflight.pop_front().unwrap();
+            out.extend(g.instrs.drain(..));
+            self.spare.push(g.instrs);
         }
-        out
+    }
+
+    /// Pop the decoded instructions whose front-end latency has elapsed.
+    pub fn drain(&mut self, now: u64) -> Vec<FetchedInstr> {
+        let mut out = VecDeque::new();
+        self.drain_into(now, &mut out);
+        out.into()
     }
 
     /// Redirect after a control-flow resolution: squash everything in
     /// flight and resume fetching at `target` (indices past the program
     /// end leave the unit drained — the fall-off-the-end halt).
     pub fn redirect(&mut self, target: u64) {
-        self.inflight.clear();
+        for mut g in self.inflight.drain(..) {
+            g.instrs.clear();
+            self.spare.push(g.instrs);
+        }
         self.pc = target;
         self.stopped = false;
     }

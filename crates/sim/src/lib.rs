@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod exec;
 pub mod frontend;
@@ -48,6 +49,7 @@ pub mod rob;
 pub mod stats;
 pub mod trace;
 
+pub use batch::{run_batch, BatchRunner, BatchSummary};
 pub use config::{BranchPrediction, DemandMode, Latencies, PolicyKind, SelectMode, SimConfig};
 pub use processor::{Processor, RunError};
 pub use stats::SimReport;

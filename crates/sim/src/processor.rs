@@ -26,20 +26,21 @@
 use crate::config::{DemandMode, PolicyKind, SelectMode, SimConfig};
 use crate::exec::{execute, operand_value};
 use crate::frontend::{FetchUnit, FetchedInstr};
-use crate::rob::{Rob, Seq, Stage};
+use crate::rob::{Rob, RobEntry, Seq, Stage};
 use crate::stats::SimReport;
 use rsp_core::cem::CemUnit;
 use rsp_core::loader::LoaderStats;
 use rsp_core::policy::{DemandDriven, PaperSteering, PolicyOutcome, StaticPolicy, SteeringPolicy};
 use rsp_core::select::SelectionUnit;
 use rsp_core::smooth::SmoothedSteering;
+use rsp_fabric::alloc::PlacedUnit;
 use rsp_fabric::fabric::{Fabric, UnitId};
 use rsp_isa::mem::DataMemory;
 use rsp_isa::program::ProgramError;
 use rsp_isa::semantics::ArchState;
 use rsp_isa::units::{TypeCounts, UnitType};
 use rsp_isa::Program;
-use rsp_sched::{arbitrate, WakeupArray};
+use rsp_sched::{arbitrate_into, Grant, SlotIdx, WakeupArray};
 use std::collections::VecDeque;
 
 /// Errors surfaced by [`Processor::run`].
@@ -179,6 +180,27 @@ impl Processor {
     }
 }
 
+/// Reusable per-cycle working buffers: every stage of [`Machine::step`]
+/// that needs a temporary list borrows one of these instead of
+/// allocating, so the steady-state cycle loop performs zero heap
+/// allocations (the throughput harness and a counting-allocator test
+/// pin this).
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// `stage_complete`: executions due this cycle, oldest first.
+    due: Vec<Seq>,
+    /// `stage_issue`: requesting wake-up slots.
+    requests: Vec<SlotIdx>,
+    /// `stage_issue`: arbitrated grants.
+    grants: Vec<Grant>,
+    /// `stage_dispatch`: one instruction's dependency columns.
+    deps: Vec<usize>,
+    /// `flush_after`: squashed register-update-unit entries.
+    squashed: Vec<RobEntry>,
+    /// `stage_tick`: reconfigurations that completed this cycle.
+    loads_done: Vec<PlacedUnit>,
+}
+
 /// Live state of one run.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -194,8 +216,11 @@ pub struct Machine {
     fabric: Fabric,
     policy: PolicyInstance,
     draining: Vec<(UnitId, u64)>,
-    /// Select-free recovery: slot → first cycle it may request again.
-    collision_cooldown: std::collections::HashMap<usize, u64>,
+    /// Select-free recovery, indexed by wake-up slot: first cycle the
+    /// slot may request again (0 = no cooldown; real cooldowns are
+    /// always ≥ 1 because the penalty is clamped to at least one cycle).
+    collision_cooldown: Vec<u64>,
+    scratch: Scratch,
     // statistics
     retired: u64,
     collisions: u64,
@@ -208,7 +233,7 @@ pub struct Machine {
 }
 
 impl Machine {
-    fn new(cfg: SimConfig, program: &Program) -> Machine {
+    pub(crate) fn new(cfg: SimConfig, program: &Program) -> Machine {
         let mut fabric = Fabric::new(cfg.fabric.clone());
         if let Some(i) = cfg.initial_config {
             fabric.load_instantly(&cfg.steering_set.predefined[i]);
@@ -224,7 +249,8 @@ impl Machine {
             fabric,
             policy,
             draining: Vec::new(),
-            collision_cooldown: std::collections::HashMap::new(),
+            collision_cooldown: vec![0; cfg.queue_size],
+            scratch: Scratch::default(),
             cfg,
             cycle: 0,
             halted: false,
@@ -237,6 +263,37 @@ impl Machine {
             squashed: 0,
             stalls: crate::stats::StallStats::default(),
         }
+    }
+
+    /// Re-arm this machine for a fresh run of `program` under the same
+    /// configuration, reusing the existing allocations (wake-up array,
+    /// register update unit, data memory). Produces a machine
+    /// behaviourally identical to a freshly constructed one — the batched
+    /// driver ([`crate::batch`]) relies on this.
+    pub fn reset(&mut self, program: &Program) {
+        self.fetch = FetchUnit::new(program.to_words(), &self.cfg);
+        self.dispatch_buf.clear();
+        self.wakeup.reset();
+        self.rob.reset();
+        self.regfile = ArchState::new();
+        self.mem.reset();
+        self.fabric = Fabric::new(self.cfg.fabric.clone());
+        if let Some(i) = self.cfg.initial_config {
+            self.fabric.load_instantly(&self.cfg.steering_set.predefined[i]);
+        }
+        self.policy = PolicyInstance::build(&self.cfg);
+        self.draining.clear();
+        self.collision_cooldown.fill(0);
+        self.cycle = 0;
+        self.halted = false;
+        self.retired = 0;
+        self.collisions = 0;
+        self.retired_mix = TypeCounts::ZERO;
+        self.issued_ffu = 0;
+        self.issued_rfu = 0;
+        self.flushes = 0;
+        self.squashed = 0;
+        self.stalls = crate::stats::StallStats::default();
     }
 
     /// The current cycle number.
@@ -321,7 +378,10 @@ impl Machine {
 
     /// Render a one-glance snapshot of the whole pipeline: front end,
     /// queue/ROB occupancy, per-entry states, and the fabric slot map —
-    /// the debugging view behind the Fig. 6 trace.
+    /// the debugging view behind the Fig. 6 trace. Marked cold: this is
+    /// diagnostic output, never part of the hot loop.
+    #[cold]
+    #[inline(never)]
     pub fn render_pipeline(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
@@ -375,6 +435,12 @@ impl Machine {
     /// 4. The set of busy functional units equals (executing entries'
     ///    units) ∪ (draining squashed units), with no double booking.
     /// 5. Completed entries with a destination have a pending value.
+    ///
+    /// [`Machine::step`] calls this every cycle only under the `validate`
+    /// cargo feature (it allocates and rescans every structure); the
+    /// stress and fuzz tests call it directly.
+    #[cold]
+    #[inline(never)]
     pub fn check_invariants(&self) {
         use std::collections::HashSet;
         // (1)
@@ -440,6 +506,10 @@ impl Machine {
         if self.halted {
             return false;
         }
+        // Heavyweight cross-structure validation, opt-in via the
+        // `validate` feature (it rescans and allocates every cycle).
+        #[cfg(feature = "validate")]
+        self.check_invariants();
         self.stage_retire();
         if !self.halted {
             self.stage_complete();
@@ -469,7 +539,7 @@ impl Machine {
             }
             let e = self.rob.retire_head();
             self.wakeup.clear(e.wakeup_slot);
-            self.collision_cooldown.remove(&e.wakeup_slot);
+            self.collision_cooldown[e.wakeup_slot] = 0;
             if let (Some(d), Some(v)) = (e.instr.dest, e.value) {
                 self.regfile.write(d, v);
             }
@@ -492,16 +562,16 @@ impl Machine {
 
     fn stage_complete(&mut self) {
         // Collect due completions oldest-first; re-check existence because
-        // an older mispredict flushes younger due entries.
-        let due: Vec<Seq> = self
-            .rob
-            .iter()
-            .filter_map(|e| match e.stage {
-                Stage::Executing { done_at, .. } if done_at <= self.cycle => Some(e.seq),
-                _ => None,
-            })
-            .collect();
-        for seq in due {
+        // an older mispredict flushes younger due entries. The list lives
+        // in a scratch buffer (taken out of `self` because `flush_after`
+        // below needs the whole machine).
+        let mut due = std::mem::take(&mut self.scratch.due);
+        due.clear();
+        due.extend(self.rob.iter().filter_map(|e| match e.stage {
+            Stage::Executing { done_at, .. } if done_at <= self.cycle => Some(e.seq),
+            _ => None,
+        }));
+        for &seq in &due {
             let Some(e) = self.rob.get_mut(seq) else {
                 continue; // flushed by an older branch this same cycle
             };
@@ -526,13 +596,15 @@ impl Machine {
                 }
             }
         }
+        self.scratch.due = due;
     }
 
     fn flush_after(&mut self, seq: Seq, redirect_to: u64) {
-        let squashed = self.rob.flush_after(seq);
+        let mut squashed = std::mem::take(&mut self.scratch.squashed);
+        self.rob.flush_after_into(seq, &mut squashed);
         for e in &squashed {
             self.wakeup.clear(e.wakeup_slot);
-            self.collision_cooldown.remove(&e.wakeup_slot);
+            self.collision_cooldown[e.wakeup_slot] = 0;
             if let Stage::Executing { unit, done_at } = e.stage {
                 let remaining = done_at.saturating_sub(self.cycle);
                 if remaining == 0 {
@@ -548,6 +620,7 @@ impl Machine {
         self.flushes += 1;
         self.dispatch_buf.clear();
         self.fetch.redirect(redirect_to);
+        self.scratch.squashed = squashed;
     }
 
     fn stage_issue(&mut self) {
@@ -555,56 +628,60 @@ impl Machine {
             self.stalls.queue_empty += 1;
             return;
         }
-        // Idle units per type, and per-type configured-at-all flags.
-        let mut idle = TypeCounts::ZERO;
-        let mut configured = [false; 5];
-        for u in self.fabric.units() {
-            configured[u.unit.index()] = true;
-            if !u.busy {
-                idle.add(u.unit, 1);
-            }
-        }
+        // Idle units per type and per-type configured-at-all counts come
+        // from the fabric's incremental counters — no unit scan.
+        let idle = self.fabric.idle_counts();
+        let configured = self.fabric.configured_counts();
         let mut avail = [false; 5];
         for &t in &UnitType::ALL {
             avail[t.index()] = idle.get(t) > 0;
             debug_assert_eq!(avail[t.index()], self.fabric.available(t));
         }
-        // Stat: a waiting entry whose unit type is not configured at all.
-        if self
-            .wakeup
-            .entries()
-            .any(|(_, e)| !e.scheduled && !configured[e.unit.index()])
+        // Stat: a waiting entry whose unit type is not configured at all
+        // (the wake-up array's incremental demand counters know the
+        // per-type waiting population without a slot scan).
+        let unscheduled = self.wakeup.demand_unscheduled();
+        if UnitType::ALL
+            .iter()
+            .any(|&t| unscheduled.get(t) > 0 && configured.get(t) == 0)
         {
             self.stalls.unit_unconfigured += 1;
         }
 
-        let mut requests = self.wakeup.requests(&avail);
-        let ready_any = self.wakeup.requests(&[true; 5]);
+        self.wakeup.requests_into(&avail, &mut self.scratch.requests);
+        // How many entries would request with every resource available:
+        // exactly the ready-demand total (incremental counter).
+        let ready_any = self.wakeup.demand_ready().total() as usize;
         // Select-free mode: slots in collision recovery cannot request.
         if let SelectMode::SelectFree { .. } = self.cfg.select_mode {
             let now = self.cycle;
             let cd = &self.collision_cooldown;
-            requests.retain(|s| cd.get(s).is_none_or(|&until| until <= now));
+            self.scratch.requests.retain(|&s| cd[s] <= now);
         }
-        let grants = arbitrate(&self.wakeup, &requests, &idle);
-        if ready_any.len() > grants.len() {
+        // The grant list is taken out of the scratch space for the issue
+        // loop below, which borrows the machine broadly.
+        let mut grants = std::mem::take(&mut self.scratch.grants);
+        arbitrate_into(&self.wakeup, &self.scratch.requests, &idle, &mut grants);
+        if ready_any > grants.len() {
             self.stalls.starved_requests += 1;
         }
         // Select-free mode: requesting entries that fired into a
         // contended unit type collide and pay the recovery penalty.
         if let SelectMode::SelectFree { penalty } = self.cfg.select_mode {
-            let granted: std::collections::HashSet<usize> = grants.iter().map(|g| g.slot).collect();
-            for &s in &requests {
-                if !granted.contains(&s) {
+            let mut granted: u64 = 0;
+            for g in &grants {
+                granted |= 1 << g.slot;
+            }
+            for &s in &self.scratch.requests {
+                if granted & (1 << s) == 0 {
                     // This entry asserted a request for a type whose idle
                     // units were oversubscribed this cycle: a collision.
-                    self.collision_cooldown
-                        .insert(s, self.cycle + penalty.max(1) as u64);
+                    self.collision_cooldown[s] = self.cycle + penalty.max(1) as u64;
                     self.collisions += 1;
                 }
             }
         }
-        for g in grants {
+        for &g in &grants {
             let tag = self.wakeup.get(g.slot).expect("granted slot occupied").tag;
             let unit = self
                 .fabric
@@ -637,6 +714,7 @@ impl Machine {
             };
             self.wakeup.grant(g.slot, latency);
         }
+        self.scratch.grants = grants;
     }
 
     fn stage_steer(&mut self) {
@@ -648,9 +726,10 @@ impl Machine {
     }
 
     fn stage_dispatch(&mut self) {
-        // Groups whose front-end latency elapsed become dispatchable now.
-        let arrivals = self.fetch.drain(self.cycle);
-        self.dispatch_buf.extend(arrivals);
+        // Groups whose front-end latency elapsed become dispatchable now
+        // (appended straight into the dispatch buffer; the fetch unit
+        // recycles its group buffers).
+        self.fetch.drain_into(self.cycle, &mut self.dispatch_buf);
 
         for _ in 0..self.cfg.dispatch_width {
             if self.dispatch_buf.is_empty() {
@@ -667,8 +746,9 @@ impl Machine {
             let f = self.dispatch_buf.pop_front().unwrap();
             // Dependency columns: register producers, plus the in-order
             // memory chain and branch chains (DESIGN.md §5 ordering
-            // rules).
-            let mut deps: Vec<usize> = Vec::with_capacity(4);
+            // rules). Built in a scratch buffer reused across dispatches.
+            let deps = &mut self.scratch.deps;
+            deps.clear();
             let add_dep = |rob: &Rob, seq: Option<Seq>, deps: &mut Vec<usize>| {
                 if let Some(e) = seq.and_then(|s| rob.get(s)) {
                     deps.push(e.wakeup_slot);
@@ -676,24 +756,24 @@ impl Machine {
             };
             for src in [f.instr.src1, f.instr.src2] {
                 if let Some(r) = src.filter(|r| !r.is_hardwired_zero()) {
-                    add_dep(&self.rob, self.rob.producer_of(r), &mut deps);
+                    add_dep(&self.rob, self.rob.producer_of(r), deps);
                 }
             }
             if f.instr.opcode.is_memory() {
-                add_dep(&self.rob, self.rob.last_mem(), &mut deps);
-                add_dep(&self.rob, self.rob.last_branch(), &mut deps);
+                add_dep(&self.rob, self.rob.last_mem(), deps);
+                add_dep(&self.rob, self.rob.last_branch(), deps);
             }
             if f.instr.opcode.is_control_flow() {
                 // In-order branch resolution: lets the branch chain act as
                 // a sound speculation guard for memory operations.
-                add_dep(&self.rob, self.rob.last_branch(), &mut deps);
+                add_dep(&self.rob, self.rob.last_branch(), deps);
             }
             deps.sort_unstable();
             deps.dedup();
             let tag = self.rob.next_seq();
             let slot = self
                 .wakeup
-                .insert(f.instr.unit_type(), &deps, tag)
+                .insert(f.instr.unit_type(), &self.scratch.deps, tag)
                 .expect("checked not full");
             let seq = self.rob.dispatch(&f, slot);
             debug_assert_eq!(seq, tag);
@@ -709,7 +789,7 @@ impl Machine {
 
     fn stage_tick(&mut self) {
         self.wakeup.tick();
-        self.fabric.tick();
+        self.fabric.tick_into(&mut self.scratch.loads_done);
         let mut i = 0;
         while i < self.draining.len() {
             self.draining[i].1 -= 1;

@@ -21,11 +21,11 @@
 
 use crate::frontend::FetchedInstr;
 use rsp_fabric::fabric::UnitId;
-use rsp_isa::regs::AnyReg;
+use rsp_isa::regs::{AnyReg, NUM_REGS};
 use rsp_isa::semantics::Value;
 use rsp_isa::Instruction;
 use rsp_sched::SlotIdx;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Monotone per-dispatch sequence number (also the age tag in the
 /// wake-up array).
@@ -74,15 +74,35 @@ pub struct RobEntry {
     pub resolved_next: Option<u64>,
 }
 
+/// The dependency buffer: architectural register → latest in-flight
+/// writer, as a flat array over [`AnyReg::dense_index`] — a hashed map
+/// here showed up hot in the cycle-loop profile.
+type RenameMap = [Option<Seq>; 2 * NUM_REGS];
+
+const EMPTY_RENAME: RenameMap = [None; 2 * NUM_REGS];
+
 /// The register update unit.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Rob {
     entries: VecDeque<RobEntry>,
     capacity: usize,
     next_seq: Seq,
-    rename: HashMap<AnyReg, Seq>,
+    rename: RenameMap,
     last_mem: Option<Seq>,
     last_branch: Option<Seq>,
+}
+
+impl Default for Rob {
+    fn default() -> Rob {
+        Rob {
+            entries: VecDeque::new(),
+            capacity: 0,
+            next_seq: 0,
+            rename: EMPTY_RENAME,
+            last_mem: None,
+            last_branch: None,
+        }
+    }
 }
 
 impl Rob {
@@ -92,6 +112,16 @@ impl Rob {
             capacity,
             ..Rob::default()
         }
+    }
+
+    /// Empty the unit for a fresh run, keeping the entry and rename-map
+    /// allocations (used by the batched driver's machine reuse).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.rename = EMPTY_RENAME;
+        self.next_seq = 0;
+        self.last_mem = None;
+        self.last_branch = None;
     }
 
     /// In-flight instruction count.
@@ -125,14 +155,41 @@ impl Rob {
         self.next_seq
     }
 
+    /// Index of the entry with sequence number `seq`, if present.
+    ///
+    /// Entries are in strictly increasing seq order (dispatch appends,
+    /// retire pops the front, flush drains the tail), and gaps only
+    /// appear after flushes — so the entry sits at index
+    /// `seq - front.seq` or below. Starting there and walking down makes
+    /// the gap-free common case a single probe.
+    fn index_of(&self, seq: Seq) -> Option<usize> {
+        let front = self.entries.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let mut i = ((seq - front) as usize).min(self.entries.len() - 1);
+        loop {
+            let s = self.entries[i].seq;
+            if s == seq {
+                return Some(i);
+            }
+            if s < seq || i == 0 {
+                return None;
+            }
+            i -= 1;
+        }
+    }
+
     /// Entry by sequence number.
     pub fn get(&self, seq: Seq) -> Option<&RobEntry> {
-        self.entries.iter().find(|e| e.seq == seq)
+        let i = self.index_of(seq)?;
+        Some(&self.entries[i])
     }
 
     /// Mutable entry by sequence number.
     pub fn get_mut(&mut self, seq: Seq) -> Option<&mut RobEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        let i = self.index_of(seq)?;
+        Some(&mut self.entries[i])
     }
 
     /// Iterate entries oldest-first.
@@ -148,7 +205,7 @@ impl Rob {
     /// The seq of the latest in-flight writer of `reg`, if any — the
     /// dependency-buffer lookup.
     pub fn producer_of(&self, reg: AnyReg) -> Option<Seq> {
-        self.rename.get(&reg).copied()
+        self.rename[reg.dense_index()]
     }
 
     /// The latest in-flight memory operation (for the in-order memory
@@ -195,7 +252,7 @@ impl Rob {
             resolved_next: None,
         });
         if let Some(d) = f.instr.arch_dest() {
-            self.rename.insert(d, seq);
+            self.rename[d.dense_index()] = Some(seq);
         }
         if f.instr.opcode.is_memory() {
             self.last_mem = Some(seq);
@@ -217,23 +274,26 @@ impl Rob {
         e
     }
 
-    /// Squash every entry younger than `seq` (exclusive); returns them
-    /// youngest-last for the caller to release wake-up slots and units.
-    /// Rebuilds the dependency buffer from the survivors.
-    pub fn flush_after(&mut self, seq: Seq) -> Vec<RobEntry> {
+    /// Squash every entry younger than `seq` (exclusive) into `out`
+    /// (cleared first), youngest-last, for the caller to release wake-up
+    /// slots and units. Rebuilds the dependency buffer from the
+    /// survivors, reusing the rename map's allocation — the hot loop
+    /// passes a scratch buffer so a flush allocates nothing in steady
+    /// state.
+    pub fn flush_after_into(&mut self, seq: Seq, out: &mut Vec<RobEntry>) {
+        out.clear();
         let split = self.entries.iter().position(|e| e.seq > seq);
         let Some(split) = split else {
-            return Vec::new();
+            return;
         };
-        let squashed: Vec<RobEntry> = self.entries.drain(split..).collect();
+        out.extend(self.entries.drain(split..));
         // Rebuild rename / chain pointers from the survivors.
-        self.rename.clear();
+        self.rename = EMPTY_RENAME;
         self.last_mem = None;
         self.last_branch = None;
-        let mut rename = HashMap::new();
         for e in &self.entries {
             if let Some(d) = e.instr.arch_dest() {
-                rename.insert(d, e.seq);
+                self.rename[d.dense_index()] = Some(e.seq);
             }
             if e.instr.opcode.is_memory() {
                 self.last_mem = Some(e.seq);
@@ -242,7 +302,12 @@ impl Rob {
                 self.last_branch = Some(e.seq);
             }
         }
-        self.rename = rename;
+    }
+
+    /// [`Rob::flush_after_into`] with a freshly allocated buffer.
+    pub fn flush_after(&mut self, seq: Seq) -> Vec<RobEntry> {
+        let mut squashed = Vec::new();
+        self.flush_after_into(seq, &mut squashed);
         squashed
     }
 
@@ -250,8 +315,9 @@ impl Rob {
     /// consumers now read the committed register file).
     fn forget(&mut self, e: &RobEntry) {
         if let Some(d) = e.instr.arch_dest() {
-            if self.rename.get(&d) == Some(&e.seq) {
-                self.rename.remove(&d);
+            let r = &mut self.rename[d.dense_index()];
+            if *r == Some(e.seq) {
+                *r = None;
             }
         }
         if self.last_mem == Some(e.seq) {

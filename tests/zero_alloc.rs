@@ -1,0 +1,114 @@
+//! Steady-state allocation counting for the simulator hot loop.
+//!
+//! `Machine::step` is written to reuse scratch buffers owned by the
+//! machine instead of allocating per cycle. This test installs a
+//! counting wrapper around the system allocator, warms a machine past
+//! its high-water marks (scratch buffers, ROB / queue / fetch-group
+//! capacity, in-flight reconfiguration list), and then asserts that a
+//! long steady-state stretch of `step()` calls performs **zero** heap
+//! allocations.
+//!
+//! The assertion only runs in release builds without the `validate`
+//! feature: debug builds cross-verify every incremental counter
+//! against a from-scratch scan inside `debug_assert!`s, and `validate`
+//! compiles the per-cycle cross-structure invariant checks into
+//! `step` — both of which allocate by design. The counter still runs
+//! in those builds so the same code path is exercised everywhere.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rsp::sim::{Processor, SimConfig};
+use rsp::workloads::{SynthSpec, UnitMix};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator. Deallocations are not counted: freeing is legal in the
+/// hot loop only if nothing was allocated, so `alloc + realloc == 0`
+/// is the whole property.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A long mixed program: phased unit mixes force reconfiguration
+/// traffic and unpredictable branches force flush/squash churn, so the
+/// steady-state window exercises every stage of `step` — fetch,
+/// dispatch, steering, issue, execute, complete (including squash
+/// recycling), and retire.
+fn long_mixed_program() -> rsp::isa::Program {
+    SynthSpec {
+        body_len: 120,
+        branch_prob: 0.12,
+        iterations: 1000,
+        ..SynthSpec::new("zero-alloc-steady", UnitMix::BALANCED, 42)
+    }
+    .generate()
+}
+
+#[test]
+fn step_is_allocation_free_in_steady_state() {
+    let proc = Processor::new(SimConfig::default());
+    let program = long_mixed_program();
+    let mut m = proc.start(&program).unwrap();
+
+    // Warm-up: run a generous prefix so every growable structure
+    // reaches its high-water mark (the body loops, so behaviour past
+    // this point repeats behaviour seen during warm-up).
+    let mut warmup = 0u64;
+    while m.cycle() < 20_000 && m.step() {
+        warmup += 1;
+    }
+    assert!(
+        warmup >= 20_000,
+        "program finished during warm-up ({warmup} cycles) — steady-state window is empty"
+    );
+
+    // Steady state: a long stretch of stepping must not touch the
+    // allocator at all.
+    let before = allocations();
+    let mut steady = 0u64;
+    while m.cycle() < 120_000 && m.step() {
+        steady += 1;
+    }
+    let during = allocations() - before;
+    assert!(steady >= 50_000, "steady-state window too short: {steady}");
+
+    #[cfg(all(not(debug_assertions), not(feature = "validate")))]
+    assert_eq!(
+        during, 0,
+        "Machine::step allocated {during} times over {steady} steady-state cycles"
+    );
+    // Debug builds allocate inside `debug_assert!` scan verification
+    // and `validate` builds inside the per-cycle invariant checks; keep
+    // the measurement (so the harness code itself is exercised) but
+    // skip the assertion there.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    let _ = during;
+}

@@ -375,7 +375,7 @@ impl Arbitrary for f32 {
 
 impl Arbitrary for char {
     fn arbitrary(rng: &mut TestRng) -> Self {
-        char::from_u32((rng.next_u64() % 0xD800 as u64) as u32).unwrap_or('\u{fffd}')
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('\u{fffd}')
     }
 }
 
