@@ -1,0 +1,213 @@
+//! Fault sweep: IPC degradation under configuration-memory upsets as a
+//! function of upset rate × scrub interval (DESIGN.md §9).
+//!
+//! The paper assumes a perfect fabric; this experiment quantifies what
+//! its steering mechanism loses when the fabric is not perfect. Upsets
+//! knock configured RFUs out as zombies (present in the allocation
+//! vector, ungrantable at issue) until a scrub pass detects them and the
+//! loader reloads the span — so IPC should degrade gracefully toward the
+//! FFU-only floor as the upset rate rises, and faster scrubbing should
+//! claw IPC back. Every run is still differentially correct: only timing
+//! moves.
+//!
+//! Results are printed as a pivot table and written to
+//! `BENCH_fault_sweep.json`.
+
+use std::fmt::Write;
+
+use rayon::prelude::*;
+use rsp_fabric::fault::FaultParams;
+use rsp_isa::Program;
+use rsp_sim::{SimConfig, SimReport};
+use rsp_workloads::{kernels, PhasedSpec};
+use serde::Serialize;
+
+use crate::harness::{pivot_table, run_one};
+
+/// Upset rates swept (per-cycle strike probability, ppm).
+const UPSET_PPM: [u32; 4] = [0, 2_000, 20_000, 100_000];
+/// Scrub intervals swept (cycles between readback passes; 0 = never).
+const SCRUB_INTERVALS: [u64; 4] = [0, 256, 64, 16];
+/// Load-failure rate applied across the whole sweep so retry/backoff is
+/// exercised too (10% of reloads fail readback).
+const LOAD_FAILURE_PPM: u32 = 100_000;
+
+/// One sweep point, serialised into `BENCH_fault_sweep.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultRow {
+    /// Workload label.
+    pub workload: String,
+    /// Per-cycle upset probability (ppm).
+    pub upset_ppm: u32,
+    /// Cycles between scrub passes (0 = never).
+    pub scrub_interval: u64,
+    /// Retired instructions per cycle.
+    pub ipc: f64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Upsets that corrupted a span.
+    pub upsets_injected: u64,
+    /// Corrupted spans detected by scrub.
+    pub upsets_detected: u64,
+    /// Scrub passes performed.
+    pub scrubs: u64,
+    /// Loads that failed readback.
+    pub load_failures: u64,
+    /// Loads restarted after a failure.
+    pub retries: u64,
+}
+
+impl FaultRow {
+    fn new(workload: &str, faults: &FaultParams, r: &SimReport) -> FaultRow {
+        FaultRow {
+            workload: workload.into(),
+            upset_ppm: faults.upset_ppm,
+            scrub_interval: faults.scrub_interval,
+            ipc: r.ipc(),
+            cycles: r.cycles,
+            upsets_injected: r.faults.upsets_injected,
+            upsets_detected: r.faults.upsets_detected,
+            scrubs: r.faults.scrubs,
+            load_failures: r.faults.load_failures,
+            retries: r.loader.as_ref().map_or(0, |l| l.retries),
+        }
+    }
+}
+
+fn sweep_workloads() -> Vec<Program> {
+    vec![
+        PhasedSpec::int_fp_mem(400, 2, 7).generate(),
+        kernels::fir(48),
+    ]
+}
+
+fn faulty_config(upset_ppm: u32, scrub_interval: u64) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.fabric.faults = FaultParams {
+        seed: 0xF0A17,
+        load_failure_ppm: LOAD_FAILURE_PPM,
+        upset_ppm,
+        scrub_interval,
+        dead_slots: vec![],
+    };
+    cfg
+}
+
+/// The sweep: every (workload, upset rate, scrub interval) point under
+/// paper steering. Returns the report text; writes
+/// `BENCH_fault_sweep.json` as a side effect.
+pub fn fault_sweep() -> String {
+    let programs = sweep_workloads();
+    let points: Vec<(u32, u64)> = UPSET_PPM
+        .iter()
+        .flat_map(|&u| SCRUB_INTERVALS.iter().map(move |&s| (u, s)))
+        .collect();
+    let rows: Vec<FaultRow> = programs
+        .par_iter()
+        .flat_map(|p| {
+            points.par_iter().map(move |&(u, s)| {
+                let cfg = faulty_config(u, s);
+                let faults = cfg.fabric.faults.clone();
+                let r = run_one(cfg, p);
+                FaultRow::new(&p.name, &faults, &r)
+            })
+        })
+        .collect();
+
+    let mut s = String::from("# fault-sweep — IPC vs upset rate × scrub interval\n\n");
+    let _ = writeln!(
+        s,
+        "load_failure_ppm={LOAD_FAILURE_PPM} everywhere; upsets strike idle configured RFUs;"
+    );
+    let _ = writeln!(
+        s,
+        "scrub interval 0 = never scrub (corrupted spans stay zombies).\n"
+    );
+    let col_labels: Vec<String> = points.iter().map(|(u, sc)| format!("u{u}/s{sc}")).collect();
+    for p in &programs {
+        let wl: Vec<String> = vec![p.name.clone()];
+        s.push_str(&pivot_table(
+            &format!("IPC — {}", p.name),
+            &wl,
+            &col_labels,
+            |w, c| {
+                rows.iter()
+                    .find(|r| {
+                        r.workload == w && format!("u{}/s{}", r.upset_ppm, r.scrub_interval) == c
+                    })
+                    .map(|r| format!("{:.3}", r.ipc))
+                    .unwrap_or_default()
+            },
+        ));
+        s.push('\n');
+    }
+
+    // Headline check: for each workload, the clean point is the fastest
+    // and the worst faulty point is the slowest.
+    for p in &programs {
+        let of = |u: u32, sc: u64| {
+            rows.iter()
+                .find(|r| r.workload == p.name && r.upset_ppm == u && r.scrub_interval == sc)
+                .unwrap()
+                .ipc
+        };
+        let clean = of(0, 0);
+        let worst = of(*UPSET_PPM.last().unwrap(), 0);
+        let scrubbed = of(*UPSET_PPM.last().unwrap(), *SCRUB_INTERVALS.last().unwrap());
+        let _ = writeln!(
+            s,
+            "{:<20} clean={clean:.3}  worst(no-scrub)={worst:.3}  worst(scrub@{})={scrubbed:.3}",
+            p.name,
+            SCRUB_INTERVALS.last().unwrap(),
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialise");
+    match std::fs::write("BENCH_fault_sweep.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(s, "\nwrote BENCH_fault_sweep.json ({} points)", rows.len());
+        }
+        Err(e) => {
+            let _ = writeln!(s, "\ncould not write BENCH_fault_sweep.json: {e}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_degrades_and_recovers() {
+        // One workload, three points: clean, heavy-upsets-no-scrub,
+        // heavy-upsets-fast-scrub. Checks the experiment's core claim
+        // without running the full grid.
+        let p = kernels::fir(24);
+        let clean = run_one(faulty_config(0, 0), &p);
+        let zombie = run_one(faulty_config(100_000, 0), &p);
+        let scrubbed = run_one(faulty_config(100_000, 16), &p);
+        assert!(clean.halted && zombie.halted && scrubbed.halted);
+        assert_eq!(clean.retired, zombie.retired);
+        assert_eq!(clean.retired, scrubbed.retired);
+        assert!(zombie.faults.upsets_injected > 0);
+        assert!(scrubbed.faults.upsets_detected > 0);
+        assert!(
+            zombie.cycles >= clean.cycles,
+            "zombie fabric cannot be faster: {} < {}",
+            zombie.cycles,
+            clean.cycles
+        );
+    }
+
+    #[test]
+    fn fault_rows_serialise() {
+        let p = kernels::memcpy(8);
+        let cfg = faulty_config(20_000, 64);
+        let faults = cfg.fabric.faults.clone();
+        let r = run_one(cfg, &p);
+        let row = FaultRow::new(&p.name, &faults, &r);
+        let j = serde_json::to_string(&row).unwrap();
+        assert!(j.contains("\"upset_ppm\":20000"));
+    }
+}

@@ -1,14 +1,16 @@
 //! One module per reproduced artifact: [`figures`] covers Table 1 and
 //! Figs. 1–7 (regenerating each artifact's content from the
 //! implementation), [`evals`] covers the quantitative experiments E1–E9
-//! (DESIGN.md §4). Every function returns the report text it prints, so
-//! tests can assert on content.
+//! (DESIGN.md §4), [`faults`] sweeps the fault model (DESIGN.md §9).
+//! Every function returns the report text it prints, so tests can assert
+//! on content.
 
 pub mod evals;
+pub mod faults;
 pub mod figures;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "table1",
     "fig1",
     "fig2",
@@ -31,6 +33,7 @@ pub const ALL_IDS: [&str; 23] = [
     "e12-selectfree",
     "e13-hwcost",
     "e14-predictor",
+    "fault-sweep",
     "all",
 ];
 
@@ -59,6 +62,7 @@ pub fn run(id: &str) -> Option<String> {
         "e12-selectfree" => evals::e12_selectfree(),
         "e13-hwcost" => evals::e13_hwcost(),
         "e14-predictor" => evals::e14_predictor(),
+        "fault-sweep" => faults::fault_sweep(),
         _ => return None,
     })
 }

@@ -10,9 +10,9 @@
 //! the steady-state Criterion benchmark in `benches/end_to_end.rs`
 //! reuses [`workload_classes`].
 
+use rsp_isa::Program;
 use rsp_sim::{BatchRunner, SimConfig, SimReport};
 use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
-use rsp_isa::Program;
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
@@ -117,11 +117,7 @@ impl ThroughputReport {
 
 /// Run one class until at least `min_wall` of measured stepping has
 /// accumulated (always at least one full pass).
-pub fn measure_class(
-    cfg: &SimConfig,
-    class: &WorkloadClass,
-    min_wall: Duration,
-) -> ClassResult {
+pub fn measure_class(cfg: &SimConfig, class: &WorkloadClass, min_wall: Duration) -> ClassResult {
     let mut runner = BatchRunner::new(cfg.clone()).expect("valid config");
     let mut sim_cycles = 0u64;
     let mut retired = 0u64;

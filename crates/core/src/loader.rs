@@ -24,7 +24,13 @@
 use crate::select::ConfigChoice;
 use rsp_fabric::config::SteeringSet;
 use rsp_fabric::fabric::{Fabric, LoadError};
+use rsp_fabric::fault::FaultEvent;
 use serde::{Deserialize, Serialize};
+
+/// First retry delay (in steer cycles) after a failed load.
+const BACKOFF_BASE: u64 = 8;
+/// Ceiling on the exponential retry delay.
+const BACKOFF_CAP: u64 = 256;
 
 /// Loader counters (per-run).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,6 +50,16 @@ pub struct LoaderStats {
     pub skipped_matching: u64,
     /// Load attempts skipped because the span is already being loaded.
     pub skipped_loading: u64,
+    /// Loads that consumed their latency but failed fabric readback.
+    pub load_failures: u64,
+    /// Loads restarted on a head after one or more failures there.
+    pub retries: u64,
+    /// Corrupted spans the fabric's scrub pass reported to the loader.
+    pub upsets_detected: u64,
+    /// Load attempts deferred because the head was in retry backoff.
+    pub deferred_backoff: u64,
+    /// Load attempts skipped because the span has a stuck-at-dead slot.
+    pub skipped_dead: u64,
 }
 
 /// The configuration loader: applies a selection to the fabric using
@@ -56,6 +72,12 @@ pub struct ConfigurationLoader {
     pub partial: bool,
     stats: LoaderStats,
     last_choice: Option<ConfigChoice>,
+    /// Steer cycles seen so far (the backoff clock).
+    tick: u64,
+    /// Per-head-slot: first tick at which a retry may start.
+    cooldown_until: Vec<u64>,
+    /// Per-head-slot: consecutive load failures (drives the backoff).
+    fail_streak: Vec<u32>,
 }
 
 impl ConfigurationLoader {
@@ -71,6 +93,43 @@ impl ConfigurationLoader {
                 ..LoaderStats::default()
             },
             last_choice: None,
+            tick: 0,
+            cooldown_until: Vec::new(),
+            fail_streak: Vec::new(),
+        }
+    }
+
+    /// Retry delay after the `streak`-th consecutive failure on a head:
+    /// exponential from [`BACKOFF_BASE`], capped at [`BACKOFF_CAP`].
+    fn backoff(streak: u32) -> u64 {
+        (BACKOFF_BASE << (streak.saturating_sub(1)).min(16)).min(BACKOFF_CAP)
+    }
+
+    /// Absorb the fabric's fault events from the previous cycle: schedule
+    /// retry backoff for failed loads, count scrub detections. Events
+    /// live one fabric tick, so each is seen exactly once.
+    fn drain_fault_events(&mut self, fabric: &Fabric) {
+        let slots = fabric.params().rfu_slots;
+        if self.cooldown_until.len() != slots {
+            self.cooldown_until.resize(slots, 0);
+            self.fail_streak.resize(slots, 0);
+        }
+        for ev in fabric.fault_events() {
+            match *ev {
+                FaultEvent::LoadFailed { head, .. } => {
+                    self.stats.load_failures += 1;
+                    self.fail_streak[head] = self.fail_streak[head].saturating_add(1);
+                    self.cooldown_until[head] = self.tick + Self::backoff(self.fail_streak[head]);
+                }
+                FaultEvent::UpsetDetected { .. } => {
+                    self.stats.upsets_detected += 1;
+                }
+                FaultEvent::LoadPlaced { head, .. } => {
+                    // Readback passed: the head's failure streak is over.
+                    self.fail_streak[head] = 0;
+                    self.cooldown_until[head] = 0;
+                }
+            }
         }
     }
 
@@ -96,6 +155,8 @@ impl ConfigurationLoader {
     /// configuration's unit loads as availability and ports allow.
     /// Returns the number of loads started.
     pub fn apply(&mut self, choice: ConfigChoice, fabric: &mut Fabric) -> usize {
+        self.tick += 1;
+        self.drain_fault_events(fabric);
         let idx = choice.two_bit() as usize;
         if let Some(c) = self.stats.selections.get_mut(idx) {
             *c += 1;
@@ -111,6 +172,10 @@ impl ConfigurationLoader {
         let target = &self.set.predefined[i];
         let mut started = 0;
         for pu in target.placement.units() {
+            if self.tick < self.cooldown_until[pu.head] {
+                self.stats.deferred_backoff += 1;
+                continue;
+            }
             let res = if self.partial {
                 fabric.begin_load(pu.head, pu.unit)
             } else {
@@ -119,12 +184,24 @@ impl ConfigurationLoader {
             match res {
                 Ok(()) => {
                     self.stats.loads_started += 1;
+                    // A restart after a failure is a retry; the streak is
+                    // only cleared once a readback *passes* (LoadPlaced),
+                    // so backoff keeps growing across repeated failures.
+                    if self.fail_streak[pu.head] > 0 {
+                        self.stats.retries += 1;
+                    }
                     started += 1;
                 }
-                Err(LoadError::AlreadyConfigured) => self.stats.skipped_matching += 1,
+                Err(LoadError::AlreadyConfigured) => {
+                    // The span hosts the unit after all (e.g. another
+                    // selection loaded it): the failure streak is over.
+                    self.fail_streak[pu.head] = 0;
+                    self.stats.skipped_matching += 1;
+                }
                 Err(LoadError::SpanBusy) => self.stats.deferred_busy += 1,
                 Err(LoadError::NoPortFree) => self.stats.deferred_port += 1,
                 Err(LoadError::SpanLoading) => self.stats.skipped_loading += 1,
+                Err(LoadError::SpanDead) => self.stats.skipped_dead += 1,
                 Err(LoadError::OutOfRange) => {
                     unreachable!("steering-set placements fit the fabric")
                 }
@@ -138,12 +215,22 @@ impl ConfigurationLoader {
 mod tests {
     use super::*;
     use rsp_fabric::fabric::{FabricParams, UnitId};
+    use rsp_fabric::fault::{FaultParams, PPM};
     use rsp_isa::UnitType;
 
     fn fabric(latency: u64, ports: usize) -> Fabric {
         Fabric::new(FabricParams {
             per_slot_load_latency: latency,
             reconfig_ports: ports,
+            ..FabricParams::default()
+        })
+    }
+
+    fn faulty_fabric(faults: FaultParams) -> Fabric {
+        Fabric::new(FabricParams {
+            per_slot_load_latency: 1,
+            reconfig_ports: 8,
+            faults,
             ..FabricParams::default()
         })
     }
@@ -237,6 +324,135 @@ mod tests {
         let started = l.apply(ConfigChoice::Predefined(0), &mut f);
         assert_eq!(started, 5, "full reload ignores matching spans");
         assert_eq!(l.stats().skipped_matching, 0);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        assert_eq!(ConfigurationLoader::backoff(1), 8);
+        assert_eq!(ConfigurationLoader::backoff(2), 16);
+        assert_eq!(ConfigurationLoader::backoff(3), 32);
+        assert_eq!(ConfigurationLoader::backoff(6), 256);
+        assert_eq!(ConfigurationLoader::backoff(7), 256);
+        assert_eq!(ConfigurationLoader::backoff(u32::MAX), 256);
+    }
+
+    #[test]
+    fn failed_loads_back_off_before_retrying() {
+        // Every load fails: the loader must not hammer the ports.
+        let mut l = loader();
+        let mut f = faulty_fabric(FaultParams {
+            seed: 1,
+            load_failure_ppm: PPM,
+            ..FaultParams::default()
+        });
+        for _ in 0..200 {
+            l.apply(ConfigChoice::Predefined(0), &mut f);
+            f.tick();
+        }
+        // Drain the final tick's fault events before checking counters.
+        l.apply(ConfigChoice::Current, &mut f);
+        let st = l.stats().clone();
+        assert!(st.load_failures > 0, "{st:?}");
+        assert!(st.deferred_backoff > 0, "{st:?}");
+        assert!(st.retries > 0, "restarts after failures are retries");
+        assert_eq!(f.rfu_counts().total(), 0);
+        // Backoff throttles: far fewer starts than the 200 × 5 attempts a
+        // naive loader would make.
+        assert!(
+            st.loads_started < 5 * 200 / BACKOFF_BASE,
+            "backoff must throttle retries: {st:?}"
+        );
+        // Accounting closes: every attempt is classified somewhere.
+        assert_eq!(
+            st.loads_started,
+            st.load_failures + f.loads_in_flight() as u64,
+            "all started loads failed or are in flight"
+        );
+    }
+
+    #[test]
+    fn retries_eventually_succeed_at_partial_failure_rate() {
+        // Half the loads fail; with retry the config still comes up.
+        let mut l = loader();
+        let mut f = faulty_fabric(FaultParams {
+            seed: 42,
+            load_failure_ppm: PPM / 2,
+            ..FaultParams::default()
+        });
+        for _ in 0..2_000 {
+            l.apply(ConfigChoice::Predefined(0), &mut f);
+            f.tick();
+            if f.rfu_counts() == l.set().predefined[0].counts {
+                break;
+            }
+        }
+        assert_eq!(
+            f.rfu_counts(),
+            l.set().predefined[0].counts,
+            "retry must eventually bring the full configuration up"
+        );
+        let st = l.stats();
+        assert!(st.load_failures > 0, "{st:?}");
+        assert!(st.retries > 0, "{st:?}");
+    }
+
+    #[test]
+    fn scrub_detections_reach_loader_stats_and_span_reloads() {
+        let mut l = loader();
+        let mut f = faulty_fabric(FaultParams {
+            seed: 7,
+            upset_ppm: PPM,
+            scrub_interval: 8,
+            ..FaultParams::default()
+        });
+        // Bring Config 1 up fault-free first (upsets only strike idle
+        // configured units, so loads themselves are unaffected).
+        for _ in 0..400 {
+            l.apply(ConfigChoice::Predefined(0), &mut f);
+            f.tick();
+        }
+        // Drain the final tick's fault events before checking counters.
+        l.apply(ConfigChoice::Current, &mut f);
+        let st = l.stats();
+        assert!(st.upsets_detected > 0, "{st:?}");
+        assert_eq!(st.upsets_detected, f.fault_stats().upsets_detected);
+        // Scrubbed spans get reloaded (no backoff applies to upsets).
+        assert!(st.loads_started > 5, "{st:?}");
+        assert_eq!(st.deferred_backoff, 0, "upsets carry no backoff");
+    }
+
+    #[test]
+    fn dead_spans_are_skipped_every_cycle() {
+        let mut l = loader();
+        // Config 1 places units across all 8 slots; kill slot 0.
+        let mut f = faulty_fabric(FaultParams {
+            dead_slots: vec![0],
+            ..FaultParams::default()
+        });
+        let started = l.apply(ConfigChoice::Predefined(0), &mut f);
+        assert!(started < 5);
+        assert!(l.stats().skipped_dead > 0);
+        for _ in 0..4 {
+            f.tick();
+        }
+        l.apply(ConfigChoice::Predefined(0), &mut f);
+        assert!(l.stats().skipped_dead >= 2, "dead spans skip forever");
+    }
+
+    #[test]
+    fn fault_counters_stay_zero_without_faults() {
+        let mut l = loader();
+        let mut f = fabric(1, 2);
+        for _ in 0..50 {
+            l.apply(ConfigChoice::Predefined(0), &mut f);
+            f.tick();
+        }
+        let st = l.stats();
+        assert_eq!(st.load_failures, 0);
+        assert_eq!(st.retries, 0);
+        assert_eq!(st.upsets_detected, 0);
+        assert_eq!(st.deferred_backoff, 0);
+        assert_eq!(st.skipped_dead, 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::alloc::{AllocationVector, PlacedUnit};
 use crate::availability::{available, AvailabilityInputs};
 use crate::config::Configuration;
+use crate::fault::{FaultEvent, FaultParams, FaultState, FaultStats};
 use rsp_isa::units::{TypeCounts, UnitType};
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,8 @@ pub struct FabricParams {
     pub per_slot_load_latency: u64,
     /// Maximum concurrent reconfigurations.
     pub reconfig_ports: usize,
+    /// Configuration-memory fault model (inert by default).
+    pub faults: FaultParams,
 }
 
 impl Default for FabricParams {
@@ -42,6 +45,7 @@ impl Default for FabricParams {
             ffus: UnitType::ALL.to_vec(),
             per_slot_load_latency: 32,
             reconfig_ports: 1,
+            faults: FaultParams::default(),
         }
     }
 }
@@ -84,6 +88,9 @@ pub enum LoadError {
     /// The span already implements exactly this unit (the loader must
     /// skip, not reload — paper §3.2).
     AlreadyConfigured,
+    /// A slot in the span is stuck-at-dead (fault model): it can never
+    /// be configured.
+    SpanDead,
 }
 
 impl std::fmt::Display for LoadError {
@@ -94,6 +101,7 @@ impl std::fmt::Display for LoadError {
             LoadError::SpanLoading => "span overlaps an in-flight load",
             LoadError::NoPortFree => "no reconfiguration port free",
             LoadError::AlreadyConfigured => "span already implements this unit",
+            LoadError::SpanDead => "span contains a stuck-at-dead slot",
         };
         f.write_str(s)
     }
@@ -119,6 +127,9 @@ struct LoadInFlight {
     head: usize,
     unit: UnitType,
     remaining: u64,
+    /// Fault model: this load will consume its full latency, then fail
+    /// readback and leave the span unconfigured.
+    will_fail: bool,
 }
 
 /// The live reconfigurable fabric plus fixed units.
@@ -154,7 +165,10 @@ pub struct Fabric {
     /// reconfiguration event so per-cycle queries need no unit scan.
     configured: TypeCounts,
     /// Incremental count of configured **idle** units per type.
+    /// Corrupted units are excluded: they are configured but ungrantable.
     idle: TypeCounts,
+    /// Configuration-memory fault model state (inert by default).
+    fault: FaultState,
 }
 
 /// Decrement one type's count in an incremental unit-count cache.
@@ -170,6 +184,7 @@ impl Fabric {
     pub fn new(params: FabricParams) -> Fabric {
         let n = params.rfu_slots;
         let f = params.ffus.len();
+        let fault = FaultState::new(params.faults.clone(), n);
         let mut fab = Fabric {
             params,
             alloc: AllocationVector::empty(n),
@@ -179,6 +194,7 @@ impl Fabric {
             stats: FabricStats::default(),
             configured: TypeCounts::ZERO,
             idle: TypeCounts::ZERO,
+            fault,
         };
         fab.rebuild_counts();
         fab
@@ -201,7 +217,8 @@ impl Fabric {
 
     /// Replace the whole RFU contents instantly. Panics if any unit is
     /// busy or any load is in flight — this is an initialisation/baseline
-    /// facility, not a modelled reconfiguration.
+    /// facility, not a modelled reconfiguration. Units whose span covers
+    /// a stuck-at-dead slot are skipped (degraded boot).
     pub fn load_instantly(&mut self, config: &Configuration) {
         assert!(
             self.loads.is_empty() && !self.slot_busy.iter().any(|&b| b),
@@ -209,6 +226,12 @@ impl Fabric {
         );
         assert_eq!(config.placement.len(), self.params.rfu_slots);
         self.alloc = config.placement.clone();
+        self.fault.corrupted.fill(false);
+        for pu in config.placement.units() {
+            if pu.span().any(|s| self.fault.dead[s]) {
+                self.alloc.clear_unit_at(pu.head);
+            }
+        }
         self.rebuild_counts();
     }
 
@@ -228,6 +251,42 @@ impl Fabric {
     #[inline]
     pub fn stats(&self) -> FabricStats {
         self.stats
+    }
+
+    /// Fault-model counters so far (all zero when the model is inert).
+    #[inline]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.stats
+    }
+
+    /// Fault events generated by the most recent [`Fabric::tick`] (the
+    /// configuration loader reads these once per cycle; they are
+    /// replaced on the next tick).
+    #[inline]
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault.events
+    }
+
+    /// True iff `slot` belongs to a span corrupted by an undetected
+    /// upset.
+    #[inline]
+    pub fn slot_corrupted(&self, slot: usize) -> bool {
+        self.fault.corrupted[slot]
+    }
+
+    /// True iff `slot` is stuck-at-dead.
+    #[inline]
+    pub fn slot_dead(&self, slot: usize) -> bool {
+        self.fault.dead[slot]
+    }
+
+    /// Number of currently corrupted (zombie) units: configured in the
+    /// allocation vector but ungrantable until scrub clears them.
+    pub fn corrupted_units(&self) -> usize {
+        self.alloc
+            .units()
+            .filter(|pu| self.fault.corrupted[pu.head])
+            .count()
     }
 
     /// Units of each type currently configured in the RFU fabric
@@ -264,7 +323,8 @@ impl Fabric {
     }
 
     /// [`Fabric::idle_counts`] recomputed by scanning every unit — the
-    /// specification the incremental count is checked against.
+    /// specification the incremental count is checked against. Corrupted
+    /// units are configured but ungrantable, so they do not count.
     pub fn idle_counts_scan(&self) -> TypeCounts {
         let mut c = TypeCounts::ZERO;
         for (i, &t) in self.params.ffus.iter().enumerate() {
@@ -273,7 +333,7 @@ impl Fabric {
             }
         }
         for PlacedUnit { head, unit } in self.alloc.units() {
-            if !self.slot_busy[head] {
+            if !self.slot_busy[head] && !self.fault.corrupted[head] {
                 c.add(unit, 1);
             }
         }
@@ -281,10 +341,15 @@ impl Fabric {
     }
 
     /// Per-slot availability signals for the Eq. 1 circuit: a slot asserts
-    /// availability iff it is the head of a configured unit that is idle.
+    /// availability iff it is the head of a configured unit that is idle
+    /// (and not corrupted by an upset).
     pub fn slot_available_signals(&self) -> Vec<bool> {
         (0..self.alloc.len())
-            .map(|s| self.alloc.encoding(s).unit_type().is_some() && !self.slot_busy[s])
+            .map(|s| {
+                self.alloc.encoding(s).unit_type().is_some()
+                    && !self.slot_busy[s]
+                    && !self.fault.corrupted[s]
+            })
             .collect()
     }
 
@@ -358,7 +423,7 @@ impl Fabric {
             }
         }
         for PlacedUnit { head, unit } in self.alloc.units() {
-            if unit == t && !self.slot_busy[head] {
+            if unit == t && !self.slot_busy[head] && !self.fault.corrupted[head] {
                 return Some(UnitId::Rfu { head });
             }
         }
@@ -392,6 +457,10 @@ impl Fabric {
                     .unwrap_or_else(|| panic!("no unit at slot {head}"));
                 assert_eq!(pu.head, head, "set_busy must target the head slot");
                 assert!(!self.slot_busy[head], "RFU at {head} already busy");
+                assert!(
+                    !self.fault.corrupted[head],
+                    "issue to corrupted RFU at {head}"
+                );
                 for s in pu.span() {
                     self.slot_busy[s] = true;
                 }
@@ -471,6 +540,9 @@ impl Fabric {
             return Err(LoadError::OutOfRange);
         }
         let span = slot..slot + cost;
+        if span.clone().any(|s| self.fault.dead[s]) {
+            return Err(LoadError::SpanDead);
+        }
         if !force {
             if let Some(pu) = self.alloc.unit_at(slot) {
                 if pu.head == slot && pu.unit == t {
@@ -494,15 +566,32 @@ impl Fabric {
             if let Some(pu) = self.alloc.unit_at(s) {
                 debug_assert!(!self.slot_busy[pu.head]);
                 dec(&mut self.configured, pu.unit);
-                dec(&mut self.idle, pu.unit);
+                if self.fault.corrupted[pu.head] {
+                    // A corrupted unit left the idle counts when it was
+                    // struck; rewriting its configuration memory clears
+                    // the corruption along with the unit.
+                    for cs in pu.span() {
+                        self.fault.corrupted[cs] = false;
+                    }
+                } else {
+                    dec(&mut self.idle, pu.unit);
+                }
             }
             self.alloc.clear_unit_at(s);
+            debug_assert!(!self.fault.corrupted[s]);
         }
         debug_assert_eq!(self.alloc.check(), Ok(()));
+        // The fault model decides now whether this load's readback will
+        // fail after the frames stream (deterministic, seeded).
+        let will_fail = self.fault.enabled() && {
+            let ppm = self.fault.params.load_failure_ppm;
+            self.fault.rng.chance_ppm(ppm)
+        };
         self.loads.push(LoadInFlight {
             head: slot,
             unit: t,
             remaining: (cost as u64) * self.params.per_slot_load_latency,
+            will_fail,
         });
         self.stats.loads_started += 1;
         self.stats.slots_reloaded += cost as u64;
@@ -519,18 +608,34 @@ impl Fabric {
 
     /// [`Fabric::tick`] into a caller-provided buffer (cleared first) so
     /// the per-cycle hot loop can reuse one buffer across cycles.
+    /// Fault-model events (load failures, upsets, scrub detections)
+    /// happen here too; the events of one tick stay readable via
+    /// [`Fabric::fault_events`] until the next tick.
     pub fn tick_into(&mut self, done: &mut Vec<PlacedUnit>) {
         done.clear();
+        self.fault.events.clear();
         if !self.loads.is_empty() {
             self.stats.load_busy_cycles += 1;
         }
+        let events = &mut self.fault.events;
+        let fault_stats = &mut self.fault.stats;
         self.loads.retain_mut(|l| {
             l.remaining = l.remaining.saturating_sub(1);
             if l.remaining == 0 {
-                done.push(PlacedUnit {
-                    head: l.head,
-                    unit: l.unit,
-                });
+                if l.will_fail {
+                    // The frames streamed (latency and port were paid)
+                    // but readback failed: the span stays unconfigured.
+                    fault_stats.load_failures += 1;
+                    events.push(FaultEvent::LoadFailed {
+                        head: l.head,
+                        unit: l.unit,
+                    });
+                } else {
+                    done.push(PlacedUnit {
+                        head: l.head,
+                        unit: l.unit,
+                    });
+                }
                 false
             } else {
                 true
@@ -542,7 +647,75 @@ impl Fabric {
             self.configured.add(pu.unit, 1);
             self.idle.add(pu.unit, 1);
             self.stats.loads_completed += 1;
+            if self.fault.enabled() {
+                self.fault.events.push(FaultEvent::LoadPlaced {
+                    head: pu.head,
+                    unit: pu.unit,
+                });
+            }
             debug_assert_eq!(self.alloc.check(), Ok(()));
+        }
+        if self.fault.enabled() {
+            self.fault_tick();
+        }
+    }
+
+    /// Per-cycle fault activity: upset injection and configuration
+    /// scrubbing. Only called when the fault model is enabled, so inert
+    /// configurations stay bit-identical to a fault-free build.
+    fn fault_tick(&mut self) {
+        // An SEU may strike the configuration memory of one idle,
+        // not-yet-corrupted configured unit.
+        if self.fault.rng.chance_ppm(self.fault.params.upset_ppm) {
+            let mut candidates = self.fault.take_candidates();
+            candidates.extend(self.alloc.units().filter_map(|pu| {
+                (!self.slot_busy[pu.head] && !self.fault.corrupted[pu.head]).then_some(pu.head)
+            }));
+            if candidates.is_empty() {
+                self.fault.stats.upsets_dissipated += 1;
+            } else {
+                let head = candidates[self.fault.rng.pick(candidates.len())];
+                let pu = self.alloc.unit_at(head).expect("candidate is a unit head");
+                for s in pu.span() {
+                    self.fault.corrupted[s] = true;
+                }
+                // Corrupted units stay in the allocation vector (the
+                // steering mechanism is fooled) but leave the idle
+                // counts: they are ungrantable from this cycle on.
+                dec(&mut self.idle, pu.unit);
+                self.fault.stats.upsets_injected += 1;
+            }
+            self.fault.put_candidates(candidates);
+        }
+        // Scrub/readback: every `scrub_interval` cycles, detect and
+        // clear corrupted spans so the loader can reload them.
+        if self.fault.params.scrub_interval > 0 {
+            self.fault.scrub_countdown = self.fault.scrub_countdown.saturating_sub(1);
+            if self.fault.scrub_countdown == 0 {
+                self.fault.scrub_countdown = self.fault.params.scrub_interval;
+                self.fault.stats.scrubs += 1;
+                let mut head = 0;
+                while head < self.alloc.len() {
+                    let Some(pu) = self.alloc.unit_at(head) else {
+                        head += 1;
+                        continue;
+                    };
+                    if pu.head == head && self.fault.corrupted[head] {
+                        for s in pu.span() {
+                            self.fault.corrupted[s] = false;
+                        }
+                        self.alloc.clear_unit_at(head);
+                        dec(&mut self.configured, pu.unit);
+                        self.fault.stats.upsets_detected += 1;
+                        self.fault.events.push(FaultEvent::UpsetDetected {
+                            head,
+                            unit: pu.unit,
+                        });
+                    }
+                    head = pu.head + pu.unit.slot_cost();
+                }
+                debug_assert_eq!(self.alloc.check(), Ok(()));
+            }
         }
     }
 
@@ -559,12 +732,21 @@ impl Fabric {
                 }
                 s += l.unit.slot_cost();
             } else if let Some(t) = self.alloc.encoding(s).unit_type() {
-                let busy = if self.slot_busy[s] { "*" } else { "" };
-                parts.push(format!("{t}{busy}"));
+                let mark = if self.fault.corrupted[s] {
+                    "!"
+                } else if self.slot_busy[s] {
+                    "*"
+                } else {
+                    ""
+                };
+                parts.push(format!("{t}{mark}"));
                 for _ in 1..t.slot_cost() {
                     parts.push("..".into());
                 }
                 s += t.slot_cost();
+            } else if self.fault.dead[s] {
+                parts.push("X".into());
+                s += 1;
             } else {
                 parts.push("-".into());
                 s += 1;
@@ -829,6 +1011,202 @@ mod tests {
         );
         f.tick_into(&mut done);
         assert!(done.is_empty());
+    }
+
+    fn fault_params(
+        load_failure_ppm: u32,
+        upset_ppm: u32,
+        scrub_interval: u64,
+        dead_slots: Vec<usize>,
+    ) -> FabricParams {
+        FabricParams {
+            per_slot_load_latency: 1,
+            reconfig_ports: 8,
+            faults: FaultParams {
+                seed: 0xFA017,
+                load_failure_ppm,
+                upset_ppm,
+                scrub_interval,
+                dead_slots,
+            },
+            ..FabricParams::default()
+        }
+    }
+
+    #[test]
+    fn failed_load_consumes_latency_then_leaves_span_empty() {
+        // Every load fails readback.
+        let mut f = Fabric::new(fault_params(crate::fault::PPM, 0, 0, vec![]));
+        f.begin_load(0, UnitType::FpAlu).unwrap(); // 3 slots × 1 cycle
+        for _ in 0..2 {
+            assert!(f.tick().is_empty());
+            assert!(f.fault_events().is_empty());
+        }
+        assert!(f.tick().is_empty(), "failed load must not place a unit");
+        assert_eq!(
+            f.fault_events(),
+            &[FaultEvent::LoadFailed {
+                head: 0,
+                unit: UnitType::FpAlu
+            }]
+        );
+        assert_eq!(f.fault_stats().load_failures, 1);
+        assert_eq!(f.stats().loads_started, 1);
+        assert_eq!(f.stats().loads_completed, 0);
+        assert_eq!(f.stats().load_busy_cycles, 3, "latency was consumed");
+        assert!(f.alloc().encoding(0).is_empty());
+        assert_eq!(f.rfu_counts().total(), 0);
+        // The span is reloadable immediately (the loader's retry path).
+        assert_eq!(f.begin_load(0, UnitType::FpAlu), Ok(()));
+        // Events live exactly one tick.
+        f.tick();
+        assert!(f.fault_events().is_empty());
+    }
+
+    #[test]
+    fn upset_corrupts_idle_unit_making_it_ungrantable() {
+        let set = SteeringSet::paper_default();
+        // Upset every cycle, never scrub.
+        let mut f = Fabric::with_configuration(
+            fault_params(0, crate::fault::PPM, 0, vec![]),
+            &set.predefined[0],
+        );
+        let configured_before = f.configured_counts();
+        let units_before = f.rfu_counts().total() as usize;
+        f.tick();
+        assert_eq!(f.corrupted_units(), 1);
+        assert_eq!(f.fault_stats().upsets_injected, 1);
+        // The corrupted unit is still in the allocation vector (the
+        // steering mechanism is fooled) but out of the idle counts.
+        assert_eq!(f.configured_counts(), configured_before);
+        assert_eq!(
+            f.idle_counts(),
+            f.idle_counts_scan(),
+            "incremental idle counts must track corruption"
+        );
+        // With one upset per cycle and no scrub, every RFU eventually
+        // becomes a zombie; only the FFUs remain grantable.
+        for _ in 0..100 {
+            f.tick();
+        }
+        assert_eq!(f.corrupted_units(), units_before);
+        for &t in &UnitType::ALL {
+            assert!(matches!(f.idle_unit(t), Some(UnitId::Ffu(_)) | None));
+        }
+        // Further upsets find no candidate and dissipate.
+        assert!(f.fault_stats().upsets_dissipated > 0);
+        let m = f.slot_map();
+        assert!(m.contains('!'), "corrupted units marked in {m}");
+    }
+
+    #[test]
+    fn scrub_detects_and_clears_corrupted_spans() {
+        let set = SteeringSet::paper_default();
+        // One guaranteed upset per cycle, scrub every 10 cycles.
+        let mut f = Fabric::with_configuration(
+            fault_params(0, crate::fault::PPM, 10, vec![]),
+            &set.predefined[0],
+        );
+        for _ in 0..10 {
+            f.tick();
+        }
+        let st = f.fault_stats();
+        assert_eq!(st.scrubs, 1);
+        assert!(st.upsets_detected > 0);
+        assert!(
+            f.fault_events()
+                .iter()
+                .any(|e| matches!(e, FaultEvent::UpsetDetected { .. })),
+            "scrub must report detections: {:?}",
+            f.fault_events()
+        );
+        // Detected spans are cleared: configured counts drop and the
+        // spans are reloadable again.
+        assert_eq!(f.configured_counts(), f.configured_counts_scan());
+        assert_eq!(f.idle_counts(), f.idle_counts_scan());
+        let cleared_head = f
+            .fault_events()
+            .iter()
+            .find_map(|e| match e {
+                FaultEvent::UpsetDetected { head, .. } => Some(*head),
+                _ => None,
+            })
+            .unwrap();
+        assert!(f.alloc().encoding(cleared_head).is_empty());
+        assert!(!f.slot_corrupted(cleared_head));
+    }
+
+    #[test]
+    fn dead_slots_block_loads_and_skip_boot_placement() {
+        let set = SteeringSet::paper_default();
+        // Config 1 places an Int-ALU at slots 0-1; kill slot 1.
+        let f = Fabric::with_configuration(fault_params(0, 0, 0, vec![1]), &set.predefined[0]);
+        assert!(
+            f.alloc().encoding(0).is_empty(),
+            "unit spanning a dead slot is skipped at boot: {}",
+            f.slot_map()
+        );
+        assert!(f.slot_dead(1));
+        let mut f = f;
+        assert_eq!(f.begin_load(0, UnitType::IntAlu), Err(LoadError::SpanDead));
+        assert_eq!(f.begin_load(1, UnitType::Lsu), Err(LoadError::SpanDead));
+        // Slots outside the dead span still work.
+        assert_eq!(f.begin_load(2, UnitType::Lsu), Ok(()));
+        assert!(f.slot_map().contains('X'), "{}", f.slot_map());
+    }
+
+    #[test]
+    fn reload_over_corrupted_span_clears_corruption() {
+        let set = SteeringSet::paper_default();
+        let mut f = Fabric::with_configuration(
+            fault_params(0, crate::fault::PPM, 0, vec![]),
+            &set.predefined[0],
+        );
+        f.tick();
+        let head = (0..f.alloc().len())
+            .find(|&s| f.slot_corrupted(s))
+            .expect("one unit corrupted");
+        let pu = f.alloc().unit_at(head).unwrap();
+        // Force-reload the corrupted span: rewriting the configuration
+        // memory clears the corruption.
+        f.begin_load_forced(pu.head, pu.unit).unwrap();
+        assert!(pu.span().all(|s| !f.slot_corrupted(s)));
+        assert_eq!(f.configured_counts(), f.configured_counts_scan());
+        assert_eq!(f.idle_counts(), f.idle_counts_scan());
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let run = || {
+            let set = SteeringSet::paper_default();
+            let mut f = Fabric::with_configuration(
+                fault_params(300_000, 400_000, 16, vec![7]),
+                &set.predefined[0],
+            );
+            for cycle in 0..200 {
+                if cycle % 7 == 0 {
+                    let _ = f.begin_load(4, UnitType::Lsu);
+                }
+                f.tick();
+            }
+            (f.fault_stats(), f.stats(), f.alloc().clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inert_fault_model_changes_nothing() {
+        // A fabric whose fault params are default-but-present must behave
+        // identically to one never touched by the fault code path.
+        let set = SteeringSet::paper_default();
+        let mut f = Fabric::with_configuration(params(2, 1), &set.predefined[0]);
+        f.begin_load(1, UnitType::Lsu).unwrap();
+        for _ in 0..4 {
+            f.tick();
+        }
+        assert_eq!(f.fault_stats(), FaultStats::default());
+        assert!(f.fault_events().is_empty());
+        assert_eq!(f.corrupted_units(), 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`fabric`] — the live fabric: per-slot state (configured / loading /
 //!   busy), FFU state, reconfiguration ports and latency, and the
 //!   cycle-by-cycle load engine.
+//! * [`fault`] — the deterministic, seeded configuration-memory fault
+//!   model: load failures, upsets, scrub/readback, stuck-at-dead slots.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +28,10 @@ pub mod alloc;
 pub mod availability;
 pub mod config;
 pub mod fabric;
+pub mod fault;
 
 pub use alloc::AllocationVector;
 pub use availability::{available, available_circuit, AvailabilityInputs};
 pub use config::{Configuration, PlacementError, SteeringSet};
 pub use fabric::{Fabric, FabricParams, LoadError, UnitId, UnitView};
+pub use fault::{FaultEvent, FaultParams, FaultStats};

@@ -79,7 +79,8 @@ proptest! {
                             | LoadError::SpanBusy
                             | LoadError::SpanLoading
                             | LoadError::NoPortFree
-                            | LoadError::AlreadyConfigured,
+                            | LoadError::AlreadyConfigured
+                            | LoadError::SpanDead,
                         ) => {}
                     }
                 }

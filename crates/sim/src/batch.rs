@@ -73,7 +73,7 @@ impl BatchRunner {
 }
 
 /// Aggregate counters from a [`run_batch`] sweep.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchSummary {
     /// Programs run.
     pub runs: u64,
@@ -81,8 +81,23 @@ pub struct BatchSummary {
     pub sim_cycles: u64,
     /// Total instructions retired across all runs.
     pub retired: u64,
-    /// True iff every program halted within its cycle budget.
+    /// True iff every program halted within its cycle budget
+    /// (vacuously true for an empty summary).
     pub all_halted: bool,
+}
+
+impl Default for BatchSummary {
+    /// The empty summary: zero runs, and `all_halted` vacuously *true*
+    /// so that `absorb` computes "every absorbed run halted" regardless
+    /// of how the summary was built.
+    fn default() -> BatchSummary {
+        BatchSummary {
+            runs: 0,
+            sim_cycles: 0,
+            retired: 0,
+            all_halted: true,
+        }
+    }
 }
 
 impl BatchSummary {
@@ -104,10 +119,7 @@ pub fn run_batch(
     max_cycles: u64,
 ) -> Result<BatchSummary, RunError> {
     let mut runner = BatchRunner::new(cfg.clone())?;
-    let mut sum = BatchSummary {
-        all_halted: true,
-        ..BatchSummary::default()
-    };
+    let mut sum = BatchSummary::default();
     for p in programs {
         let report = runner.run(p, max_cycles)?;
         sum.absorb(&report);
@@ -119,8 +131,8 @@ pub fn run_batch(
 mod tests {
     use super::*;
     use crate::processor::Processor;
-    use rsp_workloads::synth::{SynthSpec, UnitMix};
     use rsp_workloads::kernels;
+    use rsp_workloads::synth::{SynthSpec, UnitMix};
 
     /// A batched run must be bit-identical to a fresh-machine run,
     /// including after the machine was dirtied by a different program.
@@ -155,14 +167,35 @@ mod tests {
         assert!(sum.all_halted);
         let individual: u64 = programs
             .iter()
-            .map(|p| {
-                Processor::new(cfg.clone())
-                    .run(p, 100_000)
-                    .unwrap()
-                    .cycles
-            })
+            .map(|p| Processor::new(cfg.clone()).run(p, 100_000).unwrap().cycles)
             .sum();
         assert_eq!(sum.sim_cycles, individual);
+    }
+
+    /// Regression: `BatchSummary::default()` used to report
+    /// `all_halted == false`, so summaries built via `Default` (rather
+    /// than through `run_batch`) claimed a halt failure even when every
+    /// absorbed run halted.
+    #[test]
+    fn default_summary_is_vacuously_all_halted() {
+        let sum = BatchSummary::default();
+        assert!(sum.all_halted, "empty summary is vacuously all-halted");
+        assert_eq!(sum.runs, 0);
+
+        let mut sum = BatchSummary::default();
+        let halted = Processor::new(SimConfig::default())
+            .run(&kernels::dot_product(4), 100_000)
+            .unwrap();
+        sum.absorb(&halted);
+        assert!(sum.all_halted, "halted runs keep all_halted true");
+
+        // A budget-exhausted run still flips it off.
+        let truncated = Processor::new(SimConfig::default())
+            .run(&kernels::dot_product(64), 10)
+            .unwrap();
+        assert!(!truncated.halted);
+        sum.absorb(&truncated);
+        assert!(!sum.all_halted);
     }
 
     #[test]
@@ -179,6 +212,11 @@ mod tests {
             Err(RunError::BadProgram(_))
         ));
         // A rejected program must not poison the runner.
-        assert!(runner.run(&kernels::dot_product(4), 100_000).unwrap().halted);
+        assert!(
+            runner
+                .run(&kernels::dot_product(4), 100_000)
+                .unwrap()
+                .halted
+        );
     }
 }

@@ -243,6 +243,10 @@ impl SimConfig {
         if self.data_mem_words == 0 {
             return Err("data memory must be non-empty".into());
         }
+        self.fabric
+            .faults
+            .validate(self.fabric.rfu_slots)
+            .map_err(|e| format!("fault model: {e}"))?;
         Ok(())
     }
 
@@ -320,6 +324,17 @@ mod tests {
         let mut bad = SimConfig::default();
         bad.fabric.rfu_slots = 4;
         assert!(bad.validate().is_err());
+        let mut bad = SimConfig::default();
+        bad.fabric.faults.upset_ppm = 2_000_000;
+        assert!(bad.validate().is_err());
+        let mut bad = SimConfig::default();
+        bad.fabric.faults.dead_slots = vec![8];
+        assert!(bad.validate().is_err());
+        let mut ok = SimConfig::default();
+        ok.fabric.faults.upset_ppm = 500;
+        ok.fabric.faults.scrub_interval = 100;
+        ok.fabric.faults.dead_slots = vec![7];
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -52,5 +52,6 @@ pub mod trace;
 pub use batch::{run_batch, BatchRunner, BatchSummary};
 pub use config::{BranchPrediction, DemandMode, Latencies, PolicyKind, SelectMode, SimConfig};
 pub use processor::{Processor, RunError};
+pub use rsp_fabric::fault::{FaultParams, FaultStats};
 pub use stats::SimReport;
 pub use trace::SteeringTrace;

@@ -279,7 +279,8 @@ impl Machine {
         self.mem.reset();
         self.fabric = Fabric::new(self.cfg.fabric.clone());
         if let Some(i) = self.cfg.initial_config {
-            self.fabric.load_instantly(&self.cfg.steering_set.predefined[i]);
+            self.fabric
+                .load_instantly(&self.cfg.steering_set.predefined[i]);
         }
         self.policy = PolicyInstance::build(&self.cfg);
         self.draining.clear();
@@ -370,6 +371,7 @@ impl Machine {
             stalls: self.stalls,
             collisions: self.collisions,
             fabric: self.fabric.stats(),
+            faults: self.fabric.fault_stats(),
             loader: self.policy.loader_stats().cloned(),
             policy: self.policy.name(),
             policy_loads: self.policy.policy_loads(),
@@ -648,7 +650,8 @@ impl Machine {
             self.stalls.unit_unconfigured += 1;
         }
 
-        self.wakeup.requests_into(&avail, &mut self.scratch.requests);
+        self.wakeup
+            .requests_into(&avail, &mut self.scratch.requests);
         // How many entries would request with every resource available:
         // exactly the ready-demand total (incremental counter).
         let ready_any = self.wakeup.demand_ready().total() as usize;
@@ -930,6 +933,54 @@ mod tests {
         let (a, _) = run_text(src);
         let (b, _) = run_text(src);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faults_degrade_timing_but_never_correctness() {
+        use rsp_fabric::fault::{FaultParams, PPM};
+        let src = "addi r1, r0, 40\nloop: mul r2, r1, r1\nfcvt.i.f f1, r2\nfmul f2, f1, f1\n\
+                   addi r1, r1, -1\nbne r1, r0, loop\nhalt";
+        let p = assemble("t", src).unwrap();
+        let mut reference = ReferenceInterpreter::new(DataMemory::new(4096));
+        reference.run(&p.instrs, 1_000_000);
+
+        let run = |faults: FaultParams| {
+            let mut cfg = SimConfig::default();
+            cfg.fabric.faults = faults;
+            let proc = Processor::new(cfg);
+            let mut m = proc.start(&p).unwrap();
+            while m.cycle() < 1_000_000 && m.step() {}
+            let r = m.report();
+            assert!(r.halted, "faulty run must still halt");
+            assert_eq!(r.retired, reference.retired, "retired diverged");
+            assert_eq!(m.regfile().iregs(), reference.state.iregs());
+            assert_eq!(m.regfile().fregs(), reference.state.fregs());
+            r
+        };
+        let clean = run(FaultParams::default());
+        // Brutal fault environment: every load fails half the time, an
+        // upset strikes every 20 cycles on average, slot 3 is dead.
+        let faulty = run(FaultParams {
+            seed: 9,
+            load_failure_ppm: PPM / 2,
+            upset_ppm: PPM / 20,
+            scrub_interval: 64,
+            dead_slots: vec![3],
+        });
+        assert!(faulty.faults.upsets_injected > 0, "{:?}", faulty.faults);
+        assert!(faulty.faults.scrubs > 0);
+        assert!(
+            faulty.cycles >= clean.cycles,
+            "faults can only slow the machine: {} < {}",
+            faulty.cycles,
+            clean.cycles
+        );
+        assert_eq!(clean.faults, Default::default());
+        let l = faulty.loader.as_ref().unwrap();
+        assert!(
+            l.load_failures > 0 || l.skipped_dead > 0,
+            "loader must see fault events: {l:?}"
+        );
     }
 
     #[test]

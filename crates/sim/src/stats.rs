@@ -2,6 +2,7 @@
 
 use rsp_core::loader::LoaderStats;
 use rsp_fabric::fabric::FabricStats;
+use rsp_fabric::fault::FaultStats;
 use rsp_isa::units::TypeCounts;
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,8 @@ pub struct SimReport {
     pub collisions: u64,
     /// Fabric reconfiguration counters.
     pub fabric: FabricStats,
+    /// Fault-injection counters (all-zero when the fault model is off).
+    pub faults: FaultStats,
     /// Configuration-loader counters (paper policy only).
     pub loader: Option<LoaderStats>,
     /// Steering policy name.

@@ -56,6 +56,10 @@ impl SteeringTrace {
 
     /// Drive `m` to completion (or `max_cycles`), sampling every
     /// `interval` cycles. Returns the final report.
+    // The lint's suggestion (`u64::is_multiple_of`) needs Rust 1.87; the
+    // workspace MSRV is 1.82. `allow` instead of `expect`: older clippy
+    // doesn't know this lint and would flag an unfulfilled expectation.
+    #[allow(unknown_lints, clippy::manual_is_multiple_of)]
     pub fn drive(
         &mut self,
         m: &mut Machine,
@@ -65,11 +69,16 @@ impl SteeringTrace {
         let interval = interval.max(1);
         self.record(m);
         while m.cycle() < max_cycles && m.step() {
-            if m.cycle().is_multiple_of(interval) {
+            if m.cycle() % interval == 0 {
                 self.record(m);
             }
         }
-        self.record(m);
+        // Final sample — unless the loop's periodic sample already
+        // covered this cycle (final cycle a multiple of `interval`),
+        // which would duplicate it.
+        if self.samples.last().map(|s| s.cycle) != Some(m.cycle()) {
+            self.record(m);
+        }
         m.report()
     }
 
@@ -159,6 +168,42 @@ mod tests {
         let json = trace.to_json();
         let back: SteeringTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, trace);
+    }
+
+    /// Regression: when the run ends on a cycle that is a multiple of
+    /// `interval`, the unconditional post-loop record used to push a
+    /// second, identical sample for that cycle.
+    #[test]
+    fn no_duplicate_trailing_sample() {
+        let p = assemble(
+            "t",
+            "addi r1, r0, 30\nloop: mul r2, r1, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt",
+        )
+        .unwrap();
+        // interval 1 makes the final cycle always a sampling cycle.
+        let proc = Processor::new(SimConfig::default());
+        let mut m = proc.start(&p).unwrap();
+        let mut trace = SteeringTrace::new();
+        trace.drive(&mut m, 1, 100_000);
+        assert!(
+            trace.samples.windows(2).all(|w| w[0].cycle < w[1].cycle),
+            "cycle numbers must be strictly increasing"
+        );
+        // Budget-exhaustion path: cut the run at a multiple of the
+        // interval so the last step lands exactly on a sampling cycle.
+        let proc = Processor::new(SimConfig::default());
+        let mut m = proc.start(&p).unwrap();
+        let mut trace = SteeringTrace::new();
+        trace.drive(&mut m, 5, 20);
+        assert!(trace.samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        assert_eq!(trace.samples.last().unwrap().cycle, 20);
+        // A final cycle off the sampling grid still gets its sample.
+        let proc = Processor::new(SimConfig::default());
+        let mut m = proc.start(&p).unwrap();
+        let mut trace = SteeringTrace::new();
+        trace.drive(&mut m, 7, 23);
+        assert_eq!(trace.samples.last().unwrap().cycle, 23);
+        assert!(trace.samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Fault-free invariance: the fault machinery is compiled into every
+//! fabric, but with all rates at zero and no dead slots it must be
+//! perfectly inert — consuming no randomness and perturbing no timing —
+//! so `SimReport`s are bit-identical to a build without it. The golden
+//! timing corpus (tests/golden_timings.rs) pins this against history;
+//! this suite pins it against the knobs: a nonzero seed or scrub
+//! interval alone must change nothing.
+
+use rsp::fabric::fault::FaultParams;
+use rsp::isa::Program;
+use rsp::sim::{Processor, SimConfig, SimReport};
+use rsp::workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+
+fn corpus() -> Vec<(SimConfig, Program)> {
+    vec![
+        (SimConfig::default(), kernels::dot_product(32)),
+        (SimConfig::default(), kernels::bubble_sort(12)),
+        (SimConfig::static_on(1), kernels::matmul(5)),
+        (
+            SimConfig::oracle(),
+            PhasedSpec::int_fp_mem(150, 1, 2024).generate(),
+        ),
+        (
+            SimConfig::default(),
+            SynthSpec::new("mem", UnitMix::MEM_HEAVY, 13).generate(),
+        ),
+    ]
+}
+
+fn run(mut cfg: SimConfig, faults: FaultParams, p: &Program) -> SimReport {
+    cfg.fabric.faults = faults;
+    let r = Processor::new(cfg).run(p, 5_000_000).expect("valid");
+    assert!(r.halted, "[{}] must halt", p.name);
+    r
+}
+
+#[test]
+fn zero_rate_fault_model_is_bit_identical() {
+    for (cfg, p) in corpus() {
+        let baseline = run(cfg.clone(), FaultParams::default(), &p);
+        // A seed primes the RNG but a disabled model never draws from it.
+        let seeded = run(
+            cfg.clone(),
+            FaultParams {
+                seed: 0xDEAD_BEEF,
+                ..FaultParams::default()
+            },
+            &p,
+        );
+        // Scrubbing with nothing to detect must also be free.
+        let scrubbed = run(
+            cfg.clone(),
+            FaultParams {
+                seed: 7,
+                scrub_interval: 16,
+                ..FaultParams::default()
+            },
+            &p,
+        );
+        assert_eq!(
+            baseline, seeded,
+            "[{}] seed alone perturbed the run",
+            p.name
+        );
+        assert_eq!(
+            baseline, scrubbed,
+            "[{}] inert scrub perturbed the run",
+            p.name
+        );
+        assert_eq!(baseline.faults, Default::default(), "[{}]", p.name);
+    }
+}
+
+#[test]
+fn zero_rate_reports_count_no_fault_work() {
+    for (cfg, p) in corpus() {
+        let r = run(cfg, FaultParams::default(), &p);
+        assert_eq!(r.faults.load_failures, 0);
+        assert_eq!(r.faults.upsets_injected, 0);
+        assert_eq!(r.faults.upsets_dissipated, 0);
+        assert_eq!(r.faults.upsets_detected, 0);
+        assert_eq!(r.faults.scrubs, 0);
+        if let Some(l) = &r.loader {
+            assert_eq!(l.load_failures, 0);
+            assert_eq!(l.retries, 0);
+            assert_eq!(l.upsets_detected, 0);
+            assert_eq!(l.deferred_backoff, 0);
+            assert_eq!(l.skipped_dead, 0);
+        }
+    }
+}

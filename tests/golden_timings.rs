@@ -80,7 +80,11 @@ fn measure() -> BTreeMap<String, (u64, u64)> {
 fn timings_match_golden_corpus() {
     let measured = measure();
     if std::env::var("BLESS_TIMINGS").is_ok() {
-        std::fs::write(GOLDEN_PATH, serde_json::to_string_pretty(&measured).unwrap()).unwrap();
+        std::fs::write(
+            GOLDEN_PATH,
+            serde_json::to_string_pretty(&measured).unwrap(),
+        )
+        .unwrap();
         eprintln!("blessed {} timing entries", measured.len());
         return;
     }
@@ -89,8 +93,11 @@ fn timings_match_golden_corpus() {
         Err(_) => {
             // First run in a fresh checkout without the corpus: create it
             // so CI has a baseline, and pass.
-            std::fs::write(GOLDEN_PATH, serde_json::to_string_pretty(&measured).unwrap())
-                .unwrap();
+            std::fs::write(
+                GOLDEN_PATH,
+                serde_json::to_string_pretty(&measured).unwrap(),
+            )
+            .unwrap();
             return;
         }
     };

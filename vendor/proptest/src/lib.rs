@@ -549,11 +549,11 @@ pub mod test_runner {
 }
 
 pub mod prelude {
+    pub use super::proptest as proptest_macro;
     pub use super::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
         BoxedStrategy, Just, ProptestConfig, Strategy,
     };
-    pub use super::proptest as proptest_macro;
 }
 
 // ---------------------------------------------------------------------------

@@ -101,8 +101,7 @@ pub fn variant(name: &str, payload: Value) -> Value {
 /// `null` (so `Option` fields may be omitted). Used by the derive macro.
 pub fn field<T: crate::Deserialize>(v: &Value, key: &str, ty: &str) -> Result<T, Error> {
     match v.get(key) {
-        Some(member) => T::from_value(member)
-            .map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
+        Some(member) => T::from_value(member).map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
         None => T::from_value(&Value::Null)
             .map_err(|_| Error::msg(format!("missing field `{key}` of {ty}"))),
     }
@@ -320,7 +319,12 @@ impl<'a> Parser<'a> {
             match self.bump() {
                 Some(b',') => continue,
                 Some(b']') => return Ok(Value::Array(items)),
-                _ => return Err(Error::msg(format!("expected ',' or ']' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -345,7 +349,12 @@ impl<'a> Parser<'a> {
             match self.bump() {
                 Some(b',') => continue,
                 Some(b'}') => return Ok(Value::Object(members)),
-                _ => return Err(Error::msg(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -450,7 +459,16 @@ mod tests {
 
     #[test]
     fn roundtrip_scalars() {
-        for text in ["null", "true", "false", "0", "-17", "184467440737095516", "1.5", "\"a b\""] {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "184467440737095516",
+            "1.5",
+            "\"a b\"",
+        ] {
             let v = parse(text).unwrap();
             assert_eq!(parse(&write_compact(&v)).unwrap(), v);
         }

@@ -236,7 +236,11 @@ impl_tuple! {
 
 impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -252,8 +256,10 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
 impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Sort keys so serialization is deterministic.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }

@@ -17,13 +17,17 @@ use proc_macro::TokenStream;
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(&input.to_string());
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(&input.to_string());
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -64,7 +68,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(src: &'a str) -> Cursor<'a> {
-        Cursor { src: src.as_bytes(), pos: 0 }
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -102,7 +109,11 @@ impl<'a> Cursor<'a> {
             self.pos += 1;
             self.skip_ws();
         }
-        assert_eq!(self.peek(), Some(b'['), "malformed attribute in derive input");
+        assert_eq!(
+            self.peek(),
+            Some(b'['),
+            "malformed attribute in derive input"
+        );
         let mut depth = 0usize;
         while let Some(b) = self.peek() {
             match b {
@@ -202,7 +213,10 @@ impl<'a> Cursor<'a> {
         while matches!(self.peek(), Some(b) if b == b'_' || b.is_ascii_alphanumeric()) {
             self.pos += 1;
         }
-        assert!(self.pos > start, "expected identifier in derive input at byte {start}");
+        assert!(
+            self.pos > start,
+            "expected identifier in derive input at byte {start}"
+        );
         String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
     }
 
@@ -392,9 +406,7 @@ fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
         Shape::Struct(Fields::Unit) => "::serde::json::Value::Null".to_string(),
-        Shape::Struct(Fields::Tuple(1)) => {
-            "::serde::Serialize::to_value(&self.0)".to_string()
-        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Struct(Fields::Tuple(n)) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
