@@ -1,0 +1,130 @@
+//! `rsp-timeline` — replay a telemetry JSONL event log into a
+//! human-readable timeline plus a JSON report for CI diffing.
+//!
+//! ```text
+//! rsp-timeline <events.jsonl> [--json <out.json>]
+//! rsp-timeline --demo [--json <out.json>]
+//! ```
+//!
+//! `--demo` runs a phased workload under the fault-sweep environment
+//! with a ring-buffer event sink installed, analyses its own log, and
+//! cross-checks the reconstruction against the simulator's fault
+//! counters — a self-contained smoke test of the whole telemetry path
+//! (used by the experiments CI job).
+
+use rsp_bench::throughput::faulty_params;
+use rsp_bench::timeline::{analyze, parse_jsonl, TimelineReport};
+use rsp_sim::{Processor, SimConfig, Telemetry};
+use rsp_workloads::PhasedSpec;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: rsp-timeline <events.jsonl> [--json <out.json>]");
+    eprintln!("       rsp-timeline --demo [--json <out.json>]");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut demo = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => demo = true,
+            "--json" => {
+                i += 1;
+                json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            a if a.starts_with('-') => usage(),
+            a => {
+                if input.replace(a.to_string()).is_some() {
+                    usage();
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let report = if demo {
+        if input.is_some() {
+            usage();
+        }
+        run_demo()
+    } else {
+        let Some(path) = input else { usage() };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rsp-timeline: cannot read {path}: {e}");
+                exit(1);
+            }
+        };
+        let events = match parse_jsonl(&text) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("rsp-timeline: {path}: {e}");
+                exit(1);
+            }
+        };
+        analyze(&events)
+    };
+
+    print!("{}", report.render());
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("rsp-timeline: cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("\nJSON report written to {path}");
+    }
+}
+
+/// Run the demo workload with a ring sink and cross-check the
+/// reconstruction against the simulator's own counters.
+fn run_demo() -> TimelineReport {
+    let mut cfg = SimConfig::default();
+    cfg.fabric.faults = faulty_params();
+    let program = PhasedSpec::int_fp_mem(300, 3, 3000).generate();
+    let proc = Processor::new(cfg);
+    let mut m = proc.start(&program).expect("valid program");
+    // Large enough that nothing is overwritten: the cross-checks below
+    // need the complete stream.
+    m.set_telemetry(Telemetry::ring(1 << 20));
+    while m.cycle() < 1_000_000 && m.step() {}
+    let r = m.report();
+    assert!(r.halted, "demo workload must halt");
+
+    let sink = m.telemetry().ring_sink().expect("ring sink installed");
+    assert_eq!(sink.dropped(), 0, "demo ring must capture the full run");
+    let text = m.telemetry().to_jsonl().expect("ring sink has a log");
+    let events = parse_jsonl(&text).expect("own log parses");
+    let report = analyze(&events);
+
+    // The reconstruction must agree with the simulator's counters: every
+    // detected upset appears as a reconstructed episode, and selection
+    // shares cover all decisions.
+    assert_eq!(
+        report.episodes_detected, r.faults.upsets_detected,
+        "episode reconstruction diverged from FaultStats"
+    );
+    assert_eq!(
+        report.episodes.len() as u64,
+        r.faults.upsets_injected,
+        "injected-episode count diverged from FaultStats"
+    );
+    assert_eq!(report.scrub_passes, r.faults.scrubs);
+    let share_sum: f64 = report.selection_shares.iter().map(|s| s.share_pct).sum();
+    assert!(
+        report.decisions > 0 && (share_sum - 100.0).abs() < 1e-6,
+        "selection shares must sum to 100% (got {share_sum})"
+    );
+    println!(
+        "demo: {} cycles, {} events; episodes match FaultStats ({} detected), \
+         selection shares sum to {share_sum:.1}%\n",
+        r.cycles, report.events, report.episodes_detected
+    );
+    report
+}

@@ -181,7 +181,7 @@ pub fn e3_stability() -> String {
             ("prefer-predefined", TieBreak::PreferPredefined),
         ] {
             let r = run_one(paper_policy(tie, CemKind::BarrelShifter, true), p);
-            let loader = r.loader.as_ref().unwrap();
+            let loader = &r.loader;
             let settled = 100.0 * loader.selections[0] as f64
                 / loader.selections.iter().sum::<u64>().max(1) as f64;
             let _ = writeln!(

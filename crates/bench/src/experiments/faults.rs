@@ -69,7 +69,7 @@ impl FaultRow {
             upsets_detected: r.faults.upsets_detected,
             scrubs: r.faults.scrubs,
             load_failures: r.faults.load_failures,
-            retries: r.loader.as_ref().map_or(0, |l| l.retries),
+            retries: r.loader.retries,
         }
     }
 }

@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod harness;
 pub mod scaled;
 pub mod throughput;
+pub mod timeline;
 
 pub use harness::{policies, run_one, PolicySpec, Row};
 pub use scaled::scaled_paper_set;

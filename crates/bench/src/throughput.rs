@@ -11,7 +11,7 @@
 //! reuses [`workload_classes`].
 
 use rsp_isa::Program;
-use rsp_sim::{BatchRunner, SimConfig, SimReport};
+use rsp_sim::{BatchRunner, FaultParams, SimConfig, SimReport};
 use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
 use serde::Serialize;
 use std::time::{Duration, Instant};
@@ -26,6 +26,9 @@ pub struct WorkloadClass {
     pub name: &'static str,
     /// Programs run back to back each pass.
     pub programs: Vec<Program>,
+    /// Fault-model parameters for this class (default: fault model off,
+    /// which keeps `Fabric::tick` on its inert fast path).
+    pub faults: FaultParams,
 }
 
 /// The harness's workload classes. Deterministic (fixed seeds): the
@@ -36,7 +39,10 @@ pub struct WorkloadClass {
 /// * `synthetic-mix` — all four mixes interleaved across seeds (the
 ///   acceptance-gate class);
 /// * `phased` — mix changes mid-program, exercising steering churn;
-/// * `kernels` — the real-kernel suite.
+/// * `kernels` — the real-kernel suite;
+/// * `faulty` — the phased programs under an active fault model
+///   (failing loads, upsets, scrub), timing the fault tick + recovery
+///   paths that every other class skips.
 pub fn workload_classes() -> Vec<WorkloadClass> {
     let mut classes = Vec::new();
     for (name, mix) in UnitMix::named() {
@@ -47,7 +53,11 @@ pub fn workload_classes() -> Vec<WorkloadClass> {
                 spec.generate()
             })
             .collect();
-        classes.push(WorkloadClass { name, programs });
+        classes.push(WorkloadClass {
+            name,
+            programs,
+            faults: FaultParams::default(),
+        });
     }
     let mut mixed = Vec::new();
     for (name, mix) in UnitMix::named() {
@@ -60,18 +70,41 @@ pub fn workload_classes() -> Vec<WorkloadClass> {
     classes.push(WorkloadClass {
         name: "synthetic-mix",
         programs: mixed,
+        faults: FaultParams::default(),
     });
     classes.push(WorkloadClass {
         name: "phased",
         programs: (0..3)
             .map(|seed| PhasedSpec::int_fp_mem(300, 3, 3000 + seed).generate())
             .collect(),
+        faults: FaultParams::default(),
     });
     classes.push(WorkloadClass {
         name: "kernels",
         programs: kernels::suite(),
+        faults: FaultParams::default(),
+    });
+    classes.push(WorkloadClass {
+        name: "faulty",
+        programs: (0..3)
+            .map(|seed| PhasedSpec::int_fp_mem(300, 3, 3000 + seed).generate())
+            .collect(),
+        faults: faulty_params(),
     });
     classes
+}
+
+/// The fault environment of the `faulty` throughput class (and the
+/// `rsp-timeline --demo` run): every tenth load fails, an upset strikes
+/// every ~50 cycles, scrub sweeps every 64.
+pub fn faulty_params() -> FaultParams {
+    FaultParams {
+        seed: 0xF0A17,
+        load_failure_ppm: 100_000,
+        upset_ppm: 20_000,
+        scrub_interval: 64,
+        dead_slots: Vec::new(),
+    }
 }
 
 /// Measured throughput of one class.
@@ -118,7 +151,9 @@ impl ThroughputReport {
 /// Run one class until at least `min_wall` of measured stepping has
 /// accumulated (always at least one full pass).
 pub fn measure_class(cfg: &SimConfig, class: &WorkloadClass, min_wall: Duration) -> ClassResult {
-    let mut runner = BatchRunner::new(cfg.clone()).expect("valid config");
+    let mut cfg = cfg.clone();
+    cfg.fabric.faults = class.faults.clone();
+    let mut runner = BatchRunner::new(cfg).expect("valid config");
     let mut sim_cycles = 0u64;
     let mut retired = 0u64;
     let mut passes = 0u64;
@@ -188,6 +223,7 @@ mod tests {
         let class = WorkloadClass {
             name: "smoke",
             programs: vec![kernels::dot_product(16)],
+            faults: FaultParams::default(),
         };
         let r = measure_class(&cfg, &class, Duration::ZERO);
         assert_eq!(r.passes, 1);

@@ -1,0 +1,509 @@
+//! Offline timeline analysis of a telemetry event log.
+//!
+//! Replays a JSONL event stream (one [`Stamped`] event per line, as
+//! written by [`rsp_obs::RingSink::to_jsonl`]) into:
+//!
+//! * a **fault-episode reconstruction** — each upset's
+//!   inject → detect → recover arc, with latency distributions;
+//! * a **per-configuration selection-share table** — what fraction of
+//!   steering decisions chose each candidate;
+//! * **stall-episode counts** per attributed cause;
+//! * a machine-readable [`TimelineReport`] (serialised to JSON for CI
+//!   diffing) and a human-readable rendering (`rsp-timeline` binary).
+//!
+//! The analyzer is deliberately decoupled from the simulator: it sees
+//! only the event log, so it also works on logs captured from earlier
+//! runs or other tools, and it doubles as an end-to-end check that the
+//! event stream alone carries enough information to reconstruct what
+//! the machine did (the telemetry integration tests diff its episode
+//! count against [`rsp_sim::FaultStats::upsets_detected`]).
+
+use rsp_obs::{Event, StallCause, Stamped, MAX_CANDIDATES};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One reconstructed upset episode: inject → detect (scrub) → recover
+/// (reload placed on the same span head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FaultEpisode {
+    /// Span head slot the upset struck.
+    pub head: u32,
+    /// Cycle the upset was injected.
+    pub injected_at: u64,
+    /// Cycle scrub detected (and cleared) the corruption, if it did
+    /// before the log ended.
+    pub detected_at: Option<u64>,
+    /// Cycle a replacement load was placed on the span, if any.
+    pub recovered_at: Option<u64>,
+}
+
+impl FaultEpisode {
+    /// Inject-to-detect latency in cycles, when detected.
+    pub fn detect_latency(&self) -> Option<u64> {
+        self.detected_at.map(|d| d - self.injected_at)
+    }
+
+    /// Inject-to-recover latency in cycles, when recovered.
+    pub fn recover_latency(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r - self.injected_at)
+    }
+}
+
+/// Min/mean/max summary of a latency sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    fn of(samples: impl Iterator<Item = u64>) -> LatencySummary {
+        let mut s = LatencySummary {
+            min: u64::MAX,
+            ..LatencySummary::default()
+        };
+        let mut sum = 0u64;
+        for v in samples {
+            s.count += 1;
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+            sum += v;
+        }
+        if s.count == 0 {
+            s.min = 0;
+        } else {
+            s.mean = sum as f64 / s.count as f64;
+        }
+        s
+    }
+}
+
+/// Selection share of one steering candidate.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectionShare {
+    /// Candidate label (`current` or `configN`).
+    pub candidate: String,
+    /// Decisions that chose this candidate.
+    pub decisions: u64,
+    /// Share of all decisions, in percent.
+    pub share_pct: f64,
+}
+
+/// Stall-episode count for one attributed cause.
+#[derive(Debug, Clone, Serialize)]
+pub struct StallShare {
+    /// The attributed cause.
+    pub cause: String,
+    /// Episodes (cause *changes*, not cycles) attributed to it.
+    pub episodes: u64,
+}
+
+/// The analyzer's output: everything the `rsp-timeline` binary prints,
+/// in machine-readable form.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimelineReport {
+    /// Events analysed.
+    pub events: u64,
+    /// First event's cycle (0 for an empty log).
+    pub first_cycle: u64,
+    /// Last event's cycle (0 for an empty log).
+    pub last_cycle: u64,
+    /// Steering decisions seen.
+    pub decisions: u64,
+    /// Decisions that changed the selection.
+    pub selection_changes: u64,
+    /// Per-candidate selection shares (percentages sum to 100 whenever
+    /// any decision was logged).
+    pub selection_shares: Vec<SelectionShare>,
+    /// Reconfiguration traffic: loads started / placed / failed /
+    /// retried / deferred by backoff, and dead-slot skips.
+    pub loads_started: u64,
+    /// Loads that completed and passed readback.
+    pub loads_placed: u64,
+    /// Loads that consumed their latency but failed readback.
+    pub loads_failed: u64,
+    /// Load retries after a failure.
+    pub load_retries: u64,
+    /// Load attempts deferred by failure backoff.
+    pub backoff_deferrals: u64,
+    /// Load attempts skipped because the span is permanently dead.
+    pub dead_slot_skips: u64,
+    /// Scrub passes seen.
+    pub scrub_passes: u64,
+    /// Reconstructed upset episodes, in injection order.
+    pub episodes: Vec<FaultEpisode>,
+    /// Episodes whose corruption was detected by scrub.
+    pub episodes_detected: u64,
+    /// Episodes recovered (replacement load placed) within the log.
+    pub episodes_recovered: u64,
+    /// Inject-to-detect latency distribution.
+    pub detect_latency: LatencySummary,
+    /// Inject-to-recover latency distribution.
+    pub recover_latency: LatencySummary,
+    /// Stall episodes per attributed cause.
+    pub stalls: Vec<StallShare>,
+}
+
+/// A malformed event log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// The underlying JSON error, rendered.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSONL event log (blank lines are skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Stamped>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev: Stamped = serde_json::from_str(line).map_err(|e| ParseError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Replay `events` (cycle order expected, as logged) into a report.
+pub fn analyze(events: &[Stamped]) -> TimelineReport {
+    let mut decisions = 0u64;
+    let mut selection_changes = 0u64;
+    let mut chosen_counts = [0u64; MAX_CANDIDATES];
+    let mut loads_started = 0u64;
+    let mut loads_placed = 0u64;
+    let mut loads_failed = 0u64;
+    let mut load_retries = 0u64;
+    let mut backoff_deferrals = 0u64;
+    let mut dead_slot_skips = 0u64;
+    let mut scrub_passes = 0u64;
+    let mut stall_counts = [0u64; StallCause::ALL.len()];
+    let mut episodes: Vec<FaultEpisode> = Vec::new();
+
+    for ev in events {
+        match ev.event {
+            Event::SteeringDecision {
+                chosen, changed, ..
+            } => {
+                decisions += 1;
+                selection_changes += changed as u64;
+                if let Some(c) = chosen_counts.get_mut(chosen as usize) {
+                    *c += 1;
+                }
+            }
+            Event::LoadStarted { .. } => loads_started += 1,
+            Event::LoadRetry { .. } => load_retries += 1,
+            Event::LoadBackoffDeferred { .. } => backoff_deferrals += 1,
+            Event::DeadSlotSkip { .. } => dead_slot_skips += 1,
+            Event::LoadFailed { .. } => loads_failed += 1,
+            Event::LoadPlaced { head, .. } => {
+                loads_placed += 1;
+                // A placed load on a detected-but-unrecovered episode's
+                // span closes its recovery arc.
+                if let Some(e) = episodes
+                    .iter_mut()
+                    .find(|e| e.head == head && e.detected_at.is_some() && e.recovered_at.is_none())
+                {
+                    e.recovered_at = Some(ev.cycle);
+                }
+            }
+            Event::UpsetInjected { head, .. } => episodes.push(FaultEpisode {
+                head,
+                injected_at: ev.cycle,
+                detected_at: None,
+                recovered_at: None,
+            }),
+            Event::UpsetDetected { head, .. } => {
+                // Oldest-first: the fabric never double-corrupts a span,
+                // so at most one episode per head is open at a time.
+                if let Some(e) = episodes
+                    .iter_mut()
+                    .find(|e| e.head == head && e.detected_at.is_none())
+                {
+                    e.detected_at = Some(ev.cycle);
+                }
+            }
+            Event::ScrubPass { .. } => scrub_passes += 1,
+            Event::Stall { cause } => stall_counts[cause as usize] += 1,
+        }
+    }
+
+    let selection_shares = chosen_counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(i, &n)| SelectionShare {
+            candidate: if i == 0 {
+                "current".to_string()
+            } else {
+                format!("config{i}")
+            },
+            decisions: n,
+            share_pct: 100.0 * n as f64 / decisions.max(1) as f64,
+        })
+        .collect();
+    let stalls = StallCause::ALL
+        .iter()
+        .zip(stall_counts)
+        .filter(|&(_, n)| n > 0)
+        .map(|(c, n)| StallShare {
+            cause: c.name().to_string(),
+            episodes: n,
+        })
+        .collect();
+    TimelineReport {
+        events: events.len() as u64,
+        first_cycle: events.first().map_or(0, |e| e.cycle),
+        last_cycle: events.last().map_or(0, |e| e.cycle),
+        decisions,
+        selection_changes,
+        selection_shares,
+        loads_started,
+        loads_placed,
+        loads_failed,
+        load_retries,
+        backoff_deferrals,
+        dead_slot_skips,
+        scrub_passes,
+        episodes_detected: episodes.iter().filter(|e| e.detected_at.is_some()).count() as u64,
+        episodes_recovered: episodes.iter().filter(|e| e.recovered_at.is_some()).count() as u64,
+        detect_latency: LatencySummary::of(episodes.iter().filter_map(|e| e.detect_latency())),
+        recover_latency: LatencySummary::of(episodes.iter().filter_map(|e| e.recover_latency())),
+        episodes,
+        stalls,
+    }
+}
+
+impl TimelineReport {
+    /// Serialise for CI diffing.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Human-readable rendering: summary, selection-share table, stall
+    /// table, and the fault-episode timeline.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} events over cycles {}..{}",
+            self.events, self.first_cycle, self.last_cycle
+        );
+        let _ = writeln!(
+            s,
+            "steering: {} decisions, {} selection changes",
+            self.decisions, self.selection_changes
+        );
+        if !self.selection_shares.is_empty() {
+            let _ = writeln!(s, "\nselection shares:");
+            let _ = writeln!(
+                s,
+                "  {:<10} {:>10} {:>8}",
+                "candidate", "decisions", "share"
+            );
+            for sh in &self.selection_shares {
+                let _ = writeln!(
+                    s,
+                    "  {:<10} {:>10} {:>7.2}%",
+                    sh.candidate, sh.decisions, sh.share_pct
+                );
+            }
+        }
+        let _ = writeln!(
+            s,
+            "\nreconfiguration: {} started, {} placed, {} failed, {} retries, \
+             {} backoff deferrals, {} dead-slot skips",
+            self.loads_started,
+            self.loads_placed,
+            self.loads_failed,
+            self.load_retries,
+            self.backoff_deferrals,
+            self.dead_slot_skips
+        );
+        if !self.stalls.is_empty() {
+            let _ = writeln!(s, "\nstall episodes:");
+            for st in &self.stalls {
+                let _ = writeln!(s, "  {:<20} {:>8}", st.cause, st.episodes);
+            }
+        }
+        let _ = writeln!(
+            s,
+            "\nfault episodes: {} injected, {} detected, {} recovered ({} scrub passes)",
+            self.episodes.len(),
+            self.episodes_detected,
+            self.episodes_recovered,
+            self.scrub_passes
+        );
+        if self.detect_latency.count > 0 {
+            let _ = writeln!(
+                s,
+                "  inject→detect  latency: min {} mean {:.1} max {} cycles",
+                self.detect_latency.min, self.detect_latency.mean, self.detect_latency.max
+            );
+        }
+        if self.recover_latency.count > 0 {
+            let _ = writeln!(
+                s,
+                "  inject→recover latency: min {} mean {:.1} max {} cycles",
+                self.recover_latency.min, self.recover_latency.mean, self.recover_latency.max
+            );
+        }
+        const MAX_LISTED: usize = 100;
+        for e in self.episodes.iter().take(MAX_LISTED) {
+            let detect = match e.detected_at {
+                Some(d) => format!("detected @{d} (+{})", d - e.injected_at),
+                None => "undetected".to_string(),
+            };
+            let recover = match e.recovered_at {
+                Some(r) => format!("recovered @{r} (+{})", r - e.injected_at),
+                None => "unrecovered".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  upset @{:<8} head {:<2} {detect:<24} {recover}",
+                e.injected_at, e.head
+            );
+        }
+        if self.episodes.len() > MAX_LISTED {
+            let _ = writeln!(
+                s,
+                "  … {} more (full list in the JSON report)",
+                self.episodes.len() - MAX_LISTED
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_isa::units::UnitType;
+
+    fn ev(cycle: u64, event: Event) -> Stamped {
+        Stamped { cycle, event }
+    }
+
+    #[test]
+    fn empty_log_analyzes_to_zeroes() {
+        let r = analyze(&[]);
+        assert_eq!(r.events, 0);
+        assert!(r.episodes.is_empty());
+        assert!(r.selection_shares.is_empty());
+        assert_eq!(r.detect_latency.count, 0);
+        assert!(r.render().contains("0 events"));
+    }
+
+    #[test]
+    fn reconstructs_episode_arc() {
+        let u = UnitType::IntAlu;
+        let log = [
+            ev(10, Event::UpsetInjected { head: 3, unit: u }),
+            ev(64, Event::ScrubPass { detected: 1 }),
+            ev(64, Event::UpsetDetected { head: 3, unit: u }),
+            ev(70, Event::LoadStarted { head: 3, unit: u }),
+            ev(102, Event::LoadPlaced { head: 3, unit: u }),
+        ];
+        let r = analyze(&log);
+        assert_eq!(r.episodes.len(), 1);
+        assert_eq!(r.episodes_detected, 1);
+        assert_eq!(r.episodes_recovered, 1);
+        let e = r.episodes[0];
+        assert_eq!(e.detect_latency(), Some(54));
+        assert_eq!(e.recover_latency(), Some(92));
+        assert_eq!(r.detect_latency.mean, 54.0);
+        assert_eq!(r.scrub_passes, 1);
+        assert!(r.render().contains("detected @64 (+54)"));
+    }
+
+    #[test]
+    fn placed_load_without_detection_is_not_recovery() {
+        let u = UnitType::Lsu;
+        let log = [
+            ev(5, Event::UpsetInjected { head: 0, unit: u }),
+            // A load placed on the same head before scrub detected the
+            // corruption belongs to ordinary steering, not recovery.
+            ev(9, Event::LoadPlaced { head: 0, unit: u }),
+        ];
+        let r = analyze(&log);
+        assert_eq!(r.episodes_detected, 0);
+        assert_eq!(r.episodes_recovered, 0);
+        assert_eq!(r.loads_placed, 1);
+    }
+
+    #[test]
+    fn selection_shares_sum_to_100() {
+        let mut log = Vec::new();
+        for i in 0..10u64 {
+            log.push(ev(
+                i,
+                Event::SteeringDecision {
+                    scores: [0; MAX_CANDIDATES],
+                    candidates: 4,
+                    chosen: (i % 3) as u8,
+                    changed: i % 3 != 0,
+                },
+            ));
+        }
+        let r = analyze(&log);
+        assert_eq!(r.decisions, 10);
+        let total: f64 = r.selection_shares.iter().map(|s| s.share_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9, "shares sum to {total}");
+        assert_eq!(r.selection_shares.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_round_trip_through_parser() {
+        let u = UnitType::FpMdu;
+        let log = [
+            ev(
+                1,
+                Event::Stall {
+                    cause: StallCause::QueueEmpty,
+                },
+            ),
+            ev(2, Event::UpsetInjected { head: 7, unit: u }),
+        ];
+        let text: String = log
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, log);
+        assert!(parse_jsonl("{not json}\n").is_err());
+        assert!(parse_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn report_serialises() {
+        let r = analyze(&[ev(
+            3,
+            Event::LoadStarted {
+                head: 1,
+                unit: UnitType::IntMdu,
+            },
+        )]);
+        let json = r.to_json();
+        assert!(json.contains("loads_started"));
+        assert!(json.contains("\"events\": 1"));
+    }
+}

@@ -25,6 +25,7 @@ use crate::select::ConfigChoice;
 use rsp_fabric::config::SteeringSet;
 use rsp_fabric::fabric::{Fabric, LoadError};
 use rsp_fabric::fault::FaultEvent;
+use rsp_obs::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// First retry delay (in steer cycles) after a failed load.
@@ -129,6 +130,9 @@ impl ConfigurationLoader {
                     self.fail_streak[head] = 0;
                     self.cooldown_until[head] = 0;
                 }
+                // Telemetry-only events (the simulator translates these
+                // for its event log); the loader has no bookkeeping.
+                FaultEvent::UpsetInjected { .. } | FaultEvent::ScrubPass { .. } => {}
             }
         }
     }
@@ -155,6 +159,18 @@ impl ConfigurationLoader {
     /// configuration's unit loads as availability and ports allow.
     /// Returns the number of loads started.
     pub fn apply(&mut self, choice: ConfigChoice, fabric: &mut Fabric) -> usize {
+        self.apply_observed(choice, fabric, &mut Telemetry::off())
+    }
+
+    /// [`ConfigurationLoader::apply`], emitting load-lifecycle telemetry
+    /// (start/retry/backoff-deferral/dead-skip) into `obs`. Behaviour is
+    /// identical; a disabled handle makes every emit a no-op.
+    pub fn apply_observed(
+        &mut self,
+        choice: ConfigChoice,
+        fabric: &mut Fabric,
+        obs: &mut Telemetry,
+    ) -> usize {
         self.tick += 1;
         self.drain_fault_events(fabric);
         let idx = choice.two_bit() as usize;
@@ -174,6 +190,10 @@ impl ConfigurationLoader {
         for pu in target.placement.units() {
             if self.tick < self.cooldown_until[pu.head] {
                 self.stats.deferred_backoff += 1;
+                obs.emit(Event::LoadBackoffDeferred {
+                    head: pu.head as u32,
+                    unit: pu.unit,
+                });
                 continue;
             }
             let res = if self.partial {
@@ -184,11 +204,19 @@ impl ConfigurationLoader {
             match res {
                 Ok(()) => {
                     self.stats.loads_started += 1;
+                    obs.emit(Event::LoadStarted {
+                        head: pu.head as u32,
+                        unit: pu.unit,
+                    });
                     // A restart after a failure is a retry; the streak is
                     // only cleared once a readback *passes* (LoadPlaced),
                     // so backoff keeps growing across repeated failures.
                     if self.fail_streak[pu.head] > 0 {
                         self.stats.retries += 1;
+                        obs.emit(Event::LoadRetry {
+                            head: pu.head as u32,
+                            unit: pu.unit,
+                        });
                     }
                     started += 1;
                 }
@@ -201,7 +229,13 @@ impl ConfigurationLoader {
                 Err(LoadError::SpanBusy) => self.stats.deferred_busy += 1,
                 Err(LoadError::NoPortFree) => self.stats.deferred_port += 1,
                 Err(LoadError::SpanLoading) => self.stats.skipped_loading += 1,
-                Err(LoadError::SpanDead) => self.stats.skipped_dead += 1,
+                Err(LoadError::SpanDead) => {
+                    self.stats.skipped_dead += 1;
+                    obs.emit(Event::DeadSlotSkip {
+                        head: pu.head as u32,
+                        unit: pu.unit,
+                    });
+                }
                 Err(LoadError::OutOfRange) => {
                     unreachable!("steering-set placements fit the fabric")
                 }

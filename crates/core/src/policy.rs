@@ -20,6 +20,7 @@ use crate::select::{ConfigChoice, SelectionUnit};
 use rsp_fabric::config::{Configuration, SteeringSet};
 use rsp_fabric::fabric::{Fabric, LoadError};
 use rsp_isa::units::{TypeCounts, UnitType};
+use rsp_obs::{Event, Telemetry, MAX_CANDIDATES};
 
 /// What a policy did this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +40,20 @@ pub trait SteeringPolicy {
     /// Observe this cycle's ready-instruction demand and (possibly)
     /// start reconfigurations.
     fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome;
+
+    /// [`SteeringPolicy::tick`] with a telemetry handle: policies that
+    /// make observable decisions emit them into `obs`. The default
+    /// ignores the handle — behaviour must be identical either way (the
+    /// fault-free invariance suite pins this).
+    fn tick_observed(
+        &mut self,
+        demand: &TypeCounts,
+        fabric: &mut Fabric,
+        obs: &mut Telemetry,
+    ) -> PolicyOutcome {
+        let _ = obs;
+        self.tick(demand, fabric)
+    }
 }
 
 /// The paper's steering mechanism: selection unit + configuration loader.
@@ -85,13 +100,33 @@ impl SteeringPolicy for PaperSteering {
     }
 
     fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome {
-        let (choice, _err) = self.unit.choose(
+        self.tick_observed(demand, fabric, &mut Telemetry::off())
+    }
+
+    fn tick_observed(
+        &mut self,
+        demand: &TypeCounts,
+        fabric: &mut Fabric,
+        obs: &mut Telemetry,
+    ) -> PolicyOutcome {
+        let mut scores = [0u32; MAX_CANDIDATES];
+        let (choice, _err, scored) = self.unit.choose_with_scores(
             demand.saturating_3bit(),
             fabric.configured_counts(),
             fabric.alloc(),
             self.loader.set(),
+            &mut scores,
         );
-        let loads = self.loader.apply(choice, fabric);
+        if obs.enabled() {
+            let last = self.loader.last_choice();
+            obs.emit(Event::SteeringDecision {
+                scores,
+                candidates: scored as u8,
+                chosen: choice.two_bit(),
+                changed: last.is_some() && last != Some(choice),
+            });
+        }
+        let loads = self.loader.apply_observed(choice, fabric, obs);
         PolicyOutcome {
             choice: Some(choice),
             loads_started: loads,
@@ -186,6 +221,15 @@ impl SteeringPolicy for DemandDriven {
     }
 
     fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome {
+        self.tick_observed(demand, fabric, &mut Telemetry::off())
+    }
+
+    fn tick_observed(
+        &mut self,
+        demand: &TypeCounts,
+        fabric: &mut Fabric,
+        obs: &mut Telemetry,
+    ) -> PolicyOutcome {
         // Count the fixed units straight off the parameters (the old
         // `ffu_signals()` path allocated a Vec every cycle).
         let ffu: TypeCounts = fabric.params().ffus.iter().map(|&t| (t, 1)).collect();
@@ -202,6 +246,10 @@ impl SteeringPolicy for DemandDriven {
                 Ok(()) => {
                     self.loads_started += 1;
                     started += 1;
+                    obs.emit(Event::LoadStarted {
+                        head: pu.head as u32,
+                        unit: pu.unit,
+                    });
                 }
                 Err(LoadError::SpanBusy) => self.deferred_busy += 1,
                 Err(_) => {}

@@ -253,12 +253,36 @@ impl SelectionUnit {
         current_alloc: &AllocationVector,
         set: &SteeringSet,
     ) -> (ConfigChoice, u32) {
+        let mut scores = [0u32; rsp_obs::MAX_CANDIDATES];
+        let (choice, err, _) =
+            self.choose_with_scores(required, current_counts, current_alloc, set, &mut scores);
+        (choice, err)
+    }
+
+    /// [`SelectionUnit::choose`], additionally writing each candidate's
+    /// CEM error into `scores` (candidate 0 = current configuration) for
+    /// telemetry. Returns the choice, its error, and the number of
+    /// scored candidates (capped at `scores.len()`; selection itself
+    /// always considers every candidate).
+    pub fn choose_with_scores(
+        &self,
+        required: TypeCounts,
+        current_counts: TypeCounts,
+        current_alloc: &AllocationVector,
+        set: &SteeringSet,
+        scores: &mut [u32; rsp_obs::MAX_CANDIDATES],
+    ) -> (ConfigChoice, u32, usize) {
+        scores.fill(0);
         let mut best = 0usize;
         let mut best_err = self.cem.error(&required, &current_counts);
         let mut best_cost = 0usize;
+        scores[0] = best_err;
         for (i, c) in set.predefined.iter().enumerate() {
             let err = self.cem.error(&required, &set.total_counts(i));
             let cost = c.placement.diff_count(current_alloc);
+            if i + 1 < scores.len() {
+                scores[i + 1] = err;
+            }
             let better = err < best_err
                 || (err == best_err
                     && match self.tie {
@@ -276,7 +300,8 @@ impl SelectionUnit {
         } else {
             ConfigChoice::Predefined(best - 1)
         };
-        (choice, best_err)
+        let scored = (1 + set.predefined.len()).min(scores.len());
+        (choice, best_err, scored)
     }
 }
 
@@ -458,6 +483,14 @@ mod tests {
             prop_assert_eq!(choice, full.choice);
             let idx = full.choice.two_bit() as usize;
             prop_assert_eq!(err, full.errors[idx]);
+            // The telemetry variant records exactly the stage-3 errors.
+            let mut scores = [0u32; rsp_obs::MAX_CANDIDATES];
+            let (c2, e2, scored) =
+                unit.choose_with_scores(required, current_counts, current_alloc, &s, &mut scores);
+            prop_assert_eq!(c2, full.choice);
+            prop_assert_eq!(e2, err);
+            prop_assert_eq!(scored, full.errors.len().min(scores.len()));
+            prop_assert_eq!(&scores[..scored], &full.errors[..scored]);
         }
 
         /// DESIGN.md invariant 4: the selector never returns a candidate

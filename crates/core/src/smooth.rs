@@ -107,6 +107,16 @@ impl SteeringPolicy for SmoothedSteering {
         let filtered = self.filter.update(demand);
         self.inner.tick(&filtered, fabric)
     }
+
+    fn tick_observed(
+        &mut self,
+        demand: &TypeCounts,
+        fabric: &mut Fabric,
+        obs: &mut rsp_obs::Telemetry,
+    ) -> PolicyOutcome {
+        let filtered = self.filter.update(demand);
+        self.inner.tick_observed(&filtered, fabric, obs)
+    }
 }
 
 #[cfg(test)]

@@ -289,6 +289,11 @@ impl Fabric {
             .count()
     }
 
+    /// Number of stuck-at-dead slots (constant over a run).
+    pub fn dead_slot_count(&self) -> usize {
+        self.fault.dead.iter().filter(|&&d| d).count()
+    }
+
     /// Units of each type currently configured in the RFU fabric
     /// (excluding in-flight loads, whose slots are empty).
     pub fn rfu_counts(&self) -> TypeCounts {
@@ -684,6 +689,10 @@ impl Fabric {
                 // counts: they are ungrantable from this cycle on.
                 dec(&mut self.idle, pu.unit);
                 self.fault.stats.upsets_injected += 1;
+                self.fault.events.push(FaultEvent::UpsetInjected {
+                    head: pu.head,
+                    unit: pu.unit,
+                });
             }
             self.fault.put_candidates(candidates);
         }
@@ -694,6 +703,7 @@ impl Fabric {
             if self.fault.scrub_countdown == 0 {
                 self.fault.scrub_countdown = self.fault.params.scrub_interval;
                 self.fault.stats.scrubs += 1;
+                let mut detected: u32 = 0;
                 let mut head = 0;
                 while head < self.alloc.len() {
                     let Some(pu) = self.alloc.unit_at(head) else {
@@ -707,6 +717,7 @@ impl Fabric {
                         self.alloc.clear_unit_at(head);
                         dec(&mut self.configured, pu.unit);
                         self.fault.stats.upsets_detected += 1;
+                        detected += 1;
                         self.fault.events.push(FaultEvent::UpsetDetected {
                             head,
                             unit: pu.unit,
@@ -714,6 +725,7 @@ impl Fabric {
                     }
                     head = pu.head + pu.unit.slot_cost();
                 }
+                self.fault.events.push(FaultEvent::ScrubPass { detected });
                 debug_assert_eq!(self.alloc.check(), Ok(()));
             }
         }

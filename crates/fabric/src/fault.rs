@@ -111,12 +111,26 @@ pub enum FaultEvent {
         /// Unit type that was being loaded.
         unit: UnitType,
     },
+    /// An SEU corrupted the configuration memory of the idle configured
+    /// unit at `head` (the slot is a zombie until scrub clears it).
+    UpsetInjected {
+        /// Head slot of the corrupted unit.
+        head: usize,
+        /// Unit type the span implements.
+        unit: UnitType,
+    },
     /// Scrub detected (and cleared) a corrupted span at `head`.
     UpsetDetected {
         /// Head slot of the corrupted unit.
         head: usize,
         /// Unit type the span used to implement.
         unit: UnitType,
+    },
+    /// A scrub pass completed, having detected `detected` corrupted
+    /// spans (emitted once per pass, after any [`FaultEvent::UpsetDetected`]).
+    ScrubPass {
+        /// Corrupted spans detected (and cleared) by this pass.
+        detected: u32,
     },
     /// A load on `head` completed and passed readback (emitted only when
     /// the fault model is enabled, so the loader can observe recovery

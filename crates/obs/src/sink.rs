@@ -1,0 +1,187 @@
+//! Event sinks: where stamped events go.
+//!
+//! A sink is lock-free by construction — the simulator is single-
+//! threaded per `Machine` and each `Machine` owns its sink, so recording
+//! is a plain method call with no synchronisation. The ring sink
+//! pre-allocates its whole buffer up front; recording into it never
+//! allocates (overwrites the oldest entry instead, counting drops).
+
+use crate::event::Stamped;
+
+/// A consumer of stamped telemetry events.
+pub trait EventSink {
+    /// Record one event.
+    fn record(&mut self, ev: Stamped);
+
+    /// False if this sink discards everything (lets emitters skip work).
+    fn active(&self) -> bool {
+        true
+    }
+}
+
+/// The do-nothing sink: every event is discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline]
+    fn record(&mut self, _ev: Stamped) {}
+
+    fn active(&self) -> bool {
+        false
+    }
+}
+
+/// A fixed-capacity ring buffer of stamped events with a JSONL export.
+///
+/// The buffer is allocated once at construction; when full, recording
+/// overwrites the oldest event and increments [`RingSink::dropped`] so
+/// consumers can tell a complete log from a truncated one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSink {
+    buf: Vec<Stamped>,
+    capacity: usize,
+    /// Index of the oldest entry once the buffer has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding up to `capacity` events (`capacity > 0`).
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring sink needs a nonzero capacity");
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum events held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The held events in chronological order.
+    pub fn events(&self) -> Vec<Stamped> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Serialise the held events as JSON Lines (one event per line,
+    /// chronological order).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&serde_json::to_string(&ev).expect("events always serialise"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discard all held events (capacity and drop count keep their
+    /// meaning for the next run; the drop count is zeroed).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.dropped = 0;
+    }
+}
+
+impl EventSink for RingSink {
+    #[inline]
+    fn record(&mut self, ev: Stamped) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(cycle: u64) -> Stamped {
+        Stamped {
+            cycle,
+            event: Event::ScrubPass {
+                detected: cycle as u32,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_under_capacity() {
+        let mut r = RingSink::new(4);
+        assert!(!NoopSink.active() && r.active());
+        for c in 0..3 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = RingSink::new(3);
+        for c in 0..7 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![4, 5, 6], "oldest survivors first");
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_line_per_event() {
+        let mut r = RingSink::new(8);
+        r.record(ev(1));
+        r.record(ev(2));
+        let text = r.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, want) in lines.iter().zip([1u64, 2]) {
+            let back: Stamped = serde_json::from_str(line).unwrap();
+            assert_eq!(back.cycle, want);
+        }
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let mut r = RingSink::new(2);
+        for c in 0..5 {
+            r.record(ev(c));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.record(ev(9));
+        assert_eq!(r.events()[0].cycle, 9);
+    }
+}

@@ -16,12 +16,15 @@
 //!   execution"): oldest-first, one instruction per idle unit per cycle.
 //! * [`depgraph`] — register dataflow analysis used to rebuild the
 //!   paper's Fig. 4 example and to seed wake-up dependency columns.
+//! * [`stall`] — allocation-free stall attribution feeding the
+//!   `rsp-obs` telemetry layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arbiter;
 pub mod depgraph;
+pub mod stall;
 pub mod wakeup;
 
 pub use arbiter::{arbitrate, arbitrate_into, Grant};

@@ -1,0 +1,121 @@
+//! Pipeline stall attribution.
+//!
+//! Maps one cycle's scheduler state to the [`StallCause`] telemetry
+//! vocabulary. Attribution is deliberately coarse and allocation-free —
+//! it runs inside `Machine::step` — and hierarchical: an empty queue
+//! explains everything downstream of it, an unconfigurable demand
+//! explains starvation, and only leftover contention counts as
+//! `Starved`.
+
+use rsp_isa::units::{TypeCounts, UnitType};
+use rsp_obs::StallCause;
+
+/// Attribute the issue stage's (lack of) progress.
+///
+/// * `queue_len` — occupied wake-up-array entries;
+/// * `ready` — entries requesting execution this cycle;
+/// * `granted` — grants actually made;
+/// * `unscheduled` — demand signature of the ready-but-unscheduled
+///   instructions (after grants);
+/// * `configured` — units of each type currently live (FFUs + RFUs).
+///
+/// Returns `None` when the stage made all the progress it was asked for.
+#[inline]
+pub fn classify_issue(
+    queue_len: usize,
+    ready: usize,
+    granted: usize,
+    unscheduled: &TypeCounts,
+    configured: &TypeCounts,
+) -> Option<StallCause> {
+    if queue_len == 0 {
+        return Some(StallCause::QueueEmpty);
+    }
+    if granted >= ready {
+        return None;
+    }
+    // Some ready instruction was left waiting: is any of the leftover
+    // demand for a unit type with no live unit at all? That is the
+    // steering gap (or a zombie/dead-slot episode) rather than ordinary
+    // contention.
+    for &t in &UnitType::ALL {
+        if unscheduled.get(t) > 0 && configured.get(t) == 0 {
+            return Some(StallCause::UnitUnconfigured);
+        }
+    }
+    Some(StallCause::Starved)
+}
+
+/// Attribute a dispatch-stage blockage: the wake-up array or the reorder
+/// buffer ran out of entries. Returns `None` when dispatch was not
+/// blocked by either.
+#[inline]
+pub fn classify_dispatch(queue_full: bool, rob_full: bool) -> Option<StallCause> {
+    if queue_full {
+        Some(StallCause::QueueFull)
+    } else if rob_full {
+        Some(StallCause::RobFull)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(a: [u8; 5]) -> TypeCounts {
+        TypeCounts::new(a)
+    }
+
+    #[test]
+    fn empty_queue_dominates() {
+        assert_eq!(
+            classify_issue(0, 0, 0, &TypeCounts::ZERO, &counts([1; 5])),
+            Some(StallCause::QueueEmpty)
+        );
+    }
+
+    #[test]
+    fn full_progress_is_no_stall() {
+        assert_eq!(
+            classify_issue(4, 2, 2, &TypeCounts::ZERO, &counts([1; 5])),
+            None
+        );
+        // Nothing ready (all waiting on dependencies) is not a stall
+        // the scheduler can be blamed for either.
+        assert_eq!(
+            classify_issue(4, 0, 0, &TypeCounts::ZERO, &counts([1; 5])),
+            None
+        );
+    }
+
+    #[test]
+    fn missing_unit_type_beats_starvation() {
+        // Leftover FP-ALU demand with zero FP-ALUs configured.
+        let unscheduled = counts([0, 0, 0, 2, 0]);
+        let configured = counts([2, 1, 1, 0, 1]);
+        assert_eq!(
+            classify_issue(6, 3, 1, &unscheduled, &configured),
+            Some(StallCause::UnitUnconfigured)
+        );
+    }
+
+    #[test]
+    fn leftover_contention_is_starved() {
+        let unscheduled = counts([2, 0, 0, 0, 0]);
+        let configured = counts([1, 1, 1, 1, 1]);
+        assert_eq!(
+            classify_issue(6, 3, 1, &unscheduled, &configured),
+            Some(StallCause::Starved)
+        );
+    }
+
+    #[test]
+    fn dispatch_attribution_prefers_queue() {
+        assert_eq!(classify_dispatch(false, false), None);
+        assert_eq!(classify_dispatch(true, false), Some(StallCause::QueueFull));
+        assert_eq!(classify_dispatch(false, true), Some(StallCause::RobFull));
+        assert_eq!(classify_dispatch(true, true), Some(StallCause::QueueFull));
+    }
+}

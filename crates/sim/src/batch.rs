@@ -11,7 +11,7 @@
 //! through.
 //!
 //! A batched run of a program is behaviourally identical to
-//! [`Processor::run`] on that program: [`Machine::reset`] restores every
+//! [`Processor::run`](crate::Processor::run) on that program: [`Machine::reset`] restores every
 //! piece of architectural and microarchitectural state (a unit test and
 //! the differential suite pin this down).
 //!

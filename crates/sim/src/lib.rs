@@ -53,5 +53,6 @@ pub use batch::{run_batch, BatchRunner, BatchSummary};
 pub use config::{BranchPrediction, DemandMode, Latencies, PolicyKind, SelectMode, SimConfig};
 pub use processor::{Processor, RunError};
 pub use rsp_fabric::fault::{FaultParams, FaultStats};
+pub use rsp_obs::{MetricsSnapshot, Telemetry};
 pub use stats::SimReport;
-pub use trace::SteeringTrace;
+pub use trace::{SteeringTrace, TraceSample};

@@ -31,15 +31,17 @@ use crate::stats::SimReport;
 use rsp_core::cem::CemUnit;
 use rsp_core::loader::LoaderStats;
 use rsp_core::policy::{DemandDriven, PaperSteering, PolicyOutcome, StaticPolicy, SteeringPolicy};
-use rsp_core::select::SelectionUnit;
+use rsp_core::select::{ConfigChoice, SelectionUnit};
 use rsp_core::smooth::SmoothedSteering;
 use rsp_fabric::alloc::PlacedUnit;
 use rsp_fabric::fabric::{Fabric, UnitId};
+use rsp_fabric::fault::FaultEvent;
 use rsp_isa::mem::DataMemory;
 use rsp_isa::program::ProgramError;
 use rsp_isa::semantics::ArchState;
 use rsp_isa::units::{TypeCounts, UnitType};
 use rsp_isa::Program;
+use rsp_obs::{Event, Histo, StallCause, Telemetry};
 use rsp_sched::{arbitrate_into, Grant, SlotIdx, WakeupArray};
 use std::collections::VecDeque;
 
@@ -105,12 +107,17 @@ impl PolicyInstance {
         }
     }
 
-    fn tick(&mut self, demand: &TypeCounts, fabric: &mut Fabric) -> PolicyOutcome {
+    fn tick(
+        &mut self,
+        demand: &TypeCounts,
+        fabric: &mut Fabric,
+        obs: &mut Telemetry,
+    ) -> PolicyOutcome {
         match self {
-            PolicyInstance::Paper(p) => p.tick(demand, fabric),
-            PolicyInstance::Static(p) => p.tick(demand, fabric),
-            PolicyInstance::Demand(p) => p.tick(demand, fabric),
-            PolicyInstance::Smoothed(p) => p.tick(demand, fabric),
+            PolicyInstance::Paper(p) => p.tick_observed(demand, fabric, obs),
+            PolicyInstance::Static(p) => p.tick_observed(demand, fabric, obs),
+            PolicyInstance::Demand(p) => p.tick_observed(demand, fabric, obs),
+            PolicyInstance::Smoothed(p) => p.tick_observed(demand, fabric, obs),
         }
     }
 
@@ -221,6 +228,20 @@ pub struct Machine {
     /// always ≥ 1 because the penalty is clamped to at least one cycle).
     collision_cooldown: Vec<u64>,
     scratch: Scratch,
+    /// Telemetry bus: disabled by default ([`Telemetry::off`]), in which
+    /// case every hook below degenerates to a branch on a bool.
+    telemetry: Telemetry,
+    /// Issue-stage stall-episode register: the cause attributed last
+    /// cycle, so an `Event::Stall` fires only when the cause *changes*.
+    issue_stall: Option<StallCause>,
+    /// Dispatch-stage stall-episode register (same edge-triggering).
+    dispatch_stall: Option<StallCause>,
+    /// Steering choice seen last cycle (telemetry only; the loader keeps
+    /// its own authoritative copy).
+    last_choice: Option<ConfigChoice>,
+    /// Cycle of the most recent selection *change*, open until the next
+    /// RFU grant closes the decision-to-grant latency sample.
+    pending_decision: Option<u64>,
     // statistics
     retired: u64,
     collisions: u64,
@@ -251,6 +272,11 @@ impl Machine {
             draining: Vec::new(),
             collision_cooldown: vec![0; cfg.queue_size],
             scratch: Scratch::default(),
+            telemetry: Telemetry::off(),
+            issue_stall: None,
+            dispatch_stall: None,
+            last_choice: None,
+            pending_decision: None,
             cfg,
             cycle: 0,
             halted: false,
@@ -285,6 +311,11 @@ impl Machine {
         self.policy = PolicyInstance::build(&self.cfg);
         self.draining.clear();
         self.collision_cooldown.fill(0);
+        self.telemetry.reset();
+        self.issue_stall = None;
+        self.dispatch_stall = None;
+        self.last_choice = None;
+        self.pending_decision = None;
         self.cycle = 0;
         self.halted = false;
         self.retired = 0;
@@ -340,6 +371,25 @@ impl Machine {
         &self.policy
     }
 
+    /// Install a telemetry bus ([`Telemetry::counting`] or
+    /// [`Telemetry::ring`]); the default [`Telemetry::off`] keeps every
+    /// hook free. Usually called right after [`Processor::start`], but
+    /// swapping mid-run is allowed (counters then cover a suffix).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        self.telemetry.set_cycle(self.cycle);
+    }
+
+    /// The telemetry bus (metrics registry + optional event ring).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (e.g. to drain the event ring mid-run).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
     /// The demand signature the steering policy would observe right now
     /// (per the configured [`DemandMode`]).
     pub fn current_demand(&self) -> TypeCounts {
@@ -352,6 +402,13 @@ impl Machine {
     /// In-flight instruction count (dispatched, not yet retired).
     pub fn in_flight(&self) -> usize {
         self.rob.len()
+    }
+
+    /// Instructions retired so far (cheaper than [`Machine::report`] when
+    /// only the count is needed, e.g. per-sample trace recording).
+    #[inline]
+    pub fn retired(&self) -> u64 {
+        self.retired
     }
 
     /// Snapshot report (valid mid-run or at the end).
@@ -372,9 +429,10 @@ impl Machine {
             collisions: self.collisions,
             fabric: self.fabric.stats(),
             faults: self.fabric.fault_stats(),
-            loader: self.policy.loader_stats().cloned(),
+            loader: self.policy.loader_stats().cloned().unwrap_or_default(),
             policy: self.policy.name(),
             policy_loads: self.policy.policy_loads(),
+            metrics: self.telemetry.snapshot(),
         }
     }
 
@@ -512,6 +570,7 @@ impl Machine {
         // `validate` feature (it rescans and allocates every cycle).
         #[cfg(feature = "validate")]
         self.check_invariants();
+        self.telemetry.set_cycle(self.cycle);
         self.stage_retire();
         if !self.halted {
             self.stage_complete();
@@ -625,9 +684,34 @@ impl Machine {
         self.scratch.squashed = squashed;
     }
 
+    /// Edge-triggered stall-episode emission for the issue stage: an
+    /// [`Event::Stall`] fires only when the attributed cause *changes*
+    /// (`None` closes the episode silently).
+    fn note_issue_stall(&mut self, cause: Option<StallCause>) {
+        if !self.telemetry.enabled() || cause == self.issue_stall {
+            return;
+        }
+        self.issue_stall = cause;
+        if let Some(cause) = cause {
+            self.telemetry.emit(Event::Stall { cause });
+        }
+    }
+
+    /// Dispatch-stage counterpart of [`Machine::note_issue_stall`].
+    fn note_dispatch_stall(&mut self, cause: Option<StallCause>) {
+        if !self.telemetry.enabled() || cause == self.dispatch_stall {
+            return;
+        }
+        self.dispatch_stall = cause;
+        if let Some(cause) = cause {
+            self.telemetry.emit(Event::Stall { cause });
+        }
+    }
+
     fn stage_issue(&mut self) {
         if self.wakeup.is_empty() {
             self.stalls.queue_empty += 1;
+            self.note_issue_stall(Some(StallCause::QueueEmpty));
             return;
         }
         // Idle units per type and per-type configured-at-all counts come
@@ -696,9 +780,9 @@ impl Machine {
                 UnitId::Rfu { .. } => self.issued_rfu += 1,
             }
             // Read the entry's fields, resolve operands, execute.
-            let (instr, pc, producers) = {
+            let (instr, pc, producers, dispatched_at) = {
                 let e = self.rob.get(tag).expect("wake-up tag names a live entry");
-                (e.instr, e.pc, e.src_producers)
+                (e.instr, e.pc, e.src_producers, e.dispatched_at)
             };
             let s1 = instr
                 .src1
@@ -716,6 +800,27 @@ impl Machine {
                 done_at: self.cycle + latency as u64,
             };
             self.wakeup.grant(g.slot, latency);
+            if self.telemetry.enabled() {
+                self.telemetry
+                    .record_cycles(Histo::QueueResidency, self.cycle - dispatched_at);
+                if let (UnitId::Rfu { .. }, Some(decided)) = (unit, self.pending_decision) {
+                    self.telemetry
+                        .record_cycles(Histo::DecisionToGrant, self.cycle - decided);
+                    self.pending_decision = None;
+                }
+            }
+        }
+        if self.telemetry.enabled() {
+            // Attribute the stage's (lack of) progress after grants have
+            // consumed their scheduled bits.
+            let cause = rsp_sched::stall::classify_issue(
+                self.wakeup.len(),
+                ready_any,
+                grants.len(),
+                &self.wakeup.demand_unscheduled(),
+                &configured,
+            );
+            self.note_issue_stall(cause);
         }
         self.scratch.grants = grants;
     }
@@ -725,7 +830,19 @@ impl Machine {
             DemandMode::Ready => self.wakeup.demand_ready(),
             DemandMode::Unscheduled => self.wakeup.demand_unscheduled(),
         };
-        self.policy.tick(&demand, &mut self.fabric);
+        let outcome = self
+            .policy
+            .tick(&demand, &mut self.fabric, &mut self.telemetry);
+        if self.telemetry.enabled() {
+            if let Some(c) = outcome.choice {
+                if self.last_choice.is_some_and(|prev| prev != c) {
+                    // A selection change opens a decision-to-grant latency
+                    // window, closed by the next RFU issue.
+                    self.pending_decision = Some(self.cycle);
+                }
+                self.last_choice = Some(c);
+            }
+        }
     }
 
     fn stage_dispatch(&mut self) {
@@ -734,16 +851,20 @@ impl Machine {
         // recycles its group buffers).
         self.fetch.drain_into(self.cycle, &mut self.dispatch_buf);
 
+        let mut queue_full = false;
+        let mut rob_full = false;
         for _ in 0..self.cfg.dispatch_width {
             if self.dispatch_buf.is_empty() {
                 break;
             }
             if self.wakeup.is_full() {
                 self.stalls.queue_full += 1;
+                queue_full = true;
                 break;
             }
             if self.rob.is_full() {
                 self.stalls.rob_full += 1;
+                rob_full = true;
                 break;
             }
             let f = self.dispatch_buf.pop_front().unwrap();
@@ -780,7 +901,13 @@ impl Machine {
                 .expect("checked not full");
             let seq = self.rob.dispatch(&f, slot);
             debug_assert_eq!(seq, tag);
+            if self.telemetry.enabled() {
+                if let Some(e) = self.rob.get_mut(seq) {
+                    e.dispatched_at = self.cycle;
+                }
+            }
         }
+        self.note_dispatch_stall(rsp_sched::stall::classify_dispatch(queue_full, rob_full));
     }
 
     fn stage_fetch(&mut self) {
@@ -793,6 +920,43 @@ impl Machine {
     fn stage_tick(&mut self) {
         self.wakeup.tick();
         self.fabric.tick_into(&mut self.scratch.loads_done);
+        if self.telemetry.enabled() {
+            for pu in &self.scratch.loads_done {
+                self.telemetry.emit(Event::LoadPlaced {
+                    head: pu.head as u32,
+                    unit: pu.unit,
+                });
+            }
+            // Translate the fabric's per-tick fault events. `LoadPlaced`
+            // is skipped: the fabric only pushes it when the fault model
+            // is live, while `loads_done` above covers every run.
+            for ev in self.fabric.fault_events() {
+                match *ev {
+                    FaultEvent::LoadFailed { head, unit } => {
+                        self.telemetry.emit(Event::LoadFailed {
+                            head: head as u32,
+                            unit,
+                        })
+                    }
+                    FaultEvent::UpsetInjected { head, unit } => {
+                        self.telemetry.emit(Event::UpsetInjected {
+                            head: head as u32,
+                            unit,
+                        })
+                    }
+                    FaultEvent::UpsetDetected { head, unit } => {
+                        self.telemetry.emit(Event::UpsetDetected {
+                            head: head as u32,
+                            unit,
+                        })
+                    }
+                    FaultEvent::ScrubPass { detected } => {
+                        self.telemetry.emit(Event::ScrubPass { detected })
+                    }
+                    FaultEvent::LoadPlaced { .. } => {}
+                }
+            }
+        }
         let mut i = 0;
         while i < self.draining.len() {
             self.draining[i].1 -= 1;
@@ -976,7 +1140,7 @@ mod tests {
             clean.cycles
         );
         assert_eq!(clean.faults, Default::default());
-        let l = faulty.loader.as_ref().unwrap();
+        let l = &faulty.loader;
         assert!(
             l.load_failures > 0 || l.skipped_dead > 0,
             "loader must see fault events: {l:?}"
@@ -987,12 +1151,19 @@ mod tests {
     fn report_policy_fields() {
         let (r, _) = run_text("nop\nhalt");
         assert_eq!(r.policy, "paper-steering");
-        assert!(r.loader.is_some());
+        assert!(
+            !r.loader.selections.is_empty(),
+            "paper policy must report per-config selection counts"
+        );
         let p = assemble("t", "nop\nhalt").unwrap();
         let mut proc = Processor::new(SimConfig::static_on(1));
         let r = proc.run(&p, 1000).unwrap();
         assert_eq!(r.policy, "static:Config 2");
-        assert!(r.loader.is_none());
+        assert_eq!(
+            r.loader,
+            LoaderStats::default(),
+            "policies without a loader report all-default counters"
+        );
         assert_eq!(r.fabric.loads_started, 0);
     }
 

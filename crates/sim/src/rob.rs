@@ -72,6 +72,10 @@ pub struct RobEntry {
     /// line instructions, the branch target for taken control flow,
     /// `None` = control flow left the program / halt).
     pub resolved_next: Option<u64>,
+    /// Cycle the entry was dispatched, for the telemetry layer's
+    /// queue-residency histogram. Stamped by the pipeline driver only
+    /// when telemetry is enabled; 0 otherwise.
+    pub dispatched_at: u64,
 }
 
 /// The dependency buffer: architectural register → latest in-flight
@@ -250,6 +254,7 @@ impl Rob {
             src_producers,
             value: None,
             resolved_next: None,
+            dispatched_at: 0,
         });
         if let Some(d) = f.instr.arch_dest() {
             self.rename[d.dense_index()] = Some(seq);

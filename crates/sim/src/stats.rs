@@ -4,6 +4,7 @@ use rsp_core::loader::LoaderStats;
 use rsp_fabric::fabric::FabricStats;
 use rsp_fabric::fault::FaultStats;
 use rsp_isa::units::TypeCounts;
+use rsp_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Cycle-level stall/occupancy accounting. A cycle can contribute to
@@ -58,12 +59,15 @@ pub struct SimReport {
     pub fabric: FabricStats,
     /// Fault-injection counters (all-zero when the fault model is off).
     pub faults: FaultStats,
-    /// Configuration-loader counters (paper policy only).
-    pub loader: Option<LoaderStats>,
+    /// Configuration-loader counters (all-default for policies without a
+    /// configuration loader: static and demand-driven runs).
+    pub loader: LoaderStats,
     /// Steering policy name.
     pub policy: String,
     /// Demand-driven policy loads (demand policy only).
     pub policy_loads: u64,
+    /// Telemetry metrics snapshot (empty when telemetry was disabled).
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimReport {

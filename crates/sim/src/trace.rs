@@ -25,6 +25,12 @@ pub struct TraceSample {
     pub in_flight: usize,
     /// Instructions retired so far.
     pub retired: u64,
+    /// Configured units currently corrupted by undetected upsets.
+    pub corrupted_units: usize,
+    /// Slots marked permanently dead by the fault model.
+    pub dead_slots: usize,
+    /// Cumulative scrub passes performed so far.
+    pub scrubs: u64,
 }
 
 /// A recorded steering trace.
@@ -50,7 +56,10 @@ impl SteeringTrace {
             loads_in_flight: m.fabric().loads_in_flight(),
             queue_len: m.wakeup().len(),
             in_flight: m.in_flight(),
-            retired: m.report().retired,
+            retired: m.retired(),
+            corrupted_units: m.fabric().corrupted_units(),
+            dead_slots: m.fabric().dead_slot_count(),
+            scrubs: m.fabric().fault_stats().scrubs,
         });
     }
 
@@ -135,6 +144,23 @@ impl SteeringTrace {
             s.push(if smp.loads_in_flight > 0 { '*' } else { '.' });
         }
         let _ = writeln!(s, "|");
+        // Fault visibility: corrupted (zombie) units and dead slots per
+        // sample. Omitted entirely for clean runs to keep the common
+        // fault-free view unchanged.
+        if self.samples.iter().any(|p| p.corrupted_units > 0) {
+            let _ = write!(s, "  {:<8} |", "corrupt");
+            for smp in &self.samples {
+                s.push(digit(smp.corrupted_units.min(9) as u8));
+            }
+            let _ = writeln!(s, "|");
+        }
+        if self.samples.iter().any(|p| p.dead_slots > 0) {
+            let _ = write!(s, "  {:<8} |", "dead");
+            for smp in &self.samples {
+                s.push(digit(smp.dead_slots.min(9) as u8));
+            }
+            let _ = writeln!(s, "|");
+        }
         s
     }
 }

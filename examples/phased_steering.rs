@@ -49,15 +49,14 @@ fn main() {
     }
     println!("{}", run(SimConfig::oracle(), &program).summary());
 
-    if let Some(l) = &steer.loader {
-        println!(
-            "\nsteering selections [current, c1, c2, c3]: {:?}",
-            l.selections
-        );
-        println!("steering direction changes: {}", l.selection_changes);
-        println!(
-            "loads started / deferred busy / skipped matching: {} / {} / {}",
-            l.loads_started, l.deferred_busy, l.skipped_matching
-        );
-    }
+    let l = &steer.loader;
+    println!(
+        "\nsteering selections [current, c1, c2, c3]: {:?}",
+        l.selections
+    );
+    println!("steering direction changes: {}", l.selection_changes);
+    println!(
+        "loads started / deferred busy / skipped matching: {} / {} / {}",
+        l.loads_started, l.deferred_busy, l.skipped_matching
+    );
 }

@@ -32,9 +32,10 @@ fn main() {
     );
     println!("branch flushes:    {}", report.flushes);
     println!("trace-cache hits:  {:.1}%", report.trace_hit_rate() * 100.0);
-    if let Some(l) = &report.loader {
-        println!("selections [cur, c1, c2, c3]: {:?}", l.selections);
-    }
+    println!(
+        "selections [cur, c1, c2, c3]: {:?}",
+        report.loader.selections
+    );
 
     // The result is architecturally real: read it back from simulated
     // data memory.

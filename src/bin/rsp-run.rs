@@ -227,7 +227,8 @@ fn main() {
             report.stalls.starved_requests,
             report.stalls.queue_empty
         );
-        if let Some(l) = &report.loader {
+        let l = &report.loader;
+        if !l.selections.is_empty() {
             println!(
                 "selections:       {:?} (changes {})",
                 l.selections, l.selection_changes

@@ -13,6 +13,8 @@
 //! * [`sched`] — select-free wake-up-array scheduling (Figs. 4–6).
 //! * [`sim`] — the cycle-accurate out-of-order simulator.
 //! * [`workloads`] — synthetic workload and kernel generators.
+//! * [`obs`] — zero-cost-when-disabled telemetry: typed events, metrics
+//!   registry, ring-buffered JSONL event log (`rsp-timeline` reads it).
 //!
 //! ## Quickstart
 //!
@@ -31,6 +33,7 @@
 
 pub use rsp_fabric as fabric;
 pub use rsp_isa as isa;
+pub use rsp_obs as obs;
 pub use rsp_sched as sched;
 pub use rsp_sim as sim;
 pub use rsp_workloads as workloads;

@@ -48,7 +48,7 @@ fn searched_basis_runs_end_to_end() {
     assert!(r.retired > 0);
     // The loader steered over the custom set (selections vector sized
     // 1 + 3 candidates).
-    let loader = r.loader.unwrap();
+    let loader = r.loader;
     assert_eq!(loader.selections.len(), 4);
     assert!(loader.selections.iter().sum::<u64>() > 0);
 }
@@ -98,6 +98,6 @@ fn two_and_five_config_bases_also_work() {
         let p = SynthSpec::new("mixed", UnitMix::BALANCED, 99).generate();
         let r = run_with(set_from(&basis), &p);
         assert!(r.halted);
-        assert_eq!(r.loader.unwrap().selections.len(), 1 + k);
+        assert_eq!(r.loader.selections.len(), 1 + k);
     }
 }

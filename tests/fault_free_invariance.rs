@@ -80,12 +80,11 @@ fn zero_rate_reports_count_no_fault_work() {
         assert_eq!(r.faults.upsets_dissipated, 0);
         assert_eq!(r.faults.upsets_detected, 0);
         assert_eq!(r.faults.scrubs, 0);
-        if let Some(l) = &r.loader {
-            assert_eq!(l.load_failures, 0);
-            assert_eq!(l.retries, 0);
-            assert_eq!(l.upsets_detected, 0);
-            assert_eq!(l.deferred_backoff, 0);
-            assert_eq!(l.skipped_dead, 0);
-        }
+        let l = &r.loader;
+        assert_eq!(l.load_failures, 0);
+        assert_eq!(l.retries, 0);
+        assert_eq!(l.upsets_detected, 0);
+        assert_eq!(l.deferred_backoff, 0);
+        assert_eq!(l.skipped_dead, 0);
     }
 }

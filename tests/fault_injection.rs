@@ -140,6 +140,53 @@ fn worst_case_all_slots_dead_degrades_to_ffu_floor() {
 }
 
 #[test]
+fn trace_makes_upset_episodes_visible() {
+    use rsp::sim::SteeringTrace;
+    // Upsets with active scrub: the per-cycle trace must show corrupted
+    // units during an episode and read zero again once scrub clears it.
+    let program = PhasedSpec::int_fp_mem(200, 2, 7).generate();
+    let mut cfg = SimConfig::default();
+    cfg.fabric.faults = FaultParams {
+        seed: 0xF0A17,
+        upset_ppm: 20_000,
+        scrub_interval: 64,
+        ..FaultParams::default()
+    };
+    let mut m = Processor::new(cfg).start(&program).unwrap();
+    let mut trace = SteeringTrace::new();
+    let r = trace.drive(&mut m, 1, BUDGET);
+    assert!(r.halted);
+    assert!(r.faults.upsets_injected > 0, "{:?}", r.faults);
+    assert!(r.faults.upsets_detected > 0, "{:?}", r.faults);
+
+    let first_corrupt = trace
+        .samples
+        .iter()
+        .position(|s| s.corrupted_units > 0)
+        .expect("an upset episode must be visible in the trace");
+    // A later scrub pass clears the corruption and the trace reads zero.
+    let cleared = trace.samples[first_corrupt..]
+        .windows(2)
+        .any(|w| w[1].scrubs > w[0].scrubs && w[1].corrupted_units == 0);
+    assert!(cleared, "scrub clearing must be visible in the trace");
+    // Scrub-pass counts are cumulative, hence monotone.
+    assert!(trace.samples.windows(2).all(|w| w[0].scrubs <= w[1].scrubs));
+    // Fault-free configurations never report corruption or dead slots.
+    let clean = {
+        let mut m = Processor::new(SimConfig::default())
+            .start(&program)
+            .unwrap();
+        let mut t = SteeringTrace::new();
+        t.drive(&mut m, 1, BUDGET);
+        t
+    };
+    assert!(clean
+        .samples
+        .iter()
+        .all(|s| s.corrupted_units == 0 && s.dead_slots == 0 && s.scrubs == 0));
+}
+
+#[test]
 fn heavy_upsets_without_scrub_still_finish() {
     // Upset storm, never scrubbed: the whole fabric ends up zombie and
     // the FFUs carry the run home.

@@ -31,7 +31,7 @@ fn steering_converges_and_settles_on_stable_demand() {
         m.fabric().slot_map()
     );
     let r = m.report();
-    let loader = r.loader.unwrap();
+    let loader = r.loader;
     // Selections eventually settle on "current": far more current picks
     // than config switches.
     assert!(
@@ -147,7 +147,7 @@ fn busy_rfus_defer_reconfiguration() {
     cfg.fabric.reconfig_ports = 8; // the port is never the bottleneck
     cfg.fabric.per_slot_load_latency = 2;
     let r = run(cfg, &p);
-    let loader = r.loader.unwrap();
+    let loader = r.loader;
     assert!(
         loader.deferred_busy > 0,
         "expected busy-RFU deferrals, loader={loader:?}"
@@ -210,7 +210,7 @@ fn favor_current_reduces_churn() {
         ablated.fabric.slots_reloaded
     );
     // And it never reports "current" as the choice when ablated.
-    assert_eq!(ablated.loader.unwrap().selections[0], 0);
+    assert_eq!(ablated.loader.selections[0], 0);
 }
 
 /// Determinism (DESIGN.md invariant 8): identical configuration and

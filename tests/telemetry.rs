@@ -1,0 +1,197 @@
+//! End-to-end telemetry integration: serde round-trips for the trace
+//! and event types, and the core consistency property of the event bus —
+//! counters rebuilt by *replaying* the event stream through a fresh
+//! [`MetricsRegistry`] always equal the counters the live run
+//! accumulated. If an instrumentation hook ever emits an event without
+//! counting it (or vice versa), this diverges.
+
+use proptest::prelude::*;
+use rsp::fabric::fault::FaultParams;
+use rsp::obs::{Counter, Event, MetricsRegistry, StallCause, Stamped, Telemetry, MAX_CANDIDATES};
+use rsp::sim::{Processor, SimConfig, SteeringTrace};
+use rsp::workloads::{PhasedSpec, SynthSpec, UnitMix};
+
+const BUDGET: u64 = 2_000_000;
+
+#[test]
+fn trace_sample_round_trips_through_json() {
+    let program = PhasedSpec::int_fp_mem(120, 2, 11).generate();
+    let mut cfg = SimConfig::default();
+    cfg.fabric.faults = FaultParams {
+        seed: 7,
+        upset_ppm: 20_000,
+        scrub_interval: 64,
+        ..FaultParams::default()
+    };
+    let mut m = Processor::new(cfg).start(&program).unwrap();
+    let mut trace = SteeringTrace::new();
+    let r = trace.drive(&mut m, 3, BUDGET);
+    assert!(r.halted);
+    assert!(!trace.samples.is_empty());
+
+    // Whole-trace round trip (covers TraceSample and the new fault
+    // visibility fields).
+    let json = trace.to_json();
+    let back: SteeringTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, trace);
+
+    // Single-sample round trip.
+    let s = trace.samples.last().unwrap();
+    let one = serde_json::to_string(s).unwrap();
+    let s2: rsp::sim::TraceSample = serde_json::from_str(&one).unwrap();
+    assert_eq!(&s2, s);
+}
+
+#[test]
+fn stamped_events_round_trip_through_jsonl() {
+    use rsp::isa::units::UnitType;
+    let events = [
+        Stamped {
+            cycle: 0,
+            event: Event::SteeringDecision {
+                scores: [9, 4, 7, 1, 0, 0, 0, 0],
+                candidates: 4,
+                chosen: 1,
+                changed: true,
+            },
+        },
+        Stamped {
+            cycle: 17,
+            event: Event::UpsetInjected {
+                head: 3,
+                unit: UnitType::FpAlu,
+            },
+        },
+        Stamped {
+            cycle: 64,
+            event: Event::ScrubPass { detected: 1 },
+        },
+        Stamped {
+            cycle: 65,
+            event: Event::Stall {
+                cause: StallCause::UnitUnconfigured,
+            },
+        },
+    ];
+    let jsonl: String = events
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap() + "\n")
+        .collect();
+    for (line, original) in jsonl.lines().zip(&events) {
+        let back: Stamped = serde_json::from_str(line).unwrap();
+        assert_eq!(&back, original);
+    }
+}
+
+#[test]
+fn report_metrics_snapshot_round_trips() {
+    let program = SynthSpec::new("obs", UnitMix::BALANCED, 5).generate();
+    let proc = Processor::new(SimConfig::default());
+    let mut m = proc.start(&program).unwrap();
+    m.set_telemetry(Telemetry::counting());
+    while m.cycle() < BUDGET && m.step() {}
+    let r = m.report();
+    assert!(r.halted);
+    let decisions = r.metrics.counter("steering_decisions").unwrap();
+    assert!(decisions > 0, "paper policy decides every cycle");
+    let json = serde_json::to_string(&r).unwrap();
+    let back: rsp::sim::SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, r);
+
+    // A disabled-telemetry run serialises an empty snapshot.
+    let r2 = Processor::new(SimConfig::default())
+        .run(&program, BUDGET)
+        .unwrap();
+    assert!(r2.metrics.counters.is_empty());
+    assert_eq!(r2.metrics.counter("steering_decisions"), None);
+}
+
+/// Replay `events` through a fresh registry and return its counters.
+fn replay(events: &[Stamped]) -> Vec<(String, u64)> {
+    let mut reg = MetricsRegistry::default();
+    for ev in events {
+        reg.observe(&ev.event);
+    }
+    Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), reg.get(c)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counters rebuilt from the event stream equal the live registry,
+    /// for any seeded workload and (possibly inert) fault schedule.
+    #[test]
+    fn replayed_event_stream_matches_live_counters(
+        seed in 0u64..1000,
+        mix in 0usize..4,
+        upset_ppm in prop_oneof![Just(0u32), Just(20_000u32)],
+        load_failure_ppm in prop_oneof![Just(0u32), Just(100_000u32)],
+        scrub_interval in prop_oneof![Just(0u64), Just(64u64)],
+    ) {
+        let (_, m) = UnitMix::named()[mix];
+        let mut spec = SynthSpec::new(format!("replay-{seed}"), m, seed);
+        spec.iterations = 3;
+        let program = spec.generate();
+        let mut cfg = SimConfig::default();
+        cfg.fabric.faults = FaultParams {
+            seed,
+            upset_ppm,
+            load_failure_ppm,
+            scrub_interval,
+            dead_slots: vec![],
+        };
+        let mut machine = Processor::new(cfg).start(&program).unwrap();
+        machine.set_telemetry(Telemetry::ring(1 << 20));
+        while machine.cycle() < BUDGET && machine.step() {}
+        prop_assert!(machine.finished());
+
+        let sink = machine.telemetry().ring_sink().unwrap();
+        prop_assert_eq!(sink.dropped(), 0, "ring must hold the whole run");
+        let events = sink.events();
+        let replayed = replay(&events);
+        let live: Vec<(String, u64)> = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), machine.telemetry().metrics().get(c)))
+            .collect();
+        prop_assert_eq!(replayed, live);
+
+        // Cycle stamps are nondecreasing — the log is a valid timeline.
+        prop_assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+
+        // And the JSONL form reparses to the same stream.
+        let jsonl = machine.telemetry().to_jsonl().unwrap();
+        let reparsed: Vec<Stamped> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        prop_assert_eq!(reparsed, events);
+    }
+}
+
+#[test]
+fn decision_scores_cover_candidates() {
+    // The per-decision CEM score breakdown must list one score per
+    // candidate and pick `chosen` among them.
+    let program = PhasedSpec::int_fp_mem(150, 2, 3).generate();
+    let mut m = Processor::new(SimConfig::default())
+        .start(&program)
+        .unwrap();
+    m.set_telemetry(Telemetry::ring(1 << 18));
+    while m.cycle() < BUDGET && m.step() {}
+    let sink = m.telemetry().ring_sink().unwrap();
+    let mut saw_decision = false;
+    for ev in sink.events() {
+        if let Event::SteeringDecision {
+            candidates, chosen, ..
+        } = ev.event
+        {
+            saw_decision = true;
+            assert!(candidates as usize <= MAX_CANDIDATES);
+            assert!(chosen < candidates, "chosen {chosen} of {candidates}");
+        }
+    }
+    assert!(saw_decision);
+}

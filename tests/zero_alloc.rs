@@ -112,3 +112,48 @@ fn step_is_allocation_free_in_steady_state() {
     #[cfg(any(debug_assertions, feature = "validate"))]
     let _ = during;
 }
+
+/// The telemetry hooks must cost nothing on the allocator either when
+/// enabled with the no-op sink: counters and histograms live in fixed
+/// arrays, and no event is buffered. (A ring sink *does* pre-allocate
+/// and may not be paired with this test's property.)
+#[test]
+fn step_with_counting_telemetry_is_allocation_free() {
+    use rsp::sim::Telemetry;
+    let proc = Processor::new(SimConfig::default());
+    let program = long_mixed_program();
+    let mut m = proc.start(&program).unwrap();
+    m.set_telemetry(Telemetry::counting());
+
+    let mut warmup = 0u64;
+    while m.cycle() < 20_000 && m.step() {
+        warmup += 1;
+    }
+    assert!(
+        warmup >= 20_000,
+        "program finished during warm-up ({warmup} cycles)"
+    );
+
+    let before = allocations();
+    let mut steady = 0u64;
+    while m.cycle() < 120_000 && m.step() {
+        steady += 1;
+    }
+    let during = allocations() - before;
+    assert!(steady >= 50_000, "steady-state window too short: {steady}");
+    assert!(
+        m.telemetry()
+            .metrics()
+            .get(rsp::obs::Counter::EventsEmitted)
+            > 0,
+        "telemetry must actually be live in this run"
+    );
+
+    #[cfg(all(not(debug_assertions), not(feature = "validate")))]
+    assert_eq!(
+        during, 0,
+        "telemetry-on step allocated {during} times over {steady} cycles"
+    );
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    let _ = during;
+}
