@@ -51,7 +51,12 @@ pub fn policies() -> Vec<PolicySpec> {
 /// The paper policy with explicit knob settings (ablation helper).
 pub fn paper_policy(tie: TieBreak, cem: CemKind, partial: bool) -> SimConfig {
     SimConfig {
-        policy: PolicyKind::Paper { tie, cem, partial },
+        policy: PolicyKind::Paper {
+            tie,
+            cem,
+            partial,
+            fault_aware: false,
+        },
         ..SimConfig::default()
     }
 }

@@ -134,6 +134,15 @@ pub struct TimelineReport {
     pub backoff_deferrals: u64,
     /// Load attempts skipped because the span is permanently dead.
     pub dead_slot_skips: u64,
+    /// Units re-placed into an alternative healthy span around dead slots.
+    pub load_replacements: u64,
+    /// Fault-aware capacity re-rank transitions (nominal ↔ effective view).
+    pub capacity_reranks: u64,
+    /// Largest capacity loss (units below nominal) any re-rank reported.
+    pub max_capacity_lost: u64,
+    /// Cycles spent in the degraded (effective-capacity) view, summed
+    /// over degraded→recovered re-rank arcs that closed within the log.
+    pub degraded_cycles: u64,
     /// Scrub passes seen.
     pub scrub_passes: u64,
     /// Reconstructed upset episodes, in injection order.
@@ -195,6 +204,11 @@ pub fn analyze(events: &[Stamped]) -> TimelineReport {
     let mut load_retries = 0u64;
     let mut backoff_deferrals = 0u64;
     let mut dead_slot_skips = 0u64;
+    let mut load_replacements = 0u64;
+    let mut capacity_reranks = 0u64;
+    let mut max_capacity_lost = 0u64;
+    let mut degraded_cycles = 0u64;
+    let mut degraded_since: Option<u64> = None;
     let mut scrub_passes = 0u64;
     let mut stall_counts = [0u64; StallCause::ALL.len()];
     let mut episodes: Vec<FaultEpisode> = Vec::new();
@@ -242,6 +256,16 @@ pub fn analyze(events: &[Stamped]) -> TimelineReport {
                     e.detected_at = Some(ev.cycle);
                 }
             }
+            Event::LoadReplaced { .. } => load_replacements += 1,
+            Event::CapacityRerank { degraded, lost } => {
+                capacity_reranks += 1;
+                max_capacity_lost = max_capacity_lost.max(lost as u64);
+                if degraded {
+                    degraded_since.get_or_insert(ev.cycle);
+                } else if let Some(since) = degraded_since.take() {
+                    degraded_cycles += ev.cycle - since;
+                }
+            }
             Event::ScrubPass { .. } => scrub_passes += 1,
             Event::Stall { cause } => stall_counts[cause as usize] += 1,
         }
@@ -283,6 +307,10 @@ pub fn analyze(events: &[Stamped]) -> TimelineReport {
         load_retries,
         backoff_deferrals,
         dead_slot_skips,
+        load_replacements,
+        capacity_reranks,
+        max_capacity_lost,
+        degraded_cycles,
         scrub_passes,
         episodes_detected: episodes.iter().filter(|e| e.detected_at.is_some()).count() as u64,
         episodes_recovered: episodes.iter().filter(|e| e.recovered_at.is_some()).count() as u64,
@@ -339,6 +367,17 @@ impl TimelineReport {
             self.backoff_deferrals,
             self.dead_slot_skips
         );
+        if self.load_replacements > 0 || self.capacity_reranks > 0 {
+            let _ = writeln!(
+                s,
+                "capacity: {} dead-span re-placements, {} re-rank transitions \
+                 (max {} units lost, {} degraded cycles)",
+                self.load_replacements,
+                self.capacity_reranks,
+                self.max_capacity_lost,
+                self.degraded_cycles
+            );
+        }
         if !self.stalls.is_empty() {
             let _ = writeln!(s, "\nstall episodes:");
             for st in &self.stalls {
@@ -491,6 +530,44 @@ mod tests {
         assert_eq!(parsed, log);
         assert!(parse_jsonl("{not json}\n").is_err());
         assert!(parse_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn capacity_events_feed_the_report() {
+        let u = UnitType::Lsu;
+        let log = [
+            ev(
+                8,
+                Event::CapacityRerank {
+                    degraded: true,
+                    lost: 3,
+                },
+            ),
+            ev(
+                10,
+                Event::LoadReplaced {
+                    from_head: 0,
+                    to_head: 6,
+                    unit: u,
+                },
+            ),
+            ev(10, Event::LoadStarted { head: 6, unit: u }),
+            ev(
+                40,
+                Event::CapacityRerank {
+                    degraded: false,
+                    lost: 0,
+                },
+            ),
+        ];
+        let r = analyze(&log);
+        assert_eq!(r.load_replacements, 1);
+        assert_eq!(r.capacity_reranks, 2);
+        assert_eq!(r.max_capacity_lost, 3);
+        assert_eq!(r.degraded_cycles, 32);
+        let text = r.render();
+        assert!(text.contains("1 dead-span re-placements"), "{text}");
+        assert!(text.contains("max 3 units lost"), "{text}");
     }
 
     #[test]

@@ -20,11 +20,27 @@
 //! * in-flight loads are never cancelled;
 //! * the live configuration is therefore generally a **hybrid overlap**
 //!   of steering configurations.
+//!
+//! **Fault-aware extension** (DESIGN.md §11): with
+//! [`ConfigurationLoader::fault_aware`] set, the loader additionally
+//! * re-places units whose canonical span covers a stuck-at-dead slot
+//!   into remaining healthy capacity (greedy first-fit over the spans the
+//!   rest of the configuration does not claim — see
+//!   [`replacement_head`]), instead of dropping them; and
+//! * force-reloads *zombie* spans (upset-corrupted but still allocated),
+//!   which the partial-reconfiguration skip rule would otherwise leave
+//!   dead weight until the next scrub pass.
+//!
+//! Both paths are inert without faults: `slot_dead`/`slot_corrupted` are
+//! always false on a healthy fabric, so fault-free runs are bit-identical
+//! whether `fault_aware` is on or off.
 
 use crate::select::ConfigChoice;
-use rsp_fabric::config::SteeringSet;
+use rsp_fabric::alloc::PlacedUnit;
+use rsp_fabric::config::{Configuration, SteeringSet};
 use rsp_fabric::fabric::{Fabric, LoadError};
 use rsp_fabric::fault::FaultEvent;
+use rsp_isa::units::TypeCounts;
 use rsp_obs::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +77,108 @@ pub struct LoaderStats {
     pub deferred_backoff: u64,
     /// Load attempts skipped because the span has a stuck-at-dead slot.
     pub skipped_dead: u64,
+    /// Units re-placed into an alternative healthy span because their
+    /// canonical span covers a dead slot (fault-aware loader only).
+    pub replacements: u64,
+    /// Zombie (upset-corrupted) spans force-reloaded ahead of the next
+    /// scrub pass (fault-aware loader only).
+    pub zombie_reloads: u64,
+}
+
+/// Compute the greedy re-placement plan for `config` on a fabric with
+/// `n_slots` slots of which `dead(s)` are stuck-at-dead, calling
+/// `visit(unit, assigned_head)` for every unit of the configuration in
+/// canonical placement order. Units whose canonical span is healthy keep
+/// it; displaced units get the first healthy span (respecting their 1/2/3
+/// slot footprint and contiguity) not claimed by any other unit of the
+/// plan, or `None` if no such span exists. The plan is a pure function of
+/// `(config, n_slots, dead)`, so the loader reaches the same steady state
+/// every cycle — no placement churn. Fabrics wider than 64 slots fall
+/// back to skipping displaced units (the claim set is a `u64` bitmask).
+fn replacement_plan(
+    config: &Configuration,
+    n_slots: usize,
+    dead: &impl Fn(usize) -> bool,
+    mut visit: impl FnMut(PlacedUnit, Option<usize>),
+) {
+    let trackable = n_slots <= 64;
+    let healthy =
+        |pu: &PlacedUnit| pu.head + pu.unit.slot_cost() <= n_slots && !pu.span().any(dead);
+    // Pass 1: units keeping their canonical span claim it.
+    let mut claimed: u64 = 0;
+    for pu in config.placement.units() {
+        if trackable && healthy(&pu) {
+            for s in pu.span() {
+                claimed |= 1 << s;
+            }
+        }
+    }
+    // Pass 2: displaced units scan first-fit over unclaimed healthy spans.
+    for pu in config.placement.units() {
+        if healthy(&pu) {
+            visit(pu, Some(pu.head));
+            continue;
+        }
+        let cost = pu.unit.slot_cost();
+        if !trackable || cost > n_slots {
+            visit(pu, None);
+            continue;
+        }
+        let mut found = None;
+        'scan: for head in 0..=n_slots - cost {
+            for s in head..head + cost {
+                if dead(s) || claimed & (1 << s) != 0 {
+                    continue 'scan;
+                }
+            }
+            found = Some(head);
+            break;
+        }
+        if let Some(h) = found {
+            for s in h..h + cost {
+                claimed |= 1 << s;
+            }
+        }
+        visit(pu, found);
+    }
+}
+
+/// Where the unit canonically placed at `canonical_head` in `config`
+/// lands under the greedy re-placement plan: its own head if the span is
+/// healthy, an alternative healthy head if it was displaced by a dead
+/// slot and one fits, or `None` if it cannot be placed at all.
+pub fn replacement_head(
+    config: &Configuration,
+    n_slots: usize,
+    dead: impl Fn(usize) -> bool,
+    canonical_head: usize,
+) -> Option<usize> {
+    let mut found = None;
+    replacement_plan(config, n_slots, &dead, |pu, assigned| {
+        if pu.head == canonical_head {
+            found = assigned;
+        }
+    });
+    found
+}
+
+/// The RFU unit counts `config` can actually deliver on a fabric with
+/// dead slots, after the loader's greedy re-placement pass. With no dead
+/// slots this equals `config.counts`; the fault-aware selection unit
+/// scores steering candidates against these instead of the nominal
+/// counts so dead capacity is never promised.
+pub fn achievable_rfu_counts(
+    config: &Configuration,
+    n_slots: usize,
+    dead: impl Fn(usize) -> bool,
+) -> TypeCounts {
+    let mut c = TypeCounts::ZERO;
+    replacement_plan(config, n_slots, &dead, |pu, assigned| {
+        if assigned.is_some() {
+            c.add(pu.unit, 1);
+        }
+    });
+    c
 }
 
 /// The configuration loader: applies a selection to the fabric using
@@ -71,6 +189,10 @@ pub struct ConfigurationLoader {
     /// When `false`, reload *every* unit of a newly chosen configuration
     /// even if the span already matches (E2 full-reload ablation).
     pub partial: bool,
+    /// Enable the fault-aware paths: dead-span re-placement and zombie
+    /// (scrub-hint) force-reloads. Inert without faults — fault-free runs
+    /// are bit-identical either way.
+    pub fault_aware: bool,
     stats: LoaderStats,
     last_choice: Option<ConfigChoice>,
     /// Steer cycles seen so far (the backoff clock).
@@ -89,6 +211,7 @@ impl ConfigurationLoader {
         ConfigurationLoader {
             set,
             partial: true,
+            fault_aware: false,
             stats: LoaderStats {
                 selections: vec![0; n],
                 ..LoaderStats::default()
@@ -221,20 +344,108 @@ impl ConfigurationLoader {
                     started += 1;
                 }
                 Err(LoadError::AlreadyConfigured) => {
-                    // The span hosts the unit after all (e.g. another
-                    // selection loaded it): the failure streak is over.
-                    self.fail_streak[pu.head] = 0;
-                    self.stats.skipped_matching += 1;
+                    if self.fault_aware && fabric.slot_corrupted(pu.head) {
+                        // Scrub-hint path: the span matches the target but
+                        // its configuration memory is upset-corrupted (a
+                        // zombie). The skip rule would leave it dead weight
+                        // until the next scrub pass; rewrite it now.
+                        match fabric.begin_load_forced(pu.head, pu.unit) {
+                            Ok(()) => {
+                                self.stats.loads_started += 1;
+                                self.stats.zombie_reloads += 1;
+                                obs.emit(Event::LoadStarted {
+                                    head: pu.head as u32,
+                                    unit: pu.unit,
+                                });
+                                started += 1;
+                            }
+                            Err(LoadError::NoPortFree) => self.stats.deferred_port += 1,
+                            Err(LoadError::SpanBusy) => self.stats.deferred_busy += 1,
+                            Err(LoadError::SpanLoading) => self.stats.skipped_loading += 1,
+                            Err(_) => {}
+                        }
+                    } else {
+                        // The span hosts the unit after all (e.g. another
+                        // selection loaded it): the failure streak is over.
+                        self.fail_streak[pu.head] = 0;
+                        self.stats.skipped_matching += 1;
+                    }
                 }
                 Err(LoadError::SpanBusy) => self.stats.deferred_busy += 1,
                 Err(LoadError::NoPortFree) => self.stats.deferred_port += 1,
                 Err(LoadError::SpanLoading) => self.stats.skipped_loading += 1,
                 Err(LoadError::SpanDead) => {
-                    self.stats.skipped_dead += 1;
-                    obs.emit(Event::DeadSlotSkip {
-                        head: pu.head as u32,
-                        unit: pu.unit,
-                    });
+                    // Re-placement pass: try to defragment the displaced
+                    // unit into remaining healthy capacity instead of
+                    // losing it for the run.
+                    let alt = if self.fault_aware {
+                        replacement_head(
+                            target,
+                            fabric.params().rfu_slots,
+                            |s| fabric.slot_dead(s),
+                            pu.head,
+                        )
+                    } else {
+                        None
+                    };
+                    match alt {
+                        Some(alt_head) if self.tick >= self.cooldown_until[alt_head] => {
+                            let res = if self.partial {
+                                fabric.begin_load(alt_head, pu.unit)
+                            } else {
+                                fabric.begin_load_forced(alt_head, pu.unit)
+                            };
+                            match res {
+                                Ok(()) => {
+                                    self.stats.loads_started += 1;
+                                    self.stats.replacements += 1;
+                                    obs.emit(Event::LoadReplaced {
+                                        from_head: pu.head as u32,
+                                        to_head: alt_head as u32,
+                                        unit: pu.unit,
+                                    });
+                                    obs.emit(Event::LoadStarted {
+                                        head: alt_head as u32,
+                                        unit: pu.unit,
+                                    });
+                                    if self.fail_streak[alt_head] > 0 {
+                                        self.stats.retries += 1;
+                                        obs.emit(Event::LoadRetry {
+                                            head: alt_head as u32,
+                                            unit: pu.unit,
+                                        });
+                                    }
+                                    started += 1;
+                                }
+                                Err(LoadError::AlreadyConfigured) => {
+                                    // The re-placed unit is already up from
+                                    // an earlier cycle's re-placement.
+                                    self.fail_streak[alt_head] = 0;
+                                    self.stats.skipped_matching += 1;
+                                }
+                                Err(LoadError::SpanBusy) => self.stats.deferred_busy += 1,
+                                Err(LoadError::NoPortFree) => self.stats.deferred_port += 1,
+                                Err(LoadError::SpanLoading) => self.stats.skipped_loading += 1,
+                                Err(LoadError::SpanDead) | Err(LoadError::OutOfRange) => {
+                                    unreachable!("re-placement spans are healthy and in range")
+                                }
+                            }
+                        }
+                        Some(alt_head) => {
+                            self.stats.deferred_backoff += 1;
+                            obs.emit(Event::LoadBackoffDeferred {
+                                head: alt_head as u32,
+                                unit: pu.unit,
+                            });
+                        }
+                        None => {
+                            self.stats.skipped_dead += 1;
+                            obs.emit(Event::DeadSlotSkip {
+                                head: pu.head as u32,
+                                unit: pu.unit,
+                            });
+                        }
+                    }
                 }
                 Err(LoadError::OutOfRange) => {
                     unreachable!("steering-set placements fit the fabric")
@@ -475,7 +686,11 @@ mod tests {
 
     #[test]
     fn fault_counters_stay_zero_without_faults() {
+        // fault_aware on: the fault paths must be inert on a healthy
+        // fabric (no dead slots, no corruption → no re-placement, no
+        // zombie reloads, identical counters).
         let mut l = loader();
+        l.fault_aware = true;
         let mut f = fabric(1, 2);
         for _ in 0..50 {
             l.apply(ConfigChoice::Predefined(0), &mut f);
@@ -487,6 +702,108 @@ mod tests {
         assert_eq!(st.upsets_detected, 0);
         assert_eq!(st.deferred_backoff, 0);
         assert_eq!(st.skipped_dead, 0);
+        assert_eq!(st.replacements, 0);
+        assert_eq!(st.zombie_reloads, 0);
+    }
+
+    #[test]
+    fn dead_span_replacement_recovers_displaced_unit() {
+        // Config 3 places Lsu@0, Lsu@1, FpAlu@2-4, FpMdu@5-7. Killing
+        // slots 0 and 5 displaces the Lsu@0 (re-placeable: slot 6 is
+        // freed by the homeless FpMdu) and the FpMdu (3 contiguous
+        // healthy slots no longer exist).
+        let mut l = loader();
+        l.fault_aware = true;
+        let mut f = faulty_fabric(FaultParams {
+            dead_slots: vec![0, 5],
+            ..FaultParams::default()
+        });
+        for _ in 0..10 {
+            l.apply(ConfigChoice::Predefined(2), &mut f);
+            f.tick();
+        }
+        let lsu_at_6 = f.alloc().unit_at(6).expect("Lsu re-placed to slot 6");
+        assert_eq!(lsu_at_6.unit, UnitType::Lsu);
+        assert_eq!(lsu_at_6.head, 6);
+        assert_eq!(f.rfu_counts().get(UnitType::Lsu), 2);
+        assert_eq!(f.rfu_counts().get(UnitType::FpMdu), 0, "FpMdu is homeless");
+        let st = l.stats();
+        assert_eq!(st.replacements, 1, "re-placement happens once, then sticks");
+        assert!(st.skipped_dead > 0, "the homeless FpMdu still skips");
+        // Steady state: re-applying finds the re-placed Lsu already up.
+        let before = l.stats().loads_started;
+        l.apply(ConfigChoice::Predefined(2), &mut f);
+        assert_eq!(l.stats().loads_started, before, "no placement churn");
+    }
+
+    #[test]
+    fn replacement_helpers_degrade_gracefully() {
+        let set = SteeringSet::paper_default();
+        let c = &set.predefined[2];
+        // All slots dead: nothing achievable, no panic.
+        assert_eq!(
+            achievable_rfu_counts(c, 8, |_| true),
+            rsp_isa::units::TypeCounts::ZERO
+        );
+        assert_eq!(replacement_head(c, 8, |_| true, 0), None);
+        // One-slot fabric: only a 1-slot unit could ever fit, and the
+        // paper placements all start past it — no panic either way.
+        assert_eq!(
+            achievable_rfu_counts(c, 1, |_| false).total(),
+            u32::from(achievable_rfu_counts(c, 1, |_| false).get(UnitType::Lsu)),
+        );
+        // No dead slots: achievable equals the nominal counts.
+        assert_eq!(achievable_rfu_counts(c, 8, |_| false), c.counts);
+        // Dead {0,5}: the displaced Lsu lands on slot 6.
+        let dead = |s: usize| s == 0 || s == 5;
+        assert_eq!(replacement_head(c, 8, dead, 0), Some(6));
+        assert_eq!(
+            replacement_head(c, 8, dead, 1),
+            Some(1),
+            "healthy span keeps its head"
+        );
+        assert_eq!(
+            replacement_head(c, 8, dead, 5),
+            None,
+            "no 3 contiguous healthy slots"
+        );
+        let ach = achievable_rfu_counts(c, 8, dead);
+        assert_eq!(ach.get(UnitType::Lsu), 2);
+        assert_eq!(ach.get(UnitType::FpAlu), 1);
+        assert_eq!(ach.get(UnitType::FpMdu), 0);
+    }
+
+    #[test]
+    fn zombie_spans_are_force_reloaded_when_fault_aware() {
+        // No scrub: without the fault-aware path, zombies accumulate and
+        // stay (the skip rule sees a matching span); with it, the loader
+        // rewrites them as soon as the selection revisits the span.
+        let faults = FaultParams {
+            seed: 11,
+            upset_ppm: PPM / 20,
+            scrub_interval: 0,
+            ..FaultParams::default()
+        };
+        let mut plain = loader();
+        let mut f_plain = faulty_fabric(faults.clone());
+        let mut aware = loader();
+        aware.fault_aware = true;
+        let mut f_aware = faulty_fabric(faults);
+        for _ in 0..500 {
+            plain.apply(ConfigChoice::Predefined(0), &mut f_plain);
+            f_plain.tick();
+            aware.apply(ConfigChoice::Predefined(0), &mut f_aware);
+            f_aware.tick();
+        }
+        assert_eq!(plain.stats().zombie_reloads, 0);
+        assert!(aware.stats().zombie_reloads > 0, "{:?}", aware.stats());
+        assert!(
+            f_aware.corrupted_units() < f_plain.corrupted_units(),
+            "zombie reloads must keep corruption from accumulating: \
+             aware={} plain={}",
+            f_aware.corrupted_units(),
+            f_plain.corrupted_units()
+        );
     }
 
     #[test]

@@ -56,6 +56,16 @@ pub trait SteeringPolicy {
     }
 }
 
+/// Consecutive degraded cycles before the fault-aware selection unit
+/// switches from the nominal to the effective capacity view. Transient
+/// zombies are force-reloaded by the loader's scrub-hint path within a
+/// span's load latency, so the window is sized to outlast a reload: the
+/// view only engages for *persistent* capacity loss (dead slots, or a
+/// zombie the loader cannot rewrite). A shorter window measurably hurts
+/// — re-ranking on a zombie the reloader is about to fix switches
+/// configurations twice for nothing (reconfiguration thrash).
+pub const DEFAULT_CAPACITY_HYSTERESIS: u32 = 32;
+
 /// The paper's steering mechanism: selection unit + configuration loader.
 #[derive(Debug, Clone)]
 pub struct PaperSteering {
@@ -63,16 +73,34 @@ pub struct PaperSteering {
     pub unit: SelectionUnit,
     /// The configuration loader (owns the steering set).
     pub loader: ConfigurationLoader,
+    /// Degraded cycles required before switching to the effective
+    /// capacity view (and re-ranking candidates against post-fault
+    /// capacity). Only consulted when `loader.fault_aware` is set.
+    pub hysteresis: u32,
+    /// Consecutive cycles the effective capacity has trailed nominal.
+    degraded_streak: u32,
+    /// True while candidates are scored against effective capacity.
+    effective_view: bool,
+    /// Dead-slot-aware achievable counts per predefined candidate
+    /// (RFU re-placement achievable + FFUs), cached because dead slots
+    /// are boot-static.
+    candidate_counts: [TypeCounts; MAX_CANDIDATES],
+    /// Whether `candidate_counts` has been computed yet.
+    counts_cached: bool,
+    /// True iff some predefined candidate cannot deliver its nominal
+    /// counts because of dead slots (a permanent degradation: zombies
+    /// heal via scrub/reload, dead slots do not).
+    dead_degraded: bool,
+    /// Largest per-candidate capacity deficit (in units) due to dead
+    /// slots, for the `CapacityRerank` telemetry.
+    max_dead_deficit: u32,
 }
 
 impl PaperSteering {
     /// Paper defaults: Table-1 steering set, shifter CEMs, favor-current
     /// tie-breaking, partial reconfiguration.
     pub fn paper_default() -> PaperSteering {
-        PaperSteering {
-            unit: SelectionUnit::PAPER,
-            loader: ConfigurationLoader::new(SteeringSet::paper_default()),
-        }
+        Self::new(SelectionUnit::PAPER, SteeringSet::paper_default())
     }
 
     /// Steering over a custom set / selection unit.
@@ -80,7 +108,59 @@ impl PaperSteering {
         PaperSteering {
             unit,
             loader: ConfigurationLoader::new(set),
+            hysteresis: DEFAULT_CAPACITY_HYSTERESIS,
+            degraded_streak: 0,
+            effective_view: false,
+            candidate_counts: [TypeCounts::ZERO; MAX_CANDIDATES],
+            counts_cached: false,
+            dead_degraded: false,
+            max_dead_deficit: 0,
         }
+    }
+
+    /// Enable (or disable) the fault-aware selection/loader paths:
+    /// effective-capacity candidate scoring with hysteresis, dead-span
+    /// re-placement, and zombie force-reloads. Fault-free behaviour is
+    /// bit-identical either way.
+    pub fn with_fault_aware(mut self, on: bool) -> PaperSteering {
+        self.loader.fault_aware = on;
+        self
+    }
+
+    /// True iff the fault-aware paths are enabled.
+    #[inline]
+    pub fn fault_aware(&self) -> bool {
+        self.loader.fault_aware
+    }
+
+    /// True while the selection unit is scoring against the effective
+    /// (post-fault) capacity view.
+    #[inline]
+    pub fn effective_view(&self) -> bool {
+        self.effective_view
+    }
+
+    /// Fill the per-candidate achievable-counts cache from the fabric's
+    /// (boot-static) dead-slot mask.
+    fn cache_candidate_counts(&mut self, fabric: &Fabric) {
+        let n = fabric.params().rfu_slots;
+        let set = self.loader.set();
+        let k = set.predefined.len().min(MAX_CANDIDATES);
+        for i in 0..k {
+            let rfu = crate::loader::achievable_rfu_counts(&set.predefined[i], n, |s| {
+                fabric.slot_dead(s)
+            });
+            self.candidate_counts[i] = rfu.saturating_add(&set.ffu);
+            let deficit = set
+                .total_counts(i)
+                .total()
+                .saturating_sub(self.candidate_counts[i].total());
+            if deficit > 0 {
+                self.dead_degraded = true;
+                self.max_dead_deficit = self.max_dead_deficit.max(deficit);
+            }
+        }
+        self.counts_cached = true;
     }
 }
 
@@ -96,6 +176,9 @@ impl SteeringPolicy for PaperSteering {
         if self.unit.cem.kind == crate::cem::CemKind::ExactDivider {
             n.push_str("+exact-divider");
         }
+        if self.loader.fault_aware {
+            n.push_str("+fault-aware");
+        }
         n
     }
 
@@ -109,10 +192,66 @@ impl SteeringPolicy for PaperSteering {
         fabric: &mut Fabric,
         obs: &mut Telemetry,
     ) -> PolicyOutcome {
+        // Fault-aware capacity view: compare effective (zombie- and
+        // dead-discounted) capacity against nominal, with hysteresis so
+        // one transient upset never re-ranks the candidates. Without
+        // faults `effective == nominal` every cycle and this whole block
+        // reduces to the nominal path — fault-free runs are bit-identical.
+        let nominal = fabric.configured_counts();
+        let mut current_counts = nominal;
+        if self.loader.fault_aware {
+            // Dead slots are boot-static, so the per-candidate achievable
+            // counts are computed once on the first fault-aware tick.
+            if !self.counts_cached {
+                self.cache_candidate_counts(fabric);
+            }
+            let effective = fabric.effective_counts();
+            // Degraded: zombies are eating live capacity, or dead slots
+            // cap what a candidate could deliver. The former heals (scrub
+            // or zombie reload), the latter never does.
+            let degraded = effective != nominal || self.dead_degraded;
+            if !degraded {
+                self.degraded_streak = 0;
+                if self.effective_view {
+                    self.effective_view = false;
+                    if obs.enabled() {
+                        obs.emit(Event::CapacityRerank {
+                            degraded: false,
+                            lost: 0,
+                        });
+                    }
+                }
+            } else {
+                self.degraded_streak = self.degraded_streak.saturating_add(1);
+                if !self.effective_view && self.degraded_streak >= self.hysteresis {
+                    self.effective_view = true;
+                    if obs.enabled() {
+                        let lost = nominal
+                            .total()
+                            .saturating_sub(effective.total())
+                            .max(self.max_dead_deficit);
+                        obs.emit(Event::CapacityRerank {
+                            degraded: true,
+                            lost: lost.min(255) as u8,
+                        });
+                    }
+                }
+            }
+            if self.effective_view {
+                current_counts = effective;
+            }
+        }
+        let candidate_counts: &[TypeCounts] = if self.effective_view {
+            let k = self.loader.set().predefined.len().min(MAX_CANDIDATES);
+            &self.candidate_counts[..k]
+        } else {
+            &[]
+        };
         let mut scores = [0u32; MAX_CANDIDATES];
-        let (choice, _err, scored) = self.unit.choose_with_scores(
+        let (choice, _err, scored) = self.unit.choose_with_scores_overriding(
             demand.saturating_3bit(),
-            fabric.configured_counts(),
+            current_counts,
+            candidate_counts,
             fabric.alloc(),
             self.loader.set(),
             &mut scores,
@@ -348,6 +487,10 @@ mod tests {
     #[test]
     fn policy_names() {
         assert_eq!(PaperSteering::paper_default().name(), "paper-steering");
+        assert_eq!(
+            PaperSteering::paper_default().with_fault_aware(true).name(),
+            "paper-steering+fault-aware"
+        );
         let mut p = PaperSteering::paper_default();
         p.loader.partial = false;
         p.unit.tie = crate::select::TieBreak::PreferPredefined;
@@ -357,5 +500,83 @@ mod tests {
             "paper-steering+full-reload+no-favor-current+exact-divider"
         );
         assert_eq!(DemandDriven::default().name(), "demand-driven");
+    }
+
+    #[test]
+    fn fault_aware_is_bit_identical_without_faults() {
+        let mut plain = PaperSteering::paper_default();
+        let mut aware = PaperSteering::paper_default().with_fault_aware(true);
+        let mut f_plain = fabric(2, 2);
+        let mut f_aware = fabric(2, 2);
+        let demands = [
+            TypeCounts::new([4, 1, 0, 0, 0]),
+            TypeCounts::new([0, 0, 3, 1, 1]),
+            TypeCounts::new([1, 1, 2, 0, 0]),
+        ];
+        for cycle in 0..120 {
+            let d = &demands[(cycle / 20) % demands.len()];
+            let a = plain.tick(d, &mut f_plain);
+            let b = aware.tick(d, &mut f_aware);
+            assert_eq!(a, b, "cycle {cycle}");
+            f_plain.tick();
+            f_aware.tick();
+            assert_eq!(f_plain, f_aware, "cycle {cycle}");
+        }
+        assert!(!aware.effective_view());
+    }
+
+    #[test]
+    fn dead_slots_engage_effective_view_after_hysteresis() {
+        use rsp_fabric::fault::FaultParams;
+        let mut p = PaperSteering::paper_default().with_fault_aware(true);
+        let mut f = Fabric::new(FabricParams {
+            per_slot_load_latency: 1,
+            reconfig_ports: 8,
+            faults: FaultParams {
+                dead_slots: vec![4, 5, 6, 7],
+                ..FaultParams::default()
+            },
+            ..FabricParams::default()
+        });
+        // Lsu-heavy demand. Nominally Config 1 wins (2 Lsu + FFU); with
+        // the upper half of the fabric dead, Config 1's Lsus (slots 6,7)
+        // are unachievable while Config 3's (slots 0,1) survive — the
+        // effective view must re-rank toward Config 3.
+        let demand = TypeCounts::new([0, 0, 3, 0, 0]);
+        for cycle in 0..40 {
+            p.tick(&demand, &mut f);
+            f.tick();
+            let engaged = p.effective_view();
+            let past = cycle + 1 >= DEFAULT_CAPACITY_HYSTERESIS as usize;
+            assert_eq!(engaged, past, "cycle {cycle}");
+        }
+        assert_eq!(
+            f.rfu_counts().get(UnitType::Lsu),
+            2,
+            "fault-aware steering must deliver Config 3's Lsus: {}",
+            f.slot_map()
+        );
+        // The nominal policy chases Config 1 and loses both Lsus to the
+        // dead upper half.
+        let mut plain = PaperSteering::paper_default();
+        let mut f2 = Fabric::new(FabricParams {
+            per_slot_load_latency: 1,
+            reconfig_ports: 8,
+            faults: FaultParams {
+                dead_slots: vec![4, 5, 6, 7],
+                ..FaultParams::default()
+            },
+            ..FabricParams::default()
+        });
+        for _ in 0..40 {
+            plain.tick(&demand, &mut f2);
+            f2.tick();
+        }
+        assert_eq!(
+            f2.rfu_counts().get(UnitType::Lsu),
+            0,
+            "nominal steering cannot place Config 1's Lsus: {}",
+            f2.slot_map()
+        );
     }
 }

@@ -272,13 +272,44 @@ impl SelectionUnit {
         set: &SteeringSet,
         scores: &mut [u32; rsp_obs::MAX_CANDIDATES],
     ) -> (ConfigChoice, u32, usize) {
+        self.choose_with_scores_overriding(
+            required,
+            current_counts,
+            &[],
+            current_alloc,
+            set,
+            scores,
+        )
+    }
+
+    /// [`SelectionUnit::choose_with_scores`] with per-candidate count
+    /// overrides: predefined candidate `i` is scored against
+    /// `candidate_counts[i]` instead of the nominal
+    /// [`SteeringSet::total_counts`] (missing entries fall back to the
+    /// nominal counts). The fault-aware steering path passes the
+    /// *effective* (zombie- and dead-slot-discounted) capacities here so
+    /// the CEMs never score phantom units; an empty slice makes this
+    /// bit-identical to the nominal path.
+    pub fn choose_with_scores_overriding(
+        &self,
+        required: TypeCounts,
+        current_counts: TypeCounts,
+        candidate_counts: &[TypeCounts],
+        current_alloc: &AllocationVector,
+        set: &SteeringSet,
+        scores: &mut [u32; rsp_obs::MAX_CANDIDATES],
+    ) -> (ConfigChoice, u32, usize) {
         scores.fill(0);
         let mut best = 0usize;
         let mut best_err = self.cem.error(&required, &current_counts);
         let mut best_cost = 0usize;
         scores[0] = best_err;
         for (i, c) in set.predefined.iter().enumerate() {
-            let err = self.cem.error(&required, &set.total_counts(i));
+            let total = candidate_counts
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| set.total_counts(i));
+            let err = self.cem.error(&required, &total);
             let cost = c.placement.diff_count(current_alloc);
             if i + 1 < scores.len() {
                 scores[i + 1] = err;
@@ -491,6 +522,19 @@ mod tests {
             prop_assert_eq!(e2, err);
             prop_assert_eq!(scored, full.errors.len().min(scores.len()));
             prop_assert_eq!(&scores[..scored], &full.errors[..scored]);
+            // The count-overriding variant is bit-identical when handed
+            // the nominal counts (or no overrides at all).
+            let nominal: Vec<TypeCounts> =
+                (0..s.predefined.len()).map(|i| s.total_counts(i)).collect();
+            for overrides in [&nominal[..], &nominal[..1], &[][..]] {
+                let mut scores_o = [0u32; rsp_obs::MAX_CANDIDATES];
+                let (c3, e3, scored3) = unit.choose_with_scores_overriding(
+                    required, current_counts, overrides, current_alloc, &s, &mut scores_o);
+                prop_assert_eq!(c3, full.choice);
+                prop_assert_eq!(e3, err);
+                prop_assert_eq!(scored3, scored);
+                prop_assert_eq!(&scores_o[..scored3], &scores[..scored]);
+            }
         }
 
         /// DESIGN.md invariant 4: the selector never returns a candidate

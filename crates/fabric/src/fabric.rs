@@ -19,7 +19,7 @@
 use crate::alloc::{AllocationVector, PlacedUnit};
 use crate::availability::{available, AvailabilityInputs};
 use crate::config::Configuration;
-use crate::fault::{FaultEvent, FaultParams, FaultState, FaultStats};
+use crate::fault::{self, FaultEvent, FaultParams, FaultState, FaultStats};
 use rsp_isa::units::{TypeCounts, UnitType};
 use serde::{Deserialize, Serialize};
 
@@ -167,6 +167,11 @@ pub struct Fabric {
     /// Incremental count of configured **idle** units per type.
     /// Corrupted units are excluded: they are configured but ungrantable.
     idle: TypeCounts,
+    /// Incremental count of **effective** units per type: configured and
+    /// not corrupted by an undetected upset. Busy units still count
+    /// (they will come back); zombies do not — this is the capacity the
+    /// fault-aware steering path scores against instead of `configured`.
+    effective: TypeCounts,
     /// Configuration-memory fault model state (inert by default).
     fault: FaultState,
 }
@@ -194,6 +199,7 @@ impl Fabric {
             stats: FabricStats::default(),
             configured: TypeCounts::ZERO,
             idle: TypeCounts::ZERO,
+            effective: TypeCounts::ZERO,
             fault,
         };
         fab.rebuild_counts();
@@ -206,6 +212,7 @@ impl Fabric {
     fn rebuild_counts(&mut self) {
         self.configured = self.configured_counts_scan();
         self.idle = self.idle_counts_scan();
+        self.effective = self.effective_counts_scan();
     }
 
     /// A fabric pre-loaded with `config` (no latency — initial state).
@@ -315,6 +322,31 @@ impl Fabric {
         let mut c = self.rfu_counts();
         for &t in &self.params.ffus {
             c.add(t, 1);
+        }
+        c
+    }
+
+    /// Effective units of each type: configured units minus zombies
+    /// (spans corrupted by an undetected upset). This is what the
+    /// fabric can actually deliver, and what a fault-aware selection
+    /// unit should score against. O(1): maintained incrementally across
+    /// load completions, overlap destruction, and upset injection.
+    pub fn effective_counts(&self) -> TypeCounts {
+        debug_assert_eq!(self.effective, self.effective_counts_scan());
+        self.effective
+    }
+
+    /// [`Fabric::effective_counts`] recomputed by scanning every unit —
+    /// the specification the incremental count is checked against.
+    pub fn effective_counts_scan(&self) -> TypeCounts {
+        let mut c = TypeCounts::ZERO;
+        for &t in &self.params.ffus {
+            c.add(t, 1);
+        }
+        for PlacedUnit { head, unit } in self.alloc.units() {
+            if !self.fault.corrupted[head] {
+                c.add(unit, 1);
+            }
         }
         c
     }
@@ -572,14 +604,15 @@ impl Fabric {
                 debug_assert!(!self.slot_busy[pu.head]);
                 dec(&mut self.configured, pu.unit);
                 if self.fault.corrupted[pu.head] {
-                    // A corrupted unit left the idle counts when it was
-                    // struck; rewriting its configuration memory clears
-                    // the corruption along with the unit.
+                    // A corrupted unit left the idle and effective counts
+                    // when it was struck; rewriting its configuration
+                    // memory clears the corruption along with the unit.
                     for cs in pu.span() {
                         self.fault.corrupted[cs] = false;
                     }
                 } else {
                     dec(&mut self.idle, pu.unit);
+                    dec(&mut self.effective, pu.unit);
                 }
             }
             self.alloc.clear_unit_at(s);
@@ -587,10 +620,18 @@ impl Fabric {
         }
         debug_assert_eq!(self.alloc.check(), Ok(()));
         // The fault model decides now whether this load's readback will
-        // fail after the frames stream (deterministic, seeded).
+        // fail after the frames stream. The verdict is a pure function of
+        // (seed, cycle, head): an open-loop schedule that does not shift
+        // when a policy starts more or fewer loads elsewhere.
         let will_fail = self.fault.enabled() && {
-            let ppm = self.fault.params.load_failure_ppm;
-            self.fault.rng.chance_ppm(ppm)
+            let f = &self.fault;
+            fault::keyed_chance_ppm(
+                f.params.seed,
+                fault::stream::LOAD_FAILURE,
+                f.tick,
+                slot as u64,
+                f.params.load_failure_ppm,
+            )
         };
         self.loads.push(LoadInFlight {
             head: slot,
@@ -648,9 +689,11 @@ impl Fabric {
         });
         for pu in done.iter() {
             self.alloc.place(pu.head, pu.unit);
-            // The freshly loaded unit arrives configured and idle.
+            // The freshly loaded unit arrives configured, idle, and
+            // uncorrupted.
             self.configured.add(pu.unit, 1);
             self.idle.add(pu.unit, 1);
+            self.effective.add(pu.unit, 1);
             self.stats.loads_completed += 1;
             if self.fault.enabled() {
                 self.fault.events.push(FaultEvent::LoadPlaced {
@@ -669,32 +712,44 @@ impl Fabric {
     /// scrubbing. Only called when the fault model is enabled, so inert
     /// configurations stay bit-identical to a fault-free build.
     fn fault_tick(&mut self) {
-        // An SEU may strike the configuration memory of one idle,
-        // not-yet-corrupted configured unit.
-        if self.fault.rng.chance_ppm(self.fault.params.upset_ppm) {
-            let mut candidates = self.fault.take_candidates();
-            candidates.extend(self.alloc.units().filter_map(|pu| {
-                (!self.slot_busy[pu.head] && !self.fault.corrupted[pu.head]).then_some(pu.head)
-            }));
-            if candidates.is_empty() {
-                self.fault.stats.upsets_dissipated += 1;
-            } else {
-                let head = candidates[self.fault.rng.pick(candidates.len())];
-                let pu = self.alloc.unit_at(head).expect("candidate is a unit head");
-                for s in pu.span() {
-                    self.fault.corrupted[s] = true;
+        self.fault.tick += 1;
+        // An SEU may strike one configuration-memory location per cycle.
+        // Both the strike and its target slot are keyed draws on the
+        // cycle number — the schedule of (cycle, slot) strikes is fixed
+        // by the seed, whatever the steering policy does. A strike on a
+        // slot inside an idle, not-yet-corrupted unit's span corrupts
+        // the whole unit; anywhere else (empty, busy, already-corrupted,
+        // or mid-load) it dissipates without effect.
+        let f = &self.fault;
+        if fault::keyed_chance_ppm(
+            f.params.seed,
+            fault::stream::UPSET_STRIKE,
+            f.tick,
+            0,
+            f.params.upset_ppm,
+        ) {
+            let target = (fault::keyed_draw(f.params.seed, fault::stream::UPSET_TARGET, f.tick, 0)
+                % self.alloc.len() as u64) as usize;
+            let victim = self.alloc.units().find(|pu| pu.span().any(|s| s == target));
+            match victim {
+                Some(pu) if !self.slot_busy[pu.head] && !self.fault.corrupted[pu.head] => {
+                    for s in pu.span() {
+                        self.fault.corrupted[s] = true;
+                    }
+                    // Corrupted units stay in the allocation vector (the
+                    // nominal steering view is fooled) but leave the idle
+                    // and effective counts: they are ungrantable and serve
+                    // no demand from this cycle on.
+                    dec(&mut self.idle, pu.unit);
+                    dec(&mut self.effective, pu.unit);
+                    self.fault.stats.upsets_injected += 1;
+                    self.fault.events.push(FaultEvent::UpsetInjected {
+                        head: pu.head,
+                        unit: pu.unit,
+                    });
                 }
-                // Corrupted units stay in the allocation vector (the
-                // steering mechanism is fooled) but leave the idle
-                // counts: they are ungrantable from this cycle on.
-                dec(&mut self.idle, pu.unit);
-                self.fault.stats.upsets_injected += 1;
-                self.fault.events.push(FaultEvent::UpsetInjected {
-                    head: pu.head,
-                    unit: pu.unit,
-                });
+                _ => self.fault.stats.upsets_dissipated += 1,
             }
-            self.fault.put_candidates(candidates);
         }
         // Scrub/readback: every `scrub_interval` cycles, detect and
         // clear corrupted spans so the loader can reload them.
@@ -715,6 +770,8 @@ impl Fabric {
                             self.fault.corrupted[s] = false;
                         }
                         self.alloc.clear_unit_at(head);
+                        // `effective` was debited at upset time; only the
+                        // nominal configured count changes on detection.
                         dec(&mut self.configured, pu.unit);
                         self.fault.stats.upsets_detected += 1;
                         detected += 1;
@@ -966,6 +1023,7 @@ mod tests {
         let check = |f: &Fabric| {
             assert_eq!(f.configured_counts(), f.configured_counts_scan());
             assert_eq!(f.idle_counts(), f.idle_counts_scan());
+            assert_eq!(f.effective_counts(), f.effective_counts_scan());
             for &t in &UnitType::ALL {
                 assert_eq!(f.available(t), f.available_scan(t));
             }
@@ -1096,6 +1154,13 @@ mod tests {
             f.idle_counts_scan(),
             "incremental idle counts must track corruption"
         );
+        // The effective view sees through the zombie immediately.
+        assert_eq!(f.effective_counts(), f.effective_counts_scan());
+        assert_eq!(
+            f.effective_counts().total(),
+            configured_before.total() - 1,
+            "one zombie must leave the effective capacity"
+        );
         // With one upset per cycle and no scrub, every RFU eventually
         // becomes a zombie; only the FFUs remain grantable.
         for _ in 0..100 {
@@ -1136,6 +1201,7 @@ mod tests {
         // spans are reloadable again.
         assert_eq!(f.configured_counts(), f.configured_counts_scan());
         assert_eq!(f.idle_counts(), f.idle_counts_scan());
+        assert_eq!(f.effective_counts(), f.effective_counts_scan());
         let cleared_head = f
             .fault_events()
             .iter()
@@ -1185,6 +1251,7 @@ mod tests {
         assert!(pu.span().all(|s| !f.slot_corrupted(s)));
         assert_eq!(f.configured_counts(), f.configured_counts_scan());
         assert_eq!(f.idle_counts(), f.idle_counts_scan());
+        assert_eq!(f.effective_counts(), f.effective_counts_scan());
     }
 
     #[test]

@@ -23,11 +23,17 @@
 //! * **Stuck-at-dead slots** — optionally, some slots are permanently
 //!   broken and can never be configured ([`crate::fabric::LoadError::SpanDead`]).
 //!
-//! All randomness comes from a splitmix64 stream seeded by
-//! [`FaultParams::seed`]: a given `(FaultParams, workload)` pair always
-//! produces the same fault schedule, so faulty runs are reproducible and
-//! differential-testable. With every rate at zero and no dead slots the
-//! model is inert: the fabric consumes no random numbers and behaves
+//! All randomness comes from splitmix64-mixed *keyed draws*: every
+//! decision is a pure function of `(seed, stream, cycle, slot)` rather
+//! than a position in a shared sequential stream. That makes the fault
+//! schedule **open-loop**: which (cycle, slot) pairs are struck — and
+//! which (cycle, head) loads fail readback — is fixed by the seed alone,
+//! independent of what the steering policy does. Two runs of the same
+//! workload under different policies therefore face the *same* fault
+//! schedule, so policy comparisons (e.g. the fault-aware selection unit
+//! against the degraded baseline in the fault-sweep bench) are paired
+//! rather than drowned in schedule divergence. With every rate at zero
+//! and no dead slots the model is inert and the fabric behaves
 //! bit-identically to a build without fault machinery.
 //!
 //! Architectural correctness is never at risk: corrupted and dead units
@@ -143,40 +149,39 @@ pub enum FaultEvent {
     },
 }
 
-/// A tiny deterministic splitmix64 stream. Serialisable and comparable
-/// so the whole [`crate::fabric::Fabric`] stays `Clone + PartialEq +
-/// Serialize` (the vendored `rand` generators are not).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FaultRng(u64);
+/// Fault-schedule streams for [`keyed_draw`]: separating the streams
+/// keeps a draw for one mechanism from correlating with another's at the
+/// same (cycle, slot).
+pub mod stream {
+    /// Readback verdict of a load started at (cycle, head).
+    pub const LOAD_FAILURE: u64 = 0x4C4F_4144;
+    /// Whether an SEU strikes the configuration memory this cycle.
+    pub const UPSET_STRIKE: u64 = 0x5345_5531;
+    /// Which slot the SEU strikes.
+    pub const UPSET_TARGET: u64 = 0x5345_5532;
+}
 
-impl FaultRng {
-    /// A stream seeded with `seed`.
-    pub fn new(seed: u64) -> FaultRng {
-        FaultRng(seed)
-    }
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-    /// Next raw 64-bit draw (splitmix64).
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
+/// The deterministic draw for fault stream `stream` at coordinates
+/// `(a, b)` — a pure function of its inputs (no hidden RNG state), so
+/// the whole fault schedule is open-loop: see the module docs.
+#[inline]
+pub fn keyed_draw(seed: u64, stream: u64, a: u64, b: u64) -> u64 {
+    mix(mix(mix(seed.wrapping_add(stream)).wrapping_add(a)).wrapping_add(b))
+}
 
-    /// Bernoulli draw with probability `ppm / 1e6`.
-    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
-        if ppm == 0 {
-            return false;
-        }
-        (self.next_u64() % PPM as u64) < ppm as u64
-    }
-
-    /// Uniform draw in `0..n` (`n > 0`).
-    pub fn pick(&mut self, n: usize) -> usize {
-        debug_assert!(n > 0);
-        (self.next_u64() % n as u64) as usize
-    }
+/// Keyed Bernoulli draw with probability `ppm / 1e6`.
+#[inline]
+pub fn keyed_chance_ppm(seed: u64, stream: u64, a: u64, b: u64, ppm: u32) -> bool {
+    ppm > 0 && (keyed_draw(seed, stream, a, b) % PPM as u64) < ppm as u64
 }
 
 /// Live fault-model state, owned by the fabric.
@@ -184,8 +189,8 @@ impl FaultRng {
 pub struct FaultState {
     /// Static parameters.
     pub params: FaultParams,
-    /// The deterministic fault schedule stream.
-    pub rng: FaultRng,
+    /// Fabric ticks elapsed — the time coordinate of [`keyed_draw`].
+    pub tick: u64,
     /// Per-slot corruption flags (a corrupted unit has its *whole* span
     /// flagged; the head flag is what the availability path checks).
     pub corrupted: Vec<bool>,
@@ -197,8 +202,6 @@ pub struct FaultState {
     pub stats: FaultStats,
     /// Events generated by the last tick (cleared at the next one).
     pub events: Vec<FaultEvent>,
-    /// Scratch buffer for upset-candidate heads (reused across ticks).
-    candidates: Vec<usize>,
 }
 
 impl FaultState {
@@ -211,13 +214,12 @@ impl FaultState {
             }
         }
         FaultState {
-            rng: FaultRng::new(params.seed),
+            tick: 0,
             corrupted: vec![false; slots],
             dead,
             scrub_countdown: params.scrub_interval,
             stats: FaultStats::default(),
             events: Vec::new(),
-            candidates: Vec::new(),
             params,
         }
     }
@@ -226,18 +228,6 @@ impl FaultState {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.params.enabled()
-    }
-
-    /// Borrow (and clear into) the candidates scratch buffer.
-    pub(crate) fn take_candidates(&mut self) -> Vec<usize> {
-        let mut c = std::mem::take(&mut self.candidates);
-        c.clear();
-        c
-    }
-
-    /// Return the candidates scratch buffer.
-    pub(crate) fn put_candidates(&mut self, c: Vec<usize>) {
-        self.candidates = c;
     }
 }
 
@@ -294,35 +284,40 @@ mod tests {
     }
 
     #[test]
-    fn rng_is_deterministic_and_seeded() {
-        let mut a = FaultRng::new(7);
-        let mut b = FaultRng::new(7);
-        let mut c = FaultRng::new(8);
-        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
-        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
-        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
-        assert_eq!(xs, ys);
-        assert_ne!(xs, zs);
+    fn keyed_draws_are_pure_seeded_functions() {
+        // Same coordinates → same draw; any coordinate change → a
+        // different draw (with overwhelming probability).
+        assert_eq!(
+            keyed_draw(7, stream::UPSET_STRIKE, 3, 0),
+            keyed_draw(7, stream::UPSET_STRIKE, 3, 0)
+        );
+        assert_ne!(
+            keyed_draw(7, stream::UPSET_STRIKE, 3, 0),
+            keyed_draw(8, stream::UPSET_STRIKE, 3, 0)
+        );
+        assert_ne!(
+            keyed_draw(7, stream::UPSET_STRIKE, 3, 0),
+            keyed_draw(7, stream::UPSET_TARGET, 3, 0)
+        );
+        assert_ne!(
+            keyed_draw(7, stream::UPSET_STRIKE, 3, 0),
+            keyed_draw(7, stream::UPSET_STRIKE, 4, 0)
+        );
+        assert_ne!(
+            keyed_draw(7, stream::LOAD_FAILURE, 3, 0),
+            keyed_draw(7, stream::LOAD_FAILURE, 3, 1)
+        );
     }
 
     #[test]
-    fn chance_ppm_extremes() {
-        let mut r = FaultRng::new(1);
-        assert!((0..1000).all(|_| !r.chance_ppm(0)));
-        assert!((0..1000).all(|_| r.chance_ppm(PPM)));
-        // A mid rate fires sometimes but not always.
-        let hits = (0..10_000).filter(|_| r.chance_ppm(PPM / 2)).count();
-        assert!(hits > 3_000 && hits < 7_000, "hits = {hits}");
-    }
-
-    #[test]
-    fn pick_stays_in_range() {
-        let mut r = FaultRng::new(3);
-        for n in 1..10usize {
-            for _ in 0..100 {
-                assert!(r.pick(n) < n);
-            }
-        }
+    fn keyed_chance_ppm_extremes_and_rate() {
+        assert!((0..1000).all(|t| !keyed_chance_ppm(1, stream::UPSET_STRIKE, t, 0, 0)));
+        assert!((0..1000).all(|t| keyed_chance_ppm(1, stream::UPSET_STRIKE, t, 0, PPM)));
+        // A mid rate fires roughly half the time across cycles.
+        let hits = (0..10_000)
+            .filter(|&t| keyed_chance_ppm(1, stream::UPSET_STRIKE, t, 0, PPM / 2))
+            .count();
+        assert!(hits > 4_000 && hits < 6_000, "hits = {hits}");
     }
 
     #[test]

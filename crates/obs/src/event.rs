@@ -104,6 +104,29 @@ pub enum Event {
         /// Unit type that could not be placed.
         unit: UnitType,
     },
+    /// The loader re-placed a unit whose canonical span covers a
+    /// stuck-at-dead slot into an alternative healthy span (emitted in
+    /// addition to [`Event::LoadStarted`] at the new head).
+    LoadReplaced {
+        /// Canonical head slot the unit could not be placed at.
+        from_head: u32,
+        /// Head slot the unit was re-placed to.
+        to_head: u32,
+        /// Unit type being re-placed.
+        unit: UnitType,
+    },
+    /// The fault-aware steering path switched between the nominal and
+    /// the effective (post-fault) capacity view and re-ranked the
+    /// candidate configurations (emitted on the hysteresis transition,
+    /// not every degraded cycle).
+    CapacityRerank {
+        /// True when switching nominal → effective (capacity loss
+        /// crossed the hysteresis threshold); false on recovery.
+        degraded: bool,
+        /// Units of effective capacity below nominal at the transition,
+        /// summed over types.
+        lost: u8,
+    },
     /// A load completed and passed readback: `unit` is now live at `head`.
     LoadPlaced {
         /// Head slot of the completed load.
@@ -185,6 +208,15 @@ pub(crate) mod tests {
             Event::DeadSlotSkip {
                 head: 0,
                 unit: UnitType::IntAlu,
+            },
+            Event::LoadReplaced {
+                from_head: 0,
+                to_head: 6,
+                unit: UnitType::IntAlu,
+            },
+            Event::CapacityRerank {
+                degraded: true,
+                lost: 2,
             },
             Event::LoadPlaced {
                 head: 2,

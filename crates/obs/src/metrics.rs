@@ -24,6 +24,11 @@ pub enum Counter {
     BackoffDeferrals,
     /// Spans skipped because they contain a stuck-at-dead slot.
     DeadSlotSkips,
+    /// Units re-placed into an alternative span around a dead slot.
+    LoadReplacements,
+    /// Fault-aware capacity re-ranks (hysteresis transitions between
+    /// the nominal and effective capacity views).
+    CapacityReranks,
     /// Loads that completed and passed readback.
     LoadsPlaced,
     /// Loads that consumed their latency then failed readback.
@@ -41,7 +46,7 @@ pub enum Counter {
 }
 
 /// Number of counters.
-pub const NUM_COUNTERS: usize = 13;
+pub const NUM_COUNTERS: usize = 15;
 
 impl Counter {
     /// Every counter, in snapshot order.
@@ -52,6 +57,8 @@ impl Counter {
         Counter::LoadRetries,
         Counter::BackoffDeferrals,
         Counter::DeadSlotSkips,
+        Counter::LoadReplacements,
+        Counter::CapacityReranks,
         Counter::LoadsPlaced,
         Counter::LoadsFailed,
         Counter::UpsetsInjected,
@@ -70,6 +77,8 @@ impl Counter {
             Counter::LoadRetries => "load_retries",
             Counter::BackoffDeferrals => "backoff_deferrals",
             Counter::DeadSlotSkips => "dead_slot_skips",
+            Counter::LoadReplacements => "load_replacements",
+            Counter::CapacityReranks => "capacity_reranks",
             Counter::LoadsPlaced => "loads_placed",
             Counter::LoadsFailed => "loads_failed",
             Counter::UpsetsInjected => "upsets_injected",
@@ -242,6 +251,8 @@ impl MetricsRegistry {
             Event::LoadRetry { .. } => self.bump(Counter::LoadRetries),
             Event::LoadBackoffDeferred { .. } => self.bump(Counter::BackoffDeferrals),
             Event::DeadSlotSkip { .. } => self.bump(Counter::DeadSlotSkips),
+            Event::LoadReplaced { .. } => self.bump(Counter::LoadReplacements),
+            Event::CapacityRerank { .. } => self.bump(Counter::CapacityReranks),
             Event::LoadPlaced { .. } => self.bump(Counter::LoadsPlaced),
             Event::LoadFailed { .. } => self.bump(Counter::LoadsFailed),
             Event::UpsetInjected { .. } => self.bump(Counter::UpsetsInjected),
@@ -408,7 +419,7 @@ mod tests {
             r.observe(&ev);
         }
         // One of each variant, plus the changed-decision bonus counter.
-        assert_eq!(r.get(Counter::EventsEmitted), 11);
+        assert_eq!(r.get(Counter::EventsEmitted), 13);
         assert_eq!(r.get(Counter::SteeringDecisions), 1);
         assert_eq!(r.get(Counter::SelectionChanges), 1);
         for c in [
@@ -416,6 +427,8 @@ mod tests {
             Counter::LoadRetries,
             Counter::BackoffDeferrals,
             Counter::DeadSlotSkips,
+            Counter::LoadReplacements,
+            Counter::CapacityReranks,
             Counter::LoadsPlaced,
             Counter::LoadsFailed,
             Counter::UpsetsInjected,

@@ -121,6 +121,12 @@ pub enum PolicyKind {
         cem: CemKind,
         /// Partial reconfiguration (false = E2 full-reload ablation).
         partial: bool,
+        /// Fault-aware selection and loading: effective-capacity
+        /// candidate scoring with hysteresis, dead-span re-placement,
+        /// zombie force-reloads. Fault-free behaviour is bit-identical,
+        /// so old configs (which lack the field) default to `false`.
+        #[serde(default)]
+        fault_aware: bool,
     },
     /// Never reconfigure; run on `initial_config` forever.
     Static,
@@ -143,6 +149,16 @@ impl PolicyKind {
         tie: TieBreak::FavorCurrent,
         cem: CemKind::BarrelShifter,
         partial: true,
+        fault_aware: false,
+    };
+
+    /// The paper's policy with the fault-aware selection/loader paths
+    /// enabled (DESIGN.md §11).
+    pub const PAPER_FAULT_AWARE: PolicyKind = PolicyKind::Paper {
+        tie: TieBreak::FavorCurrent,
+        cem: CemKind::BarrelShifter,
+        partial: true,
+        fault_aware: true,
     };
 }
 
@@ -343,5 +359,18 @@ mod tests {
         let j = serde_json::to_string(&c).unwrap();
         let d: SimConfig = serde_json::from_str(&j).unwrap();
         assert_eq!(c, d);
+    }
+
+    #[test]
+    fn paper_policy_json_without_fault_aware_field_parses() {
+        // Configs written before the fault-aware field existed must keep
+        // deserialising (and mean fault_aware = false).
+        let j = r#"{"Paper":{"tie":"FavorCurrent","cem":"BarrelShifter","partial":true}}"#;
+        let p: PolicyKind = serde_json::from_str(j).unwrap();
+        assert_eq!(p, PolicyKind::PAPER);
+        let j = serde_json::to_string(&PolicyKind::PAPER_FAULT_AWARE).unwrap();
+        let d: PolicyKind = serde_json::from_str(&j).unwrap();
+        assert_eq!(d, PolicyKind::PAPER_FAULT_AWARE);
+        assert_ne!(PolicyKind::PAPER, PolicyKind::PAPER_FAULT_AWARE);
     }
 }

@@ -81,7 +81,12 @@ pub enum PolicyInstance {
 impl PolicyInstance {
     fn build(cfg: &SimConfig) -> PolicyInstance {
         match cfg.policy {
-            PolicyKind::Paper { tie, cem, partial } => {
+            PolicyKind::Paper {
+                tie,
+                cem,
+                partial,
+                fault_aware,
+            } => {
                 let unit = SelectionUnit {
                     tie,
                     cem: CemUnit { kind: cem },
@@ -89,6 +94,7 @@ impl PolicyInstance {
                 };
                 let mut p = PaperSteering::new(unit, cfg.steering_set.clone());
                 p.loader.partial = partial;
+                p.loader.fault_aware = fault_aware;
                 PolicyInstance::Paper(p)
             }
             PolicyKind::Static => {

@@ -15,6 +15,12 @@ pub struct TraceSample {
     pub demand: TypeCounts,
     /// Units of each type configured in the RFU fabric.
     pub rfu_counts: TypeCounts,
+    /// **Effective** availability: configured units (FFUs + RFUs) minus
+    /// zombies corrupted by undetected upsets — the capacity the
+    /// fault-aware selection unit scores against. Defaults to zero when
+    /// absent so traces recorded before this field existed still parse.
+    #[serde(default)]
+    pub effective_counts: TypeCounts,
     /// Raw 3-bit slot encodings of the allocation vector.
     pub alloc: Vec<u8>,
     /// Reconfigurations in flight.
@@ -52,6 +58,7 @@ impl SteeringTrace {
             cycle: m.cycle(),
             demand: m.current_demand(),
             rfu_counts: m.fabric().rfu_counts(),
+            effective_counts: m.fabric().effective_counts(),
             alloc: m.fabric().alloc().encodings().iter().map(|e| e.0).collect(),
             loads_in_flight: m.fabric().loads_in_flight(),
             queue_len: m.wakeup().len(),
@@ -153,6 +160,14 @@ impl SteeringTrace {
                 s.push(digit(smp.corrupted_units.min(9) as u8));
             }
             let _ = writeln!(s, "|");
+            // Effective (post-fault) capacity over time: total configured
+            // units minus zombies — the dips line up with the corrupt row
+            // and show how much capacity the steering can actually use.
+            let _ = write!(s, "  {:<8} |", "effcap");
+            for smp in &self.samples {
+                s.push(digit(smp.effective_counts.total().min(9) as u8));
+            }
+            let _ = writeln!(s, "|");
         }
         if self.samples.iter().any(|p| p.dead_slots > 0) {
             let _ = write!(s, "  {:<8} |", "dead");
@@ -230,6 +245,56 @@ mod tests {
         trace.drive(&mut m, 7, 23);
         assert_eq!(trace.samples.last().unwrap().cycle, 23);
         assert!(trace.samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    }
+
+    #[test]
+    fn effective_counts_default_for_old_traces() {
+        // Samples recorded before the effective_counts field existed
+        // must keep parsing (and read as zero effective capacity).
+        let json = r#"{"cycle":1,"demand":[0,0,0,0,0],"rfu_counts":[1,0,0,0,0],
+            "alloc":[0,0,0,0,0,0,0,0],"loads_in_flight":0,"queue_len":0,
+            "in_flight":0,"retired":0,"corrupted_units":0,"dead_slots":0,"scrubs":0}"#;
+        let s: TraceSample = serde_json::from_str(json).unwrap();
+        assert_eq!(s.effective_counts, TypeCounts::ZERO);
+    }
+
+    #[test]
+    fn effective_capacity_row_appears_under_faults() {
+        use crate::PolicyKind;
+        let p = assemble(
+            "t",
+            "addi r1, r0, 120\nloop: mul r2, r1, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt",
+        )
+        .unwrap();
+        let mut cfg = SimConfig {
+            policy: PolicyKind::PAPER_FAULT_AWARE,
+            ..SimConfig::default()
+        };
+        cfg.fabric.faults.seed = 3;
+        cfg.fabric.faults.upset_ppm = 100_000;
+        cfg.fabric.faults.scrub_interval = 64;
+        let proc = Processor::new(cfg);
+        let mut m = proc.start(&p).unwrap();
+        let mut trace = SteeringTrace::new();
+        trace.drive(&mut m, 1, 5_000);
+        assert!(
+            trace.samples.iter().any(|s| s.corrupted_units > 0),
+            "the upset rate must corrupt at least one sampled cycle"
+        );
+        // Effective capacity dips whenever zombies are live.
+        let max_eff = trace
+            .samples
+            .iter()
+            .map(|s| s.effective_counts.total())
+            .max()
+            .unwrap();
+        assert!(trace
+            .samples
+            .iter()
+            .any(|s| s.effective_counts.total() < max_eff));
+        let tl = trace.render_timeline();
+        assert!(tl.contains("effcap"), "missing effcap row in:\n{tl}");
+        assert!(tl.contains("corrupt"), "missing corrupt row in:\n{tl}");
     }
 
     #[test]

@@ -243,7 +243,12 @@ fn ablation_policies_preserve_architecture() {
         (TieBreak::FavorCurrent, CemKind::BarrelShifter, false),
     ] {
         let cfg = SimConfig {
-            policy: PolicyKind::Paper { tie, cem, partial },
+            policy: PolicyKind::Paper {
+                tie,
+                cem,
+                partial,
+                fault_aware: false,
+            },
             ..SimConfig::default()
         };
         check(&p, cfg);

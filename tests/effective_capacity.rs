@@ -1,0 +1,227 @@
+//! Effective-capacity differential properties (DESIGN.md §11).
+//!
+//! The fault-aware selection unit scores steering candidates against the
+//! fabric's **effective** unit counts — configured units minus zombies
+//! (spans corrupted by an undetected upset) — instead of the nominal
+//! configured counts. The hot loop maintains that count incrementally
+//! across load completions, overlap destruction, upset injection and
+//! scrub; `Fabric::effective_counts_scan` keeps the O(n) from-scratch
+//! specification around precisely so the increment can be checked
+//! against it. These proptests drive fabrics and whole machines through
+//! arbitrary fault schedules and assert, **every cycle**, that
+//! * the incremental effective count equals the from-scratch scan;
+//! * effective capacity never counts a zombie (corrupted span) or a
+//!   stuck-at-dead slot — nominal minus effective is exactly the zombie
+//!   population, and dead slots host no unit at all;
+//! * effective never exceeds nominal in any type lane.
+
+use proptest::prelude::*;
+use rsp::fabric::fabric::{Fabric, FabricParams, UnitId};
+use rsp::fabric::fault::{FaultParams, PPM};
+use rsp::isa::units::UnitType;
+use rsp::sim::{PolicyKind, Processor, SimConfig};
+use rsp::workloads::{SynthSpec, UnitMix};
+
+const MIXES: [UnitMix; 6] = [
+    UnitMix::INT_HEAVY,
+    UnitMix::FP_HEAVY,
+    UnitMix::MEM_HEAVY,
+    UnitMix::BALANCED,
+    UnitMix::INT_ONLY,
+    UnitMix::FP_ONLY,
+];
+
+/// Assert every effective-capacity invariant on one fabric snapshot.
+fn check_effective_invariants(f: &Fabric, ctx: &str) {
+    let nominal = f.configured_counts();
+    let effective = f.effective_counts();
+    assert_eq!(
+        effective,
+        f.effective_counts_scan(),
+        "{ctx}: incremental effective count diverged from unit scan"
+    );
+    for &t in &UnitType::ALL {
+        assert!(
+            effective.get(t) <= nominal.get(t),
+            "{ctx}: effective {t:?} exceeds nominal"
+        );
+    }
+    // Nominal minus effective is exactly the zombie population: capacity
+    // is only ever discounted for corruption, and every corrupted unit
+    // is discounted.
+    assert_eq!(
+        nominal.total() - effective.total(),
+        f.corrupted_units() as u32,
+        "{ctx}: effective capacity must discount zombies, nothing else"
+    );
+    // Dead slots can never host (or count) a unit.
+    for s in 0..f.params().rfu_slots {
+        if f.slot_dead(s) {
+            assert!(
+                f.alloc().unit_at(s).is_none(),
+                "{ctx}: dead slot {s} hosts a unit"
+            );
+        }
+    }
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultParams> {
+    (
+        any::<u64>(),
+        0u32..=PPM,
+        0u32..=PPM,
+        0u64..128,
+        proptest::collection::vec(0usize..8, 0..4),
+    )
+        .prop_map(
+            |(seed, load_failure_ppm, upset_ppm, scrub_interval, dead_slots)| FaultParams {
+                seed,
+                load_failure_ppm,
+                upset_ppm,
+                scrub_interval,
+                dead_slots,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fabric-level: arbitrary interleavings of loads, busy toggles and
+    /// fault ticks keep the incremental effective count equal to the
+    /// scan after every single operation.
+    #[test]
+    fn prop_fabric_effective_matches_scan_under_arbitrary_ops(
+        faults in arb_faults(),
+        latency in 1u64..4,
+        ports in 1usize..5,
+        ops in proptest::collection::vec((0u8..4, 0usize..8, 0usize..5), 20..120),
+    ) {
+        let mut f = Fabric::new(FabricParams {
+            per_slot_load_latency: latency,
+            reconfig_ports: ports,
+            faults,
+            ..FabricParams::default()
+        });
+        check_effective_invariants(&f, "initial");
+        for (i, &(op, slot, unit_idx)) in ops.iter().enumerate() {
+            let ctx = format!("op {i}");
+            match op {
+                // Attempt a load anywhere; every rejection reason is fine.
+                0 => {
+                    let _ = f.begin_load(slot, UnitType::ALL[unit_idx]);
+                }
+                // Mark some idle, uncorrupted unit busy (as issue would).
+                1 => {
+                    let target = f
+                        .units()
+                        .into_iter()
+                        .filter(|v| {
+                            !v.busy
+                                && match v.id {
+                                    UnitId::Rfu { head } => !f.slot_corrupted(head),
+                                    UnitId::Ffu(_) => true,
+                                }
+                        })
+                        .nth(slot % 4);
+                    if let Some(v) = target {
+                        f.set_busy(v.id);
+                    }
+                }
+                // Complete some busy unit's instruction.
+                2 => {
+                    let target = f.units().into_iter().filter(|v| v.busy).nth(slot % 4);
+                    if let Some(v) = target {
+                        f.clear_busy(v.id);
+                    }
+                }
+                // Advance time: load completions, upsets, scrub.
+                _ => {
+                    f.tick();
+                }
+            }
+            check_effective_invariants(&f, &ctx);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Machine-level: a whole fault-aware machine run holds the
+    /// invariants on every cycle, for any workload mix and any fault
+    /// schedule — so the CEM's capacity input provably never counts a
+    /// zombie or a dead slot.
+    #[test]
+    fn prop_machine_effective_matches_scan_every_cycle(
+        faults in arb_faults(),
+        seed in 0u64..1_000_000,
+        mix_idx in 0usize..6,
+        body_len in 20usize..60,
+    ) {
+        let program = SynthSpec {
+            body_len,
+            branch_prob: 0.1,
+            iterations: 1,
+            ..SynthSpec::new("effcap", MIXES[mix_idx], seed)
+        }
+        .generate();
+        let mut cfg = SimConfig {
+            policy: PolicyKind::PAPER_FAULT_AWARE,
+            ..SimConfig::default()
+        };
+        cfg.fabric.faults = faults;
+        let mut m = Processor::new(cfg).start(&program).unwrap();
+        while m.cycle() < 2_000_000 && m.step() {
+            check_effective_invariants(m.fabric(), &format!("cycle {}", m.cycle()));
+        }
+        prop_assert!(m.finished(), "machine hung");
+    }
+}
+
+/// Deterministic anchor: a long upset storm with scrub on the default
+/// 8-slot fabric walks through corruption and recovery episodes; the
+/// invariants hold at every step and both regimes actually occur.
+#[test]
+fn effective_capacity_episodes_are_tracked_exactly() {
+    let mut f = Fabric::new(FabricParams {
+        per_slot_load_latency: 1,
+        reconfig_ports: 8,
+        faults: FaultParams {
+            seed: 0xEFCA,
+            upset_ppm: PPM / 10,
+            scrub_interval: 32,
+            ..FaultParams::default()
+        },
+        ..FabricParams::default()
+    });
+    // Bring up Config 1 (2×IntAlu, 1×IntMdu, 2×Lsu).
+    for (head, t) in [
+        (0, UnitType::IntAlu),
+        (2, UnitType::IntAlu),
+        (4, UnitType::IntMdu),
+        (6, UnitType::Lsu),
+        (7, UnitType::Lsu),
+    ] {
+        f.begin_load(head, t).unwrap();
+    }
+    let mut saw_zombie = false;
+    let mut saw_clean = false;
+    for i in 0..400 {
+        f.tick();
+        check_effective_invariants(&f, &format!("tick {i}"));
+        if f.corrupted_units() > 0 {
+            saw_zombie = true;
+            // A zombie is configured capacity that is *not* effective.
+            assert!(f.effective_counts().total() < f.configured_counts().total());
+        } else if f.rfu_counts().total() > 0 {
+            saw_clean = true;
+            assert_eq!(f.effective_counts(), f.configured_counts());
+        }
+    }
+    assert!(
+        saw_zombie,
+        "upset storm must corrupt something in 400 ticks"
+    );
+    assert!(saw_clean, "scrub must restore full capacity at least once");
+}

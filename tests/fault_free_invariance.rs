@@ -8,8 +8,15 @@
 
 use rsp::fabric::fault::FaultParams;
 use rsp::isa::Program;
-use rsp::sim::{Processor, SimConfig, SimReport};
+use rsp::sim::{PolicyKind, Processor, SimConfig, SimReport};
 use rsp::workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+
+fn fault_aware_cfg() -> SimConfig {
+    SimConfig {
+        policy: PolicyKind::PAPER_FAULT_AWARE,
+        ..SimConfig::default()
+    }
+}
 
 fn corpus() -> Vec<(SimConfig, Program)> {
     vec![
@@ -24,6 +31,10 @@ fn corpus() -> Vec<(SimConfig, Program)> {
             SimConfig::default(),
             SynthSpec::new("mem", UnitMix::MEM_HEAVY, 13).generate(),
         ),
+        // The fault-aware selection/loader paths are keyed off
+        // slot_dead/slot_corrupted, both always false here — they must
+        // be exactly as inert as the plain policy.
+        (fault_aware_cfg(), kernels::fir(16)),
     ]
 }
 
@@ -86,5 +97,32 @@ fn zero_rate_reports_count_no_fault_work() {
         assert_eq!(l.upsets_detected, 0);
         assert_eq!(l.deferred_backoff, 0);
         assert_eq!(l.skipped_dead, 0);
+        assert_eq!(l.replacements, 0, "nothing to re-place without dead slots");
+        assert_eq!(
+            l.zombie_reloads, 0,
+            "nothing to force-reload without upsets"
+        );
+    }
+}
+
+/// The `fault_aware` policy knob itself must be timing-invisible on a
+/// healthy fabric: every counter and cycle count matches the plain
+/// paper policy bit for bit (only the policy label differs).
+#[test]
+fn fault_aware_knob_is_inert_without_faults() {
+    for (_, p) in corpus() {
+        let plain = run(SimConfig::default(), FaultParams::default(), &p);
+        let aware = run(fault_aware_cfg(), FaultParams::default(), &p);
+        assert_eq!(plain.cycles, aware.cycles, "[{}] cycles", p.name);
+        assert_eq!(plain.retired, aware.retired, "[{}] retired", p.name);
+        assert_eq!(plain.fabric, aware.fabric, "[{}] fabric stats", p.name);
+        assert_eq!(plain.loader, aware.loader, "[{}] loader stats", p.name);
+        assert_eq!(plain.faults, aware.faults, "[{}] fault stats", p.name);
+        assert_eq!(
+            aware.metrics.counter("capacity_reranks"),
+            None,
+            "[{}] telemetry off must stay empty; and no rerank can fire",
+            p.name
+        );
     }
 }

@@ -11,7 +11,9 @@
 //! it. These tests run randomly generated rsp-workloads programs
 //! through whole machines and assert the two agree on **every cycle**,
 //! under the default machine and under stressed fabric / latency /
-//! policy configurations.
+//! policy configurations. The effective (post-fault) capacity counter
+//! rides along in every check; its dedicated fault-schedule properties
+//! live in tests/effective_capacity.rs.
 
 use proptest::prelude::*;
 use rsp::isa::units::UnitType;
@@ -72,6 +74,13 @@ fn assert_counters_track_scans(program: &Program, cfg: SimConfig) {
             f.idle_counts(),
             f.idle_counts_scan(),
             "[{}] cycle {}: idle counts diverged from unit scan",
+            program.name,
+            m.cycle()
+        );
+        assert_eq!(
+            f.effective_counts(),
+            f.effective_counts_scan(),
+            "[{}] cycle {}: effective counts diverged from unit scan",
             program.name,
             m.cycle()
         );

@@ -1,0 +1,253 @@
+//! Legality properties of the fault-aware re-placement pass
+//! (DESIGN.md §11).
+//!
+//! When a configuration's canonical placement spans a stuck-at-dead
+//! slot, the fault-aware loader re-places the displaced units greedily
+//! into the remaining healthy capacity (`replacement_head`), and the
+//! fault-aware selection unit scores candidates against the counts that
+//! plan can actually deliver (`achievable_rfu_counts`). These proptests
+//! pin the plan's legality for arbitrary configurations, fabric widths
+//! and dead-slot masks:
+//! * an assigned span never overlaps another unit of the plan, never
+//!   covers a dead slot, and stays in range;
+//! * footprints are respected — an Lsu occupies 1 contiguous slot, the
+//!   Int units 2, the FP units 3 — because spans are `head..head+cost`;
+//! * units whose canonical span is healthy keep it (no placement churn);
+//! * `achievable_rfu_counts` is exactly the sum of the assigned units,
+//!   never exceeds the nominal counts, and equals them with no faults;
+//! * degenerate fabrics (all slots dead, one slot wide) degrade to
+//!   skipping, never to a panic;
+//!
+//! and then close the loop on the real loader: after steering a
+//! fault-aware loader at a dead-slotted fabric, the live allocation is
+//! legal and delivers exactly the planned counts.
+
+use proptest::prelude::*;
+use rsp::fabric::config::{Configuration, SteeringSet};
+use rsp::fabric::fabric::{Fabric, FabricParams};
+use rsp::fabric::fault::FaultParams;
+use rsp::isa::units::{TypeCounts, UnitType};
+use rsp::sim::{PolicyKind, Processor, SimConfig};
+use rsp::steering::loader::{achievable_rfu_counts, replacement_head, ConfigurationLoader};
+use rsp::steering::select::ConfigChoice;
+
+/// Build a configuration from a unit-type request list, adding greedily
+/// while the canonical packing still fits `slots` — so every generated
+/// configuration is placeable by construction.
+fn build_config(requests: &[usize], slots: usize) -> Configuration {
+    let mut counts = TypeCounts::ZERO;
+    for &r in requests {
+        let t = UnitType::ALL[r % UnitType::ALL.len()];
+        let mut grown = counts;
+        grown.add(t, 1);
+        if grown.slot_cost() <= slots {
+            counts = grown;
+        }
+    }
+    Configuration::place("prop", counts, slots).expect("built to fit")
+}
+
+/// Check every legality property of the re-placement plan for one
+/// `(config, n_slots, dead-mask)` triple.
+fn check_plan_legality(config: &Configuration, n_slots: usize, mask: u16) {
+    let dead = |s: usize| mask & (1 << s) != 0;
+    let units: Vec<_> = config.placement.units().collect();
+    let mut assigned_spans: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut delivered = TypeCounts::ZERO;
+    for pu in &units {
+        let cost = pu.unit.slot_cost();
+        let canonical_healthy = pu.head + cost <= n_slots && !pu.span().any(dead);
+        match replacement_head(config, n_slots, dead, pu.head) {
+            Some(h) => {
+                let span = h..h + cost;
+                assert!(
+                    span.end <= n_slots,
+                    "{:?}@{}→{h}: span out of range",
+                    pu.unit,
+                    pu.head
+                );
+                assert!(
+                    !span.clone().any(dead),
+                    "{:?}@{}→{h}: span covers a dead slot (mask {mask:#010b})",
+                    pu.unit,
+                    pu.head
+                );
+                for prev in &assigned_spans {
+                    assert!(
+                        span.start >= prev.end || prev.start >= span.end,
+                        "{:?}@{}→{h}: span overlaps another unit at {prev:?}",
+                        pu.unit,
+                        pu.head
+                    );
+                }
+                if canonical_healthy {
+                    assert_eq!(
+                        h, pu.head,
+                        "{:?}@{}: healthy canonical span must keep its head",
+                        pu.unit, pu.head
+                    );
+                }
+                assigned_spans.push(span);
+                delivered.add(pu.unit, 1);
+            }
+            None => {
+                // A unit is only homeless when no unclaimed healthy span
+                // fits it — in particular a healthy canonical span is
+                // never given up.
+                assert!(
+                    !canonical_healthy,
+                    "{:?}@{}: displaced despite a healthy canonical span",
+                    pu.unit, pu.head
+                );
+            }
+        }
+    }
+    let achievable = achievable_rfu_counts(config, n_slots, dead);
+    assert_eq!(
+        achievable, delivered,
+        "achievable counts must equal the sum of assigned units"
+    );
+    for &t in &UnitType::ALL {
+        assert!(
+            achievable.get(t) <= config.counts.get(t),
+            "achievable {t:?} exceeds the nominal configuration"
+        );
+    }
+    if mask == 0 && config.placement.len() == n_slots {
+        assert_eq!(
+            achievable, config.counts,
+            "no dead slots: the plan must deliver the full configuration"
+        );
+    }
+    if (0..n_slots).all(dead) {
+        assert_eq!(
+            achievable,
+            TypeCounts::ZERO,
+            "all-dead fabric delivers nothing"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Plan legality for arbitrary generated configurations, fabric
+    /// widths from degenerate (1 slot) to wider-than-paper (12), and
+    /// *any* dead-slot mask including the empty and the full one.
+    #[test]
+    fn prop_replacement_plan_is_legal(
+        requests in proptest::collection::vec(0usize..5, 0..10),
+        n_slots in 1usize..=12,
+        mask in any::<u16>(),
+    ) {
+        let config = build_config(&requests, n_slots);
+        check_plan_legality(&config, n_slots, mask);
+    }
+
+    /// The paper's own three steering configurations against every
+    /// possible dead mask of the 8-slot fabric (the mask space is only
+    /// 256 wide, so this effectively exhausts it across cases).
+    #[test]
+    fn prop_paper_configs_plan_legally_for_all_dead_masks(
+        config_idx in 0usize..3,
+        mask in 0u16..256,
+    ) {
+        let set = SteeringSet::paper_default();
+        check_plan_legality(&set.predefined[config_idx], 8, mask);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Loader-level closure: steering a fault-aware loader at a fabric
+    /// with dead slots reaches a steady state whose live allocation is
+    /// legal (self-consistent, nothing on a dead slot) and delivers
+    /// exactly the counts the plan promised — including the all-dead
+    /// mask, which must degrade to skipping without a panic.
+    #[test]
+    fn prop_fault_aware_loader_realises_the_plan(
+        config_idx in 0usize..3,
+        mask in 0u16..256,
+    ) {
+        let set = SteeringSet::paper_default();
+        let config = &set.predefined[config_idx];
+        let dead = |s: usize| mask & (1 << s) != 0;
+        let mut loader = ConfigurationLoader::new(set.clone());
+        loader.fault_aware = true;
+        let mut f = Fabric::new(FabricParams {
+            per_slot_load_latency: 1,
+            reconfig_ports: 8,
+            faults: FaultParams {
+                dead_slots: (0..8).filter(|&s| dead(s)).collect(),
+                ..FaultParams::default()
+            },
+            ..FabricParams::default()
+        });
+        for _ in 0..30 {
+            loader.apply(ConfigChoice::Predefined(config_idx), &mut f);
+            f.tick();
+        }
+        // Drain the last in-flight loads.
+        for _ in 0..4 {
+            f.tick();
+        }
+        prop_assert_eq!(f.alloc().check(), Ok(()), "allocation vector must stay legal");
+        for s in 0..8 {
+            if dead(s) {
+                prop_assert!(f.alloc().unit_at(s).is_none(), "unit on dead slot {}", s);
+            }
+        }
+        let achievable = achievable_rfu_counts(config, 8, dead);
+        prop_assert_eq!(
+            f.rfu_counts(),
+            achievable,
+            "steady state must deliver exactly the planned counts (mask {:#010b})",
+            mask
+        );
+    }
+}
+
+/// A fault-aware machine on an all-dead fabric must degrade to the
+/// FFU-only floor — same timing, zero RFU issue, no panic — exactly
+/// like the plain policy does.
+#[test]
+fn fault_aware_machine_on_all_dead_fabric_degrades_to_floor() {
+    let program = rsp::workloads::kernels::dot_product(24);
+    let mut cfg = SimConfig {
+        policy: PolicyKind::PAPER_FAULT_AWARE,
+        ..SimConfig::default()
+    };
+    cfg.fabric.faults.dead_slots = (0..8).collect();
+    let r = Processor::new(cfg).run(&program, 5_000_000).unwrap();
+    assert!(r.halted);
+    assert_eq!(r.issued_rfu, 0, "no RFU can exist on a dead fabric");
+    assert!(r.issued_ffu > 0);
+    assert_eq!(r.loader.replacements, 0, "nowhere to re-place into");
+
+    let floor = Processor::new(SimConfig {
+        policy: PolicyKind::Static,
+        initial_config: None,
+        ..SimConfig::default()
+    })
+    .run(&program, 5_000_000)
+    .unwrap();
+    assert_eq!(r.cycles, floor.cycles, "all-dead must time like the floor");
+}
+
+/// Deterministic worked example from DESIGN.md §11: Config 3 with slots
+/// {0, 5} dead. The Lsu canonically at 0 re-places to slot 6 (freed by
+/// the homeless FpMdu), the Lsu at 1 and FpAlu at 2–4 keep their spans,
+/// and the FpMdu has no 3 contiguous healthy slots left.
+#[test]
+fn worked_example_config3_dead_0_and_5() {
+    let set = SteeringSet::paper_default();
+    let c = &set.predefined[2];
+    let dead = |s: usize| s == 0 || s == 5;
+    assert_eq!(replacement_head(c, 8, dead, 0), Some(6));
+    assert_eq!(replacement_head(c, 8, dead, 1), Some(1));
+    assert_eq!(replacement_head(c, 8, dead, 2), Some(2));
+    assert_eq!(replacement_head(c, 8, dead, 5), None);
+    let ach = achievable_rfu_counts(c, 8, dead);
+    assert_eq!(ach, TypeCounts::new([0, 0, 2, 1, 0]));
+}

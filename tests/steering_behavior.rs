@@ -166,6 +166,7 @@ fn partial_reconfig_cheaper_than_full_reload() {
                 tie: rsp::steering::TieBreak::FavorCurrent,
                 cem: rsp::steering::cem::CemKind::BarrelShifter,
                 partial: false,
+                fault_aware: false,
             },
             ..SimConfig::default()
         },
@@ -198,6 +199,7 @@ fn favor_current_reduces_churn() {
                 tie: rsp::steering::TieBreak::PreferPredefined,
                 cem: rsp::steering::cem::CemKind::BarrelShifter,
                 partial: true,
+                fault_aware: false,
             },
             ..SimConfig::default()
         },

@@ -63,6 +63,21 @@ fn stamped_events_round_trip_through_jsonl() {
             },
         },
         Stamped {
+            cycle: 18,
+            event: Event::LoadReplaced {
+                from_head: 0,
+                to_head: 6,
+                unit: UnitType::Lsu,
+            },
+        },
+        Stamped {
+            cycle: 19,
+            event: Event::CapacityRerank {
+                degraded: true,
+                lost: 2,
+            },
+        },
+        Stamped {
             cycle: 64,
             event: Event::ScrubPass { detected: 1 },
         },
@@ -122,7 +137,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Counters rebuilt from the event stream equal the live registry,
-    /// for any seeded workload and (possibly inert) fault schedule.
+    /// for any seeded workload, (possibly inert) fault schedule, dead
+    /// fabric slots, and either steering policy — so the fault-aware
+    /// events (LoadReplaced, CapacityRerank, DeadSlotSkip) go through
+    /// the same replay-equals-live contract as the rest.
     #[test]
     fn replayed_event_stream_matches_live_counters(
         seed in 0u64..1000,
@@ -130,18 +148,23 @@ proptest! {
         upset_ppm in prop_oneof![Just(0u32), Just(20_000u32)],
         load_failure_ppm in prop_oneof![Just(0u32), Just(100_000u32)],
         scrub_interval in prop_oneof![Just(0u64), Just(64u64)],
+        dead_slots in prop_oneof![Just(vec![]), Just(vec![0usize]), Just(vec![0usize, 5])],
+        fault_aware in proptest::bool::ANY,
     ) {
         let (_, m) = UnitMix::named()[mix];
         let mut spec = SynthSpec::new(format!("replay-{seed}"), m, seed);
         spec.iterations = 3;
         let program = spec.generate();
         let mut cfg = SimConfig::default();
+        if fault_aware {
+            cfg.policy = rsp::sim::PolicyKind::PAPER_FAULT_AWARE;
+        }
         cfg.fabric.faults = FaultParams {
             seed,
             upset_ppm,
             load_failure_ppm,
             scrub_interval,
-            dead_slots: vec![],
+            dead_slots,
         };
         let mut machine = Processor::new(cfg).start(&program).unwrap();
         machine.set_telemetry(Telemetry::ring(1 << 20));
@@ -169,6 +192,55 @@ proptest! {
             .collect();
         prop_assert_eq!(reparsed, events);
     }
+}
+
+#[test]
+fn replacement_and_rerank_events_reach_the_log_and_replay() {
+    use rsp::sim::PolicyKind;
+    // Dead slots displace units of every steering configuration, so a
+    // fault-aware run must actually emit the re-placement and capacity
+    // re-rank events — and they must replay exactly like everything
+    // else.
+    let program = PhasedSpec::int_fp_mem(200, 2, 7).generate();
+    let mut cfg = SimConfig {
+        policy: PolicyKind::PAPER_FAULT_AWARE,
+        ..SimConfig::default()
+    };
+    cfg.fabric.faults = FaultParams {
+        dead_slots: vec![0, 5],
+        ..FaultParams::default()
+    };
+    let mut m = Processor::new(cfg).start(&program).unwrap();
+    m.set_telemetry(Telemetry::ring(1 << 20));
+    while m.cycle() < BUDGET && m.step() {}
+    assert!(m.finished());
+
+    let sink = m.telemetry().ring_sink().unwrap();
+    assert_eq!(sink.dropped(), 0);
+    let events = sink.events();
+    let saw_replaced = events
+        .iter()
+        .any(|e| matches!(e.event, Event::LoadReplaced { .. }));
+    let saw_rerank = events
+        .iter()
+        .any(|e| matches!(e.event, Event::CapacityRerank { degraded: true, .. }));
+    assert!(saw_replaced, "dead slots must surface LoadReplaced events");
+    assert!(
+        saw_rerank,
+        "persistent capacity loss must surface a re-rank"
+    );
+    assert_eq!(
+        m.telemetry().metrics().get(Counter::LoadReplacements),
+        m.report().loader.replacements,
+        "event-bus and loader counters must agree"
+    );
+
+    let replayed = replay(&events);
+    let live: Vec<(String, u64)> = Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), m.telemetry().metrics().get(c)))
+        .collect();
+    assert_eq!(replayed, live);
 }
 
 #[test]

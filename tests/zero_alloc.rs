@@ -113,6 +113,63 @@ fn step_is_allocation_free_in_steady_state() {
     let _ = during;
 }
 
+/// The fault-aware selection/loader paths must not buy their recovery
+/// with per-cycle allocations: with upsets striking, scrub running,
+/// loads failing, a dead slot forcing the re-placement pass, and the
+/// effective-capacity view re-ranking candidates, steady-state `step()`
+/// still never touches the allocator. (The keyed fault draws are pure
+/// functions; the re-placement plan tracks claims in a `u64`.)
+#[test]
+fn step_with_fault_aware_selection_and_faults_is_allocation_free() {
+    use rsp::fabric::fault::FaultParams;
+    use rsp::sim::PolicyKind;
+    let mut cfg = SimConfig {
+        policy: PolicyKind::PAPER_FAULT_AWARE,
+        ..SimConfig::default()
+    };
+    cfg.fabric.faults = FaultParams {
+        seed: 0xA110C,
+        upset_ppm: 20_000,
+        load_failure_ppm: 100_000,
+        scrub_interval: 64,
+        dead_slots: vec![5],
+    };
+    let proc = Processor::new(cfg);
+    let program = long_mixed_program();
+    let mut m = proc.start(&program).unwrap();
+
+    let mut warmup = 0u64;
+    while m.cycle() < 20_000 && m.step() {
+        warmup += 1;
+    }
+    assert!(
+        warmup >= 20_000,
+        "program finished during warm-up ({warmup} cycles)"
+    );
+
+    let before = allocations();
+    let mut steady = 0u64;
+    while m.cycle() < 120_000 && m.step() {
+        steady += 1;
+    }
+    let during = allocations() - before;
+    assert!(steady >= 50_000, "steady-state window too short: {steady}");
+    let r = m.report();
+    assert!(
+        r.faults.upsets_injected > 0 && r.faults.scrubs > 0,
+        "fault machinery must actually be live in this run: {:?}",
+        r.faults
+    );
+
+    #[cfg(all(not(debug_assertions), not(feature = "validate")))]
+    assert_eq!(
+        during, 0,
+        "fault-aware step allocated {during} times over {steady} cycles"
+    );
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    let _ = during;
+}
+
 /// The telemetry hooks must cost nothing on the allocator either when
 /// enabled with the no-op sink: counters and histograms live in fixed
 /// arrays, and no event is buffered. (A ring sink *does* pre-allocate

@@ -107,6 +107,19 @@ pub fn field<T: crate::Deserialize>(v: &Value, key: &str, ty: &str) -> Result<T,
     }
 }
 
+/// [`field`] for `#[serde(default)]` members: a missing member yields
+/// `T::default()` instead of an error. Used by the derive macro.
+pub fn field_or_default<T: crate::Deserialize + Default>(
+    v: &Value,
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match v.get(key) {
+        Some(member) => T::from_value(member).map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 /// JSON parse/convert error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);

@@ -9,8 +9,10 @@
 //!  * enums with unit / newtype / tuple / struct variants
 //!    (serialized externally tagged, matching serde_json conventions)
 //!
-//! Not supported (panics with a clear message): generic types and
-//! `#[serde(...)]` field attributes.
+//! Field attribute support is limited to `#[serde(default)]` on named
+//! fields (struct or enum-variant): a member absent from the JSON object
+//! deserialises to `Default::default()`. Other `#[serde(...)]` attributes
+//! are ignored; generic types panic with a clear message.
 
 use proc_macro::TokenStream;
 
@@ -34,12 +36,19 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // Item model
 // ---------------------------------------------------------------------------
 
+struct Field {
+    name: String,
+    /// Carries `#[serde(default)]`: deserialisation substitutes
+    /// `Default::default()` when the member is missing.
+    default: bool,
+}
+
 enum Fields {
     Unit,
     /// Tuple struct/variant with this arity.
     Tuple(usize),
     /// Named fields in declaration order.
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -170,11 +179,28 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn skip_attrs_and_vis(&mut self) {
+    /// Skip attributes, doc comments, and visibility. Returns true if any
+    /// skipped attribute was a `#[serde(...)]` naming `default` — the one
+    /// field attribute this stub honours.
+    fn skip_attrs_and_vis(&mut self) -> bool {
+        let mut serde_default = false;
         loop {
             self.skip_ws();
             match self.peek() {
-                Some(b'#') => self.skip_attribute(),
+                Some(b'#') => {
+                    let start = self.pos;
+                    self.skip_attribute();
+                    // Token-stream text may insert spaces (`# [serde (default)]`);
+                    // compare with whitespace stripped.
+                    let text: String = self.src[start..self.pos]
+                        .iter()
+                        .filter(|b| !b.is_ascii_whitespace())
+                        .map(|&b| b as char)
+                        .collect();
+                    if text.starts_with("#[serde(") && text.contains("default") {
+                        serde_default = true;
+                    }
+                }
                 Some(b'/') => {
                     if !self.skip_comment() {
                         break;
@@ -191,6 +217,7 @@ impl<'a> Cursor<'a> {
             }
         }
         self.skip_ws();
+        serde_default
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -328,11 +355,11 @@ fn parse_item(src: &str) -> Item {
     Item { name, shape }
 }
 
-fn parse_named_fields(body: &str) -> Vec<String> {
+fn parse_named_fields(body: &str) -> Vec<Field> {
     let mut c = Cursor::new(body);
     let mut fields = Vec::new();
     loop {
-        c.skip_attrs_and_vis();
+        let default = c.skip_attrs_and_vis();
         if c.peek().is_none() {
             break;
         }
@@ -340,7 +367,7 @@ fn parse_named_fields(body: &str) -> Vec<String> {
         c.skip_ws();
         assert_eq!(c.peek(), Some(b':'), "expected ':' after field `{name}`");
         c.pos += 1;
-        fields.push(name);
+        fields.push(Field { name, default });
         if !c.skip_to_comma() {
             break;
         }
@@ -419,6 +446,7 @@ fn gen_serialize(item: &Item) -> String {
                 fields.len()
             );
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "__members.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
                 ));
@@ -450,12 +478,17 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = format!(
                             "let mut __members: Vec<(String, ::serde::json::Value)> = Vec::with_capacity({});\n",
                             fields.len()
                         );
                         for f in fields {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "__members.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
                             ));
@@ -477,6 +510,15 @@ fn gen_serialize(item: &Item) -> String {
              }}\n\
          }}\n"
     )
+}
+
+/// Which json helper deserialises this named field.
+fn field_helper(f: &Field) -> &'static str {
+    if f.default {
+        "field_or_default"
+    } else {
+        "field"
+    }
 }
 
 fn gen_deserialize(item: &Item) -> String {
@@ -504,7 +546,10 @@ fn gen_deserialize(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let items: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::json::field(__v, \"{f}\", \"{name}\")?"))
+                .map(|f| {
+                    let (n, helper) = (&f.name, field_helper(f));
+                    format!("{n}: ::serde::json::{helper}(__v, \"{n}\", \"{name}\")?")
+                })
                 .collect();
             format!(
                 "{{\n\
@@ -549,7 +594,8 @@ fn gen_deserialize(item: &Item) -> String {
                         let items: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!("{f}: ::serde::json::field(__inner, \"{f}\", \"{name}::{vname}\")?")
+                                let (n, helper) = (&f.name, field_helper(f));
+                                format!("{n}: ::serde::json::{helper}(__inner, \"{n}\", \"{name}::{vname}\")?")
                             })
                             .collect();
                         tagged_arms.push_str(&format!(
