@@ -3,35 +3,187 @@
 //! EXPERIMENTS.md).
 //!
 //! ```text
-//! cargo run --release -p rsp-bench --bin experiments -- <id>|all|list
+//! experiments <id>|all|list [--out-dir DIR] [--resume] [--verbose]
+//!             [--shard K/N | --spawn N | --merge]
 //! ```
+//!
+//! Sweep-engine experiments (`e1-ipc`, `fault-sweep`) additionally honour
+//! the sharding flags: `--shard K/N` runs one shard of the grid into a
+//! keyed journal and exits (no merge — run the other shards, then
+//! `--merge`); `--spawn N` forks one worker subprocess per shard and
+//! merges when all succeed; `--merge` only replays the journals in
+//! `--out-dir`, verifies the key set and the sweep's cross-point
+//! assertions, and writes the `BENCH_*.json` artifact. `--resume` skips
+//! points already journalled. The merged artifact is byte-identical
+//! however the grid was split.
 
-use rsp_bench::experiments::{run, ALL_IDS};
+use std::path::PathBuf;
+use std::process::exit;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let id = args.first().map(String::as_str).unwrap_or("list");
-    match id {
-        "list" | "--help" | "-h" => {
-            eprintln!("usage: experiments <id>");
-            eprintln!("ids:");
-            for id in ALL_IDS {
-                eprintln!("  {id}");
+use rsp_bench::experiments::{run, sweep_runner, ALL_IDS};
+use rsp_bench::{Executor, Shard, SweepConfig, SweepError, SweepRunner};
+
+struct Cli {
+    id: String,
+    cfg: SweepConfig,
+    merge_only: bool,
+    sweep_flags_used: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id> [--out-dir DIR] [--resume] [--verbose]\n\
+         \x20                    [--shard K/N | --spawn N | --merge]"
+    );
+    eprintln!("ids:");
+    for id in ALL_IDS {
+        eprintln!("  {id}");
+    }
+    exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let mut id: Option<String> = None;
+    let mut cfg = SweepConfig::default();
+    let mut merge_only = false;
+    let mut sweep_flags_used = false;
+    let mut spawn: Option<u32> = None;
+    let need = |what: &str, v: Option<String>| -> String {
+        v.unwrap_or_else(|| {
+            eprintln!("{what} needs a value");
+            exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out-dir" => cfg.out_dir = PathBuf::from(need("--out-dir", args.next())),
+            "--resume" => {
+                cfg.resume = true;
+                sweep_flags_used = true;
+            }
+            "--verbose" => cfg.verbose = true,
+            "--shard" => {
+                let s = need("--shard", args.next());
+                match Shard::parse(&s) {
+                    Ok(shard) => cfg.executor = Executor::Shard(shard),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        exit(2);
+                    }
+                }
+                sweep_flags_used = true;
+            }
+            "--spawn" => {
+                let n: u32 = need("--spawn", args.next()).parse().unwrap_or_else(|_| {
+                    eprintln!("--spawn needs a shard count");
+                    exit(2);
+                });
+                spawn = Some(n);
+                sweep_flags_used = true;
+            }
+            "--merge" => {
+                merge_only = true;
+                sweep_flags_used = true;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+            other => {
+                if id.replace(other.to_string()).is_some() {
+                    eprintln!("more than one experiment id given");
+                    usage();
+                }
             }
         }
+    }
+    let id = id.unwrap_or_else(|| "list".into());
+    if let Some(count) = spawn {
+        let exe = std::env::current_exe().expect("own executable path");
+        cfg.executor = Executor::Workers {
+            exe,
+            args: vec![id.clone()],
+            count,
+        };
+    }
+    Cli {
+        id,
+        cfg,
+        merge_only,
+        sweep_flags_used,
+    }
+}
+
+fn fail(e: SweepError) -> ! {
+    eprintln!("error: {e}");
+    exit(1);
+}
+
+/// Drive one sweep per the CLI. Shard runs journal and stop; everything
+/// else runs (unless `--merge`) and then merges, printing the report.
+fn drive_sweep(sweep: &dyn SweepRunner, cli: &Cli) {
+    let is_shard_run = matches!(cli.cfg.executor, Executor::Shard(_));
+    if !cli.merge_only {
+        let summary = sweep.run(&cli.cfg).unwrap_or_else(|e| fail(e));
+        if is_shard_run {
+            eprintln!(
+                "{} shard {} {}: journal {}",
+                sweep.name(),
+                summary.shard,
+                summary.progress,
+                summary.journal.display()
+            );
+            return;
+        }
+    }
+    let merged = sweep.merge(&cli.cfg).unwrap_or_else(|e| fail(e));
+    println!("{}", merged.report);
+    if let Some(path) = &merged.artifact {
+        println!(
+            "wrote {} ({} points from {} journal fragment(s))",
+            path.display(),
+            merged.points,
+            merged.fragments
+        );
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    match cli.id.as_str() {
+        "list" => usage(),
         "all" => {
+            if cli.sweep_flags_used {
+                eprintln!("--shard/--spawn/--merge/--resume apply to a single sweep id, not 'all'");
+                exit(2);
+            }
             for id in ALL_IDS.iter().filter(|&&i| i != "all") {
-                let text = run(id).expect("known id");
-                println!("{text}");
+                if let Some(sweep) = sweep_runner(id) {
+                    drive_sweep(sweep.as_ref(), &cli);
+                } else {
+                    let text = run(id).expect("known id");
+                    println!("{text}");
+                }
                 println!("{}", "=".repeat(78));
             }
         }
-        other => match run(other) {
-            Some(text) => println!("{text}"),
-            None => {
-                eprintln!("unknown experiment '{other}'; try: experiments list");
-                std::process::exit(2);
+        id => {
+            if let Some(sweep) = sweep_runner(id) {
+                drive_sweep(sweep.as_ref(), &cli);
+            } else if cli.sweep_flags_used {
+                eprintln!("'{id}' is not a sweep experiment; --shard/--spawn/--merge/--resume need one of: e1-ipc, fault-sweep");
+                exit(2);
+            } else {
+                match run(id) {
+                    Some(text) => println!("{text}"),
+                    None => {
+                        eprintln!("unknown experiment '{id}'; try: experiments list");
+                        exit(2);
+                    }
+                }
             }
-        },
+        }
     }
 }

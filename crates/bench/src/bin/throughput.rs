@@ -1,26 +1,35 @@
 //! CLI for the cycles/sec throughput harness: runs every workload class
-//! through the batched driver and writes `BENCH_throughput.json`.
+//! through the batched driver on the sweep engine and writes
+//! `BENCH_throughput.json` into `--out-dir`.
 //!
 //! ```text
-//! throughput [--quick] [--out PATH] [--seconds N]
+//! throughput [--quick] [--out-dir DIR] [--seconds N] [--resume]
 //! ```
 //!
 //! `--quick` runs a single pass per class (CI smoke); the default runs
-//! each class for ≥ 2 s of wall clock for stable numbers.
+//! each class for ≥ 2 s of wall clock for stable numbers. Classes run
+//! serially (each point is wall-clock timed), journalling each finished
+//! class, so `--resume` restarts a killed run without re-measuring
+//! completed classes.
 
-use rsp_bench::throughput::{measure_all, ThroughputReport};
+use rsp_bench::throughput::ThroughputSweep;
+use rsp_bench::{sweep, SweepConfig};
 use rsp_sim::SimConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_throughput.json");
     let mut seconds: f64 = 2.0;
+    let mut cfg = SweepConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" => out = args.next().expect("--out needs a path"),
+            "--out-dir" => {
+                cfg.out_dir = PathBuf::from(args.next().expect("--out-dir needs a path"))
+            }
+            "--resume" => cfg.resume = true,
             "--seconds" => {
                 seconds = args
                     .next()
@@ -29,7 +38,7 @@ fn main() {
                     .expect("--seconds needs a number")
             }
             "--help" | "-h" => {
-                eprintln!("usage: throughput [--quick] [--out PATH] [--seconds N]");
+                eprintln!("usage: throughput [--quick] [--out-dir DIR] [--seconds N] [--resume]");
                 return;
             }
             other => panic!("unknown argument {other:?}"),
@@ -41,21 +50,17 @@ fn main() {
         Duration::from_secs_f64(seconds)
     };
 
-    let cfg = SimConfig::default();
-    let report: ThroughputReport = measure_all(&cfg, min_wall, quick);
-
-    println!(
-        "{:<16} {:>9} {:>7} {:>14} {:>12} {:>15}",
-        "class", "programs", "passes", "sim cycles", "wall (s)", "cycles/sec"
-    );
-    for c in &report.classes {
-        println!(
-            "{:<16} {:>9} {:>7} {:>14} {:>12.3} {:>15.0}",
-            c.name, c.programs, c.passes, c.sim_cycles, c.wall_seconds, c.cycles_per_sec
-        );
+    let harness = ThroughputSweep::new(SimConfig::default(), min_wall, quick);
+    match sweep::run_and_merge(&harness, &cfg) {
+        Ok(merged) => {
+            print!("{}", merged.report);
+            if let Some(path) = merged.artifact {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
-
-    let json = serde_json::to_string_pretty(&report).expect("report serialises");
-    std::fs::write(&out, json).expect("write throughput report");
-    println!("wrote {out}");
 }

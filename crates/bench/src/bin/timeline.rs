@@ -12,6 +12,7 @@
 //! counters — a self-contained smoke test of the whole telemetry path
 //! (used by the experiments CI job).
 
+use rsp_bench::sweep::write_artifact;
 use rsp_bench::throughput::faulty_params;
 use rsp_bench::timeline::{analyze, parse_jsonl, TimelineReport};
 use rsp_sim::{Processor, SimConfig, Telemetry};
@@ -74,7 +75,13 @@ fn main() {
 
     print!("{}", report.render());
     if let Some(path) = json_out {
-        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+        let p = std::path::Path::new(&path);
+        let dir = p.parent().unwrap_or_else(|| std::path::Path::new(""));
+        let name = p
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_else(|| usage());
+        write_artifact(dir, name, &report.to_json()).unwrap_or_else(|e| {
             eprintln!("rsp-timeline: cannot write {path}: {e}");
             exit(1);
         });

@@ -3,17 +3,17 @@
 
 use std::fmt::Write;
 
-use rayon::prelude::*;
 use rsp_core::cem::CemKind;
 use rsp_core::select::TieBreak;
 use rsp_fabric::fabric::FabricParams;
 use rsp_isa::units::TypeCounts;
 use rsp_isa::Program;
-use rsp_sim::{PolicyKind, SimConfig, SimReport};
+use rsp_sim::{PolicyKind, SimConfig};
 use rsp_workloads::{kernels, mixes, PhasedSpec, SynthSpec, UnitMix};
 
-use crate::harness::{paper_policy, pivot_table, policies, run_one};
+use crate::harness::{paper_policy, pivot_rows, policies, run_one, PolicySpec, Row};
 use crate::scaled::scaled_paper_set;
+use crate::sweep::{run_grid, Sweep};
 
 /// The standard workload battery: four synthetic mixes, one phased
 /// stream, and the kernel suite.
@@ -33,70 +33,125 @@ fn workloads() -> Vec<Program> {
     out
 }
 
-/// E1 — IPC of steering vs static configurations vs FFU floor vs oracle,
-/// across the workload battery.
-pub fn e1_ipc() -> String {
-    let programs = workloads();
-    let specs = policies();
-    let results: Vec<(String, String, SimReport)> = programs
-        .par_iter()
-        .flat_map(|p| {
-            specs.par_iter().map(move |spec| {
-                (
-                    p.name.clone(),
-                    spec.label.clone(),
-                    run_one(spec.cfg.clone(), p),
-                )
-            })
-        })
-        .collect();
-    let wl: Vec<String> = programs.iter().map(|p| p.name.clone()).collect();
-    let cols: Vec<String> = specs.iter().map(|s| s.label.clone()).collect();
-    let mut s = String::from("# E1 — IPC by workload and policy\n\n");
-    s.push_str(&pivot_table(
-        "IPC (higher is better)",
-        &wl,
-        &cols,
-        |w, c| {
-            results
-                .iter()
-                .find(|(rw, rc, _)| rw == w && rc == c)
-                .map(|(_, _, r)| format!("{:.3}", r.ipc()))
-                .unwrap_or_default()
-        },
-    ));
-    s.push_str("\nreconfigurations started:\n");
-    s.push_str(&pivot_table("", &wl, &cols, |w, c| {
-        results
-            .iter()
-            .find(|(rw, rc, _)| rw == w && rc == c)
-            .map(|(_, _, r)| r.fabric.loads_started.to_string())
-            .unwrap_or_default()
-    }));
+/// One E1 grid point: a workload crossed with a policy variant, both
+/// referenced by their stable labels (the key is built from nothing
+/// else).
+#[derive(Debug, Clone)]
+pub struct E1Point {
+    /// Workload label.
+    pub workload: String,
+    /// Policy label ([`PolicySpec::label`]).
+    pub policy: String,
+}
 
-    // Headline: on each single-mix workload, steering must at least match
-    // the best static within noise, and beat the *worst* static clearly.
-    let mut wins = 0;
-    let mut total = 0;
-    for w in &wl {
-        let get = |c: &str| {
-            results
-                .iter()
-                .find(|(rw, rc, _)| rw == w && rc == c)
-                .map(|(_, _, r)| r.ipc())
-                .unwrap()
-        };
-        let steer = get("paper-steering");
-        let worst = (0..3)
-            .map(|i| get(&format!("static:Config {}", i + 1)))
-            .fold(f64::INFINITY, f64::min);
-        total += 1;
-        if steer >= worst {
-            wins += 1;
+/// E1 — IPC of steering vs static configurations vs FFU floor vs oracle,
+/// across the workload battery — as a [`Sweep`] (shardable, resumable,
+/// artifact `BENCH_e1_ipc.json`).
+pub struct E1Sweep {
+    programs: Vec<Program>,
+    specs: Vec<PolicySpec>,
+}
+
+impl E1Sweep {
+    /// The full E1 grid: workload battery × standard policy set.
+    pub fn new() -> E1Sweep {
+        E1Sweep {
+            programs: workloads(),
+            specs: policies(),
         }
     }
-    let _ = writeln!(s, "\nsteering ≥ worst-static on {wins}/{total} workloads");
-    s
+}
+
+impl Default for E1Sweep {
+    fn default() -> E1Sweep {
+        E1Sweep::new()
+    }
+}
+
+impl Sweep for E1Sweep {
+    type Point = E1Point;
+    type Row = Row;
+
+    fn name(&self) -> &'static str {
+        "e1_ipc"
+    }
+
+    fn points(&self) -> Vec<E1Point> {
+        self.programs
+            .iter()
+            .flat_map(|p| {
+                self.specs.iter().map(|spec| E1Point {
+                    workload: p.name.clone(),
+                    policy: spec.label.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn key(&self, point: &E1Point) -> String {
+        format!("{}|{}", point.workload, point.policy)
+    }
+
+    fn run_point(&self, point: &E1Point) -> Row {
+        let p = self
+            .programs
+            .iter()
+            .find(|p| p.name == point.workload)
+            .expect("point references a battery workload");
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.label == point.policy)
+            .expect("point references a standard policy");
+        Row::labelled(&p.name, &spec.label, &run_one(spec.cfg.clone(), p))
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("BENCH_e1_ipc.json")
+    }
+
+    fn report(&self, rows: &[Row]) -> String {
+        let wl: Vec<String> = self.programs.iter().map(|p| p.name.clone()).collect();
+        let cols: Vec<String> = self.specs.iter().map(|s| s.label.clone()).collect();
+        let matches = |r: &Row, w: &str, c: &str| r.workload == w && r.policy == c;
+        let mut s = String::from("# E1 — IPC by workload and policy\n\n");
+        s.push_str(&pivot_rows(
+            "IPC (higher is better)",
+            rows,
+            &wl,
+            &cols,
+            matches,
+            |r| format!("{:.3}", r.ipc),
+        ));
+        s.push_str("\nreconfigurations started:\n");
+        s.push_str(&pivot_rows("", rows, &wl, &cols, matches, |r| {
+            r.reconfigs.to_string()
+        }));
+
+        // Headline: on each single-mix workload, steering must at least
+        // match the best static within noise, and beat the *worst*
+        // static clearly.
+        let mut wins = 0;
+        let mut total = 0;
+        for w in &wl {
+            let get = |c: &str| {
+                rows.iter()
+                    .find(|r| matches(r, w, c))
+                    .map(|r| r.ipc)
+                    .unwrap()
+            };
+            let steer = get("paper-steering");
+            let worst = (0..3)
+                .map(|i| get(&format!("static:Config {}", i + 1)))
+                .fold(f64::INFINITY, f64::min);
+            total += 1;
+            if steer >= worst {
+                wins += 1;
+            }
+        }
+        let _ = writeln!(s, "\nsteering ≥ worst-static on {wins}/{total} workloads");
+        s
+    }
 }
 
 /// E2 — partial reconfiguration vs full reload: reconfiguration work and
@@ -117,30 +172,27 @@ pub fn e2_partial() -> String {
         "p:loads",
         "f:loads"
     );
-    let rows: Vec<String> = programs
-        .par_iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let partial = run_one(
-                paper_policy(TieBreak::FavorCurrent, CemKind::BarrelShifter, true),
-                p,
-            );
-            let full = run_one(
-                paper_policy(TieBreak::FavorCurrent, CemKind::BarrelShifter, false),
-                p,
-            );
-            format!(
-                "{:<24} {:>14} {:>14} {:>12.3} {:>12.3} {:>10} {:>10}",
-                format!("phased(seed={i})"),
-                partial.fabric.slots_reloaded,
-                full.fabric.slots_reloaded,
-                partial.ipc(),
-                full.ipc(),
-                partial.fabric.loads_started,
-                full.fabric.loads_started
-            )
-        })
-        .collect();
+    let points: Vec<(usize, Program)> = programs.into_iter().enumerate().collect();
+    let rows: Vec<String> = run_grid("e2_partial", &points, |(i, p)| {
+        let partial = run_one(
+            paper_policy(TieBreak::FavorCurrent, CemKind::BarrelShifter, true),
+            p,
+        );
+        let full = run_one(
+            paper_policy(TieBreak::FavorCurrent, CemKind::BarrelShifter, false),
+            p,
+        );
+        format!(
+            "{:<24} {:>14} {:>14} {:>12.3} {:>12.3} {:>10} {:>10}",
+            format!("phased(seed={i})"),
+            partial.fabric.slots_reloaded,
+            full.fabric.slots_reloaded,
+            partial.ipc(),
+            full.ipc(),
+            partial.fabric.loads_started,
+            full.fabric.loads_started
+        )
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -215,34 +267,31 @@ pub fn e4_latency() -> String {
         "latency", "paper-steering", "demand-driven", "static:Config 1 (flat)"
     );
     let static_ref = run_one(SimConfig::static_on(0), &p).ipc();
-    let rows: Vec<String> = latencies
-        .par_iter()
-        .map(|&lat| {
-            let mk = |policy: PolicyKind| SimConfig {
-                policy,
-                fabric: FabricParams {
-                    per_slot_load_latency: lat,
-                    ..FabricParams::default()
-                },
-                ..SimConfig::default()
-            };
-            let paper = run_one(mk(PolicyKind::PAPER), &p);
-            let demand = run_one(
-                SimConfig {
-                    initial_config: None,
-                    ..mk(PolicyKind::DemandDriven)
-                },
-                &p,
-            );
-            format!(
-                "{:>8} {:>16.3} {:>16.3} {:>20.3}",
-                lat,
-                paper.ipc(),
-                demand.ipc(),
-                static_ref
-            )
-        })
-        .collect();
+    let rows: Vec<String> = run_grid("e4_latency", &latencies, |&lat| {
+        let mk = |policy: PolicyKind| SimConfig {
+            policy,
+            fabric: FabricParams {
+                per_slot_load_latency: lat,
+                ..FabricParams::default()
+            },
+            ..SimConfig::default()
+        };
+        let paper = run_one(mk(PolicyKind::PAPER), &p);
+        let demand = run_one(
+            SimConfig {
+                initial_config: None,
+                ..mk(PolicyKind::DemandDriven)
+            },
+            &p,
+        );
+        format!(
+            "{:>8} {:>16.3} {:>16.3} {:>20.3}",
+            lat,
+            paper.ipc(),
+            demand.ipc(),
+            static_ref
+        )
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -264,20 +313,17 @@ pub fn e5_divider() -> String {
         "{:<24} {:>14} {:>14}",
         "workload", "shifter:IPC", "exact:IPC"
     );
-    let rows: Vec<(String, f64, f64)> = programs
-        .par_iter()
-        .map(|p| {
-            let a = run_one(
-                paper_policy(TieBreak::FavorCurrent, CemKind::BarrelShifter, true),
-                p,
-            );
-            let b = run_one(
-                paper_policy(TieBreak::FavorCurrent, CemKind::ExactDivider, true),
-                p,
-            );
-            (p.name.clone(), a.ipc(), b.ipc())
-        })
-        .collect();
+    let rows: Vec<(String, f64, f64)> = run_grid("e5_divider", &programs, |p| {
+        let a = run_one(
+            paper_policy(TieBreak::FavorCurrent, CemKind::BarrelShifter, true),
+            p,
+        );
+        let b = run_one(
+            paper_policy(TieBreak::FavorCurrent, CemKind::ExactDivider, true),
+            p,
+        );
+        (p.name.clone(), a.ipc(), b.ipc())
+    });
     let mut max_gap = 0.0f64;
     for (name, a, b) in &rows {
         let _ = writeln!(s, "{:<24} {:>14.3} {:>14.3}", name, a, b);
@@ -343,27 +389,24 @@ pub fn e7_demand() -> String {
         "{:<24} {:>12} {:>12} {:>12} {:>12}",
         "workload", "paper:IPC", "demand:IPC", "paper:loads", "demand:loads"
     );
-    let rows: Vec<String> = programs
-        .par_iter()
-        .map(|p| {
-            let paper = run_one(SimConfig::default(), p);
-            let demand = run_one(
-                SimConfig {
-                    policy: PolicyKind::DemandDriven,
-                    ..SimConfig::default()
-                },
-                p,
-            );
-            format!(
-                "{:<24} {:>12.3} {:>12.3} {:>12} {:>12}",
-                p.name,
-                paper.ipc(),
-                demand.ipc(),
-                paper.fabric.loads_started,
-                demand.fabric.loads_started
-            )
-        })
-        .collect();
+    let rows: Vec<String> = run_grid("e7_demand", &programs, |p| {
+        let paper = run_one(SimConfig::default(), p);
+        let demand = run_one(
+            SimConfig {
+                policy: PolicyKind::DemandDriven,
+                ..SimConfig::default()
+            },
+            p,
+        );
+        format!(
+            "{:<24} {:>12.3} {:>12.3} {:>12} {:>12}",
+            p.name,
+            paper.ipc(),
+            demand.ipc(),
+            paper.fabric.loads_started,
+            demand.fabric.loads_started
+        )
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -385,22 +428,20 @@ pub fn e8_ffu() -> String {
         ..SimConfig::default()
     };
     cfg.fabric.per_slot_load_latency = 1_000_000_000; // never completes within budget
-    let rows: Vec<String> = workloads()
-        .par_iter()
-        .map(|p| {
-            let floor = run_one(cfg.clone(), p);
-            assert!(floor.halted, "{} must halt on FFUs alone", p.name);
-            assert_eq!(floor.issued_rfu, 0);
-            let steer = run_one(SimConfig::default(), p);
-            format!(
-                "{:<24} {:>14.3} {:>14.3} {:>11.2}x",
-                p.name,
-                floor.ipc(),
-                steer.ipc(),
-                steer.ipc() / floor.ipc().max(1e-9)
-            )
-        })
-        .collect();
+    let programs = workloads();
+    let rows: Vec<String> = run_grid("e8_ffu", &programs, |p| {
+        let floor = run_one(cfg.clone(), p);
+        assert!(floor.halted, "{} must halt on FFUs alone", p.name);
+        assert_eq!(floor.issued_rfu, 0);
+        let steer = run_one(SimConfig::default(), p);
+        format!(
+            "{:<24} {:>14.3} {:>14.3} {:>11.2}x",
+            p.name,
+            floor.ipc(),
+            steer.ipc(),
+            steer.ipc() / floor.ipc().max(1e-9)
+        )
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -419,17 +460,14 @@ pub fn e9_scaling() -> String {
     let queue_sizes = [3usize, 5, 7, 11, 15, 23, 31];
     let _ = writeln!(s, "queue-depth sweep (8-slot fabric, paper steering):");
     let _ = writeln!(s, "{:>8} {:>10}", "queue", "IPC");
-    let rows: Vec<String> = queue_sizes
-        .par_iter()
-        .map(|&q| {
-            let cfg = SimConfig {
-                queue_size: q,
-                rob_size: q.max(32),
-                ..SimConfig::default()
-            };
-            format!("{:>8} {:>10.3}", q, run_one(cfg, &p).ipc())
-        })
-        .collect();
+    let rows: Vec<String> = run_grid("e9_queue", &queue_sizes, |&q| {
+        let cfg = SimConfig {
+            queue_size: q,
+            rob_size: q.max(32),
+            ..SimConfig::default()
+        };
+        format!("{:>8} {:>10.3}", q, run_one(cfg, &p).ipc())
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -444,27 +482,24 @@ pub fn e9_scaling() -> String {
         "{:>8} {:>10} {:>36}",
         "slots", "IPC", "scaled Config 3 counts"
     );
-    let rows: Vec<String> = slot_counts
-        .par_iter()
-        .map(|&n| {
-            let set = scaled_paper_set(n);
-            let c3 = set.predefined[2].counts;
-            let cfg = SimConfig {
-                steering_set: set,
-                fabric: FabricParams {
-                    rfu_slots: n,
-                    ..FabricParams::default()
-                },
-                ..SimConfig::default()
-            };
-            format!(
-                "{:>8} {:>10.3} {:>36}",
-                n,
-                run_one(cfg, &p).ipc(),
-                c3.to_string()
-            )
-        })
-        .collect();
+    let rows: Vec<String> = run_grid("e9_slots", &slot_counts, |&n| {
+        let set = scaled_paper_set(n);
+        let c3 = set.predefined[2].counts;
+        let cfg = SimConfig {
+            steering_set: set,
+            fabric: FabricParams {
+                rfu_slots: n,
+                ..FabricParams::default()
+            },
+            ..SimConfig::default()
+        };
+        format!(
+            "{:>8} {:>10.3} {:>36}",
+            n,
+            run_one(cfg, &p).ipc(),
+            c3.to_string()
+        )
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -489,25 +524,22 @@ pub fn e10_demand_mode() -> String {
         "{:<24} {:>12} {:>12} {:>14} {:>14}",
         "workload", "ready:IPC", "unsched:IPC", "ready:loads", "unsched:loads"
     );
-    let rows: Vec<String> = programs
-        .par_iter()
-        .map(|p| {
-            let mk = |mode: DemandMode| SimConfig {
-                demand_mode: mode,
-                ..SimConfig::default()
-            };
-            let ready = run_one(mk(DemandMode::Ready), p);
-            let unsched = run_one(mk(DemandMode::Unscheduled), p);
-            format!(
-                "{:<24} {:>12.3} {:>12.3} {:>14} {:>14}",
-                p.name,
-                ready.ipc(),
-                unsched.ipc(),
-                ready.fabric.loads_started,
-                unsched.fabric.loads_started
-            )
-        })
-        .collect();
+    let rows: Vec<String> = run_grid("e10_demand_mode", &programs, |p| {
+        let mk = |mode: DemandMode| SimConfig {
+            demand_mode: mode,
+            ..SimConfig::default()
+        };
+        let ready = run_one(mk(DemandMode::Ready), p);
+        let unsched = run_one(mk(DemandMode::Unscheduled), p);
+        format!(
+            "{:<24} {:>12.3} {:>12.3} {:>14} {:>14}",
+            p.name,
+            ready.ipc(),
+            unsched.ipc(),
+            ready.fabric.loads_started,
+            unsched.fabric.loads_started
+        )
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -535,29 +567,26 @@ pub fn e11_smoothing() -> String {
         let _ = write!(s, "{:>9}", format!("k={k}"));
     }
     let _ = writeln!(s, "{:>18}", "reloads k=0 / k=3");
-    let rows: Vec<String> = programs
-        .par_iter()
-        .map(|p| {
-            let mut line = format!("{:<24}", p.name);
-            let mut reloads = (0u64, 0u64);
-            for k in shifts {
-                let cfg = SimConfig {
-                    policy: PolicyKind::PaperSmoothed { shift: k },
-                    ..SimConfig::default()
-                };
-                let r = run_one(cfg, p);
-                if k == 0 {
-                    reloads.0 = r.fabric.slots_reloaded;
-                }
-                if k == 3 {
-                    reloads.1 = r.fabric.slots_reloaded;
-                }
-                line.push_str(&format!("{:>9.3}", r.ipc()));
+    let rows: Vec<String> = run_grid("e11_smoothing", &programs, |p| {
+        let mut line = format!("{:<24}", p.name);
+        let mut reloads = (0u64, 0u64);
+        for k in shifts {
+            let cfg = SimConfig {
+                policy: PolicyKind::PaperSmoothed { shift: k },
+                ..SimConfig::default()
+            };
+            let r = run_one(cfg, p);
+            if k == 0 {
+                reloads.0 = r.fabric.slots_reloaded;
             }
-            line.push_str(&format!("{:>12} / {}", reloads.0, reloads.1));
-            line
-        })
-        .collect();
+            if k == 3 {
+                reloads.1 = r.fabric.slots_reloaded;
+            }
+            line.push_str(&format!("{:>9.3}", r.ipc()));
+        }
+        line.push_str(&format!("{:>12} / {}", reloads.0, reloads.1));
+        line
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -582,27 +611,24 @@ pub fn e12_selectfree() -> String {
         let _ = write!(s, "{:>14}", format!("sf(p={p}):IPC"));
     }
     let _ = writeln!(s, "{:>16}", "collisions(p=2)");
-    let rows: Vec<String> = programs
-        .par_iter()
-        .map(|p| {
-            let base = run_one(SimConfig::default(), p);
-            let mut line = format!("{:<24} {:>12.3}", p.name, base.ipc());
-            let mut coll = 0;
-            for pen in penalties {
-                let cfg = SimConfig {
-                    select_mode: SelectMode::SelectFree { penalty: pen },
-                    ..SimConfig::default()
-                };
-                let r = run_one(cfg, p);
-                if pen == 2 {
-                    coll = r.collisions;
-                }
-                line.push_str(&format!("{:>14.3}", r.ipc()));
+    let rows: Vec<String> = run_grid("e12_selectfree", &programs, |p| {
+        let base = run_one(SimConfig::default(), p);
+        let mut line = format!("{:<24} {:>12.3}", p.name, base.ipc());
+        let mut coll = 0;
+        for pen in penalties {
+            let cfg = SimConfig {
+                select_mode: SelectMode::SelectFree { penalty: pen },
+                ..SimConfig::default()
+            };
+            let r = run_one(cfg, p);
+            if pen == 2 {
+                coll = r.collisions;
             }
-            line.push_str(&format!("{coll:>16}"));
-            line
-        })
-        .collect();
+            line.push_str(&format!("{:>14.3}", r.ipc()));
+        }
+        line.push_str(&format!("{coll:>16}"));
+        line
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }
@@ -649,39 +675,36 @@ pub fn e14_predictor() -> String {
         "{:<24} {:>12} {:>12} {:>12} {:>12} {:>14}",
         "workload", "nt:IPC", "bimodal:IPC", "nt:flush", "bi:flush", "steer-gain(bi)"
     );
-    let rows: Vec<String> = programs
-        .par_iter()
-        .map(|p| {
-            let nt = run_one(SimConfig::default(), p);
-            let bi_cfg = SimConfig {
-                branch_prediction: BranchPrediction::Bimodal { entries: 512 },
-                ..SimConfig::default()
-            };
-            let bi = run_one(bi_cfg.clone(), p);
-            // Steering's edge over the worst static, under bimodal.
-            let worst_static = (0..3)
-                .map(|i| {
-                    run_one(
-                        SimConfig {
-                            branch_prediction: BranchPrediction::Bimodal { entries: 512 },
-                            ..SimConfig::static_on(i)
-                        },
-                        p,
-                    )
-                    .ipc()
-                })
-                .fold(f64::INFINITY, f64::min);
-            format!(
-                "{:<24} {:>12.3} {:>12.3} {:>12} {:>12} {:>13.2}x",
-                p.name,
-                nt.ipc(),
-                bi.ipc(),
-                nt.flushes,
-                bi.flushes,
-                bi.ipc() / worst_static.max(1e-9)
-            )
-        })
-        .collect();
+    let rows: Vec<String> = run_grid("e14_predictor", &programs, |p| {
+        let nt = run_one(SimConfig::default(), p);
+        let bi_cfg = SimConfig {
+            branch_prediction: BranchPrediction::Bimodal { entries: 512 },
+            ..SimConfig::default()
+        };
+        let bi = run_one(bi_cfg.clone(), p);
+        // Steering's edge over the worst static, under bimodal.
+        let worst_static = (0..3)
+            .map(|i| {
+                run_one(
+                    SimConfig {
+                        branch_prediction: BranchPrediction::Bimodal { entries: 512 },
+                        ..SimConfig::static_on(i)
+                    },
+                    p,
+                )
+                .ipc()
+            })
+            .fold(f64::INFINITY, f64::min);
+        format!(
+            "{:<24} {:>12.3} {:>12.3} {:>12} {:>12} {:>13.2}x",
+            p.name,
+            nt.ipc(),
+            bi.ipc(),
+            nt.flushes,
+            bi.flushes,
+            bi.ipc() / worst_static.max(1e-9)
+        )
+    });
     for r in rows {
         let _ = writeln!(s, "{r}");
     }

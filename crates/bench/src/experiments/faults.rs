@@ -20,19 +20,23 @@
 //! above it at the highest swept rate, and that zero-fault runs are
 //! bit-identical.
 //!
-//! Results are printed as a pivot table and written to
-//! `BENCH_fault_sweep.json`.
+//! The grid runs on the sweep engine (DESIGN.md §12): each
+//! `(workload, upset rate, scrub interval)` point is keyed by those
+//! parameters alone, and — because the fault schedule is open-loop —
+//! each row is a pure function of its key, so the sweep shards, resumes
+//! and merges to a byte-identical `BENCH_fault_sweep.json`. The
+//! cross-point assertions above re-run on every merged set.
 
 use std::fmt::Write;
 
-use rayon::prelude::*;
 use rsp_fabric::fault::FaultParams;
 use rsp_isa::Program;
 use rsp_sim::{PolicyKind, SimConfig, SimReport};
 use rsp_workloads::{kernels, PhasedSpec};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-use crate::harness::{pivot_table, run_one};
+use crate::harness::{pivot_rows, run_one};
+use crate::sweep::Sweep;
 
 /// Upset rates swept (per-cycle strike probability, ppm). The top rate
 /// stays in the regime where reloading a zombie pays for its load
@@ -46,7 +50,7 @@ const SCRUB_INTERVALS: [u64; 4] = [0, 256, 64, 16];
 const LOAD_FAILURE_PPM: u32 = 100_000;
 
 /// One sweep point, serialised into `BENCH_fault_sweep.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultRow {
     /// Workload label.
     pub workload: String,
@@ -128,145 +132,224 @@ fn fault_aware_config(upset_ppm: u32, scrub_interval: u64) -> SimConfig {
     cfg
 }
 
-/// The sweep: every (workload, upset rate, scrub interval) point under
-/// paper steering. Returns the report text; writes
-/// `BENCH_fault_sweep.json` as a side effect.
-pub fn fault_sweep() -> String {
-    let programs = sweep_workloads();
-    let points: Vec<(u32, u64)> = UPSET_PPM
-        .iter()
-        .flat_map(|&u| SCRUB_INTERVALS.iter().map(move |&s| (u, s)))
-        .collect();
-    let rows: Vec<FaultRow> = programs
-        .par_iter()
-        .flat_map(|p| {
-            points.par_iter().map(move |&(u, s)| {
-                let cfg = faulty_config(u, s);
-                let faults = cfg.fabric.faults.clone();
-                let base = run_one(cfg, p);
-                let aware = run_one(fault_aware_config(u, s), p);
-                FaultRow::new(&p.name, &faults, &base, &aware)
-            })
-        })
-        .collect();
+/// One point of the fault sweep's grid, identified entirely by its
+/// parameters (the point key is derived from nothing else).
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// Workload name (programs are regenerated deterministically).
+    pub workload: String,
+    /// Per-cycle upset probability (ppm).
+    pub upset_ppm: u32,
+    /// Cycles between scrub passes (0 = never).
+    pub scrub_interval: u64,
+}
 
-    // Sweep-level guarantees (CI runs this experiment as an assertion
-    // job). The *degraded baseline* is the baseline policy with scrub
-    // off: zombies accumulate with no mitigation at all — exactly the
-    // loss the fault-aware selection unit exists to recover. At every
-    // swept upset rate the fault-aware run must be at least as fast as
-    // that baseline, strictly faster at the highest rate, and with zero
-    // upsets every run must be bit-identical to its baseline.
-    for r in &rows {
-        if r.upset_ppm == 0 {
-            assert_eq!(
-                r.cycles, r.cycles_fault_aware,
-                "zero-fault runs must be bit-identical at {} s{}",
-                r.workload, r.scrub_interval
-            );
-        }
-        if r.scrub_interval != 0 {
-            continue;
-        }
-        assert!(
-            r.ipc_fault_aware >= r.ipc,
-            "fault-aware IPC below the degraded baseline at {} u{}: {} < {}",
-            r.workload,
-            r.upset_ppm,
-            r.ipc_fault_aware,
-            r.ipc
-        );
-        if r.upset_ppm == *UPSET_PPM.last().unwrap() {
-            assert!(
-                r.ipc_fault_aware > r.ipc,
-                "fault-aware IPC must strictly beat the degraded baseline at {} u{}: {} <= {}",
-                r.workload,
-                r.upset_ppm,
-                r.ipc_fault_aware,
-                r.ipc
-            );
+/// The paired baseline/fault-aware sweep over
+/// workload × upset rate × scrub interval, as a [`Sweep`].
+pub struct FaultSweep {
+    programs: Vec<Program>,
+    upset_ppm: Vec<u32>,
+    scrub_intervals: Vec<u64>,
+    /// Enforce the policy-dominance assertions (the full grid's
+    /// workloads are sized so they hold; reduced test grids check only
+    /// the unconditional zero-fault pairing).
+    strict: bool,
+}
+
+impl FaultSweep {
+    /// The full CI grid (DESIGN.md §9/§11 assertions enforced).
+    pub fn full() -> FaultSweep {
+        FaultSweep {
+            programs: sweep_workloads(),
+            upset_ppm: UPSET_PPM.to_vec(),
+            scrub_intervals: SCRUB_INTERVALS.to_vec(),
+            strict: true,
         }
     }
 
-    let mut s = String::from("# fault-sweep — IPC vs upset rate × scrub interval\n\n");
-    let _ = writeln!(
-        s,
-        "load_failure_ppm={LOAD_FAILURE_PPM} everywhere; an upset strikes a uniform slot and"
-    );
-    let _ = writeln!(
-        s,
-        "corrupts the idle unit spanning it (open-loop schedule, paired across policies);"
-    );
-    let _ = writeln!(
-        s,
-        "scrub interval 0 = never scrub (corrupted spans stay zombies).\n"
-    );
-    let col_labels: Vec<String> = points.iter().map(|(u, sc)| format!("u{u}/s{sc}")).collect();
-    for p in &programs {
-        let lenses: Vec<String> = vec!["baseline".into(), "fault-aware".into()];
-        s.push_str(&pivot_table(
-            &format!("IPC — {}", p.name),
-            &lenses,
-            &col_labels,
-            |lens, c| {
-                rows.iter()
-                    .find(|r| {
-                        r.workload == p.name
-                            && format!("u{}/s{}", r.upset_ppm, r.scrub_interval) == c
-                    })
-                    .map(|r| {
-                        let v = if lens == "baseline" {
-                            r.ipc
-                        } else {
-                            r.ipc_fault_aware
-                        };
-                        format!("{v:.3}")
-                    })
-                    .unwrap_or_default()
-            },
-        ));
-        s.push('\n');
+    /// A reduced grid for engine tests: tiny workloads, a 2×2 fault
+    /// grid, dominance assertions off (they are a claim about the full
+    /// grid's workload sizes, not about the engine).
+    pub fn reduced() -> FaultSweep {
+        FaultSweep {
+            programs: vec![
+                PhasedSpec::int_fp_mem(60, 1, 7).generate(),
+                kernels::memcpy(16),
+            ],
+            upset_ppm: vec![0, 20_000],
+            scrub_intervals: vec![0, 16],
+            strict: false,
+        }
     }
 
-    // Headline check: for each workload, the clean point is the fastest,
-    // the worst faulty point is the slowest, and fault-aware steering
-    // claws back capacity the unscrubbed baseline has lost for good.
-    for p in &programs {
-        let of = |u: u32, sc: u64| {
-            rows.iter()
-                .find(|r| r.workload == p.name && r.upset_ppm == u && r.scrub_interval == sc)
-                .unwrap()
-        };
-        let clean = of(0, 0).ipc;
-        let worst = of(*UPSET_PPM.last().unwrap(), 0);
-        let scrubbed = of(*UPSET_PPM.last().unwrap(), *SCRUB_INTERVALS.last().unwrap()).ipc;
+    fn program(&self, name: &str) -> &Program {
+        self.programs
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("unknown sweep workload {name:?}"))
+    }
+}
+
+impl Sweep for FaultSweep {
+    type Point = FaultPoint;
+    type Row = FaultRow;
+
+    fn name(&self) -> &'static str {
+        "fault_sweep"
+    }
+
+    fn points(&self) -> Vec<FaultPoint> {
+        let mut out = Vec::new();
+        for p in &self.programs {
+            for &u in &self.upset_ppm {
+                for &s in &self.scrub_intervals {
+                    out.push(FaultPoint {
+                        workload: p.name.clone(),
+                        upset_ppm: u,
+                        scrub_interval: s,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn key(&self, point: &FaultPoint) -> String {
+        format!(
+            "{}/u{}/s{}",
+            point.workload, point.upset_ppm, point.scrub_interval
+        )
+    }
+
+    fn run_point(&self, point: &FaultPoint) -> FaultRow {
+        let p = self.program(&point.workload);
+        let cfg = faulty_config(point.upset_ppm, point.scrub_interval);
+        let faults = cfg.fabric.faults.clone();
+        let base = run_one(cfg, p);
+        let aware = run_one(fault_aware_config(point.upset_ppm, point.scrub_interval), p);
+        FaultRow::new(&p.name, &faults, &base, &aware)
+    }
+
+    fn verify(&self, rows: &[FaultRow]) -> Result<(), String> {
+        // Sweep-level guarantees (CI runs this experiment as an
+        // assertion job, and the merge step re-runs it on every merged
+        // set). The *degraded baseline* is the baseline policy with
+        // scrub off: zombies accumulate with no mitigation at all —
+        // exactly the loss the fault-aware selection unit exists to
+        // recover. At every swept upset rate the fault-aware run must be
+        // at least as fast as that baseline, strictly faster at the
+        // highest rate, and with zero upsets every run must be
+        // bit-identical to its baseline.
+        let top_rate = *self.upset_ppm.last().unwrap();
+        for r in rows {
+            if r.upset_ppm == 0 && r.cycles != r.cycles_fault_aware {
+                return Err(format!(
+                    "zero-fault runs must be bit-identical at {} s{}: {} != {}",
+                    r.workload, r.scrub_interval, r.cycles, r.cycles_fault_aware
+                ));
+            }
+            if !self.strict || r.scrub_interval != 0 {
+                continue;
+            }
+            if r.ipc_fault_aware < r.ipc {
+                return Err(format!(
+                    "fault-aware IPC below the degraded baseline at {} u{}: {} < {}",
+                    r.workload, r.upset_ppm, r.ipc_fault_aware, r.ipc
+                ));
+            }
+            if r.upset_ppm == top_rate && r.ipc_fault_aware <= r.ipc {
+                return Err(format!(
+                    "fault-aware IPC must strictly beat the degraded baseline at {} u{}: {} <= {}",
+                    r.workload, r.upset_ppm, r.ipc_fault_aware, r.ipc
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("BENCH_fault_sweep.json")
+    }
+
+    fn report(&self, rows: &[FaultRow]) -> String {
+        let mut s = String::from("# fault-sweep — IPC vs upset rate × scrub interval\n\n");
         let _ = writeln!(
             s,
-            "{:<20} clean={clean:.3}  worst(no-scrub)={:.3}  worst(scrub@{})={scrubbed:.3}  \
-             worst(fault-aware)={:.3} ({} zombie reloads)",
-            p.name,
-            worst.ipc,
-            SCRUB_INTERVALS.last().unwrap(),
-            worst.ipc_fault_aware,
-            worst.zombie_reloads,
+            "load_failure_ppm={LOAD_FAILURE_PPM} everywhere; an upset strikes a uniform slot and"
         );
-    }
+        let _ = writeln!(
+            s,
+            "corrupts the idle unit spanning it (open-loop schedule, paired across policies);"
+        );
+        let _ = writeln!(
+            s,
+            "scrub interval 0 = never scrub (corrupted spans stay zombies).\n"
+        );
+        // Per workload, two pivots over the same grid: rows = upset
+        // rates, columns = scrub intervals, cells = IPC under each
+        // policy.
+        let rate_labels: Vec<String> = self.upset_ppm.iter().map(|u| format!("u{u}")).collect();
+        let scrub_labels: Vec<String> = self
+            .scrub_intervals
+            .iter()
+            .map(|sc| format!("s{sc}"))
+            .collect();
+        for p in &self.programs {
+            let grid_match = |r: &FaultRow, rate: &str, scrub: &str| {
+                r.workload == p.name
+                    && format!("u{}", r.upset_ppm) == rate
+                    && format!("s{}", r.scrub_interval) == scrub
+            };
+            s.push_str(&pivot_rows(
+                &format!("IPC (baseline) — {}", p.name),
+                rows,
+                &rate_labels,
+                &scrub_labels,
+                grid_match,
+                |r| format!("{:.3}", r.ipc),
+            ));
+            s.push('\n');
+            s.push_str(&pivot_rows(
+                &format!("IPC (fault-aware) — {}", p.name),
+                rows,
+                &rate_labels,
+                &scrub_labels,
+                grid_match,
+                |r| format!("{:.3}", r.ipc_fault_aware),
+            ));
+            s.push('\n');
+        }
 
-    let json = serde_json::to_string_pretty(&rows).expect("rows serialise");
-    match std::fs::write("BENCH_fault_sweep.json", &json) {
-        Ok(()) => {
-            let _ = writeln!(s, "\nwrote BENCH_fault_sweep.json ({} points)", rows.len());
+        // Headline check: for each workload, the clean point is the
+        // fastest, the worst faulty point is the slowest, and
+        // fault-aware steering claws back capacity the unscrubbed
+        // baseline has lost for good.
+        let top_rate = *self.upset_ppm.last().unwrap();
+        let fast_scrub = *self.scrub_intervals.last().unwrap();
+        for p in &self.programs {
+            let of = |u: u32, sc: u64| {
+                rows.iter()
+                    .find(|r| r.workload == p.name && r.upset_ppm == u && r.scrub_interval == sc)
+                    .unwrap()
+            };
+            let clean = of(0, 0).ipc;
+            let worst = of(top_rate, 0);
+            let scrubbed = of(top_rate, fast_scrub).ipc;
+            let _ = writeln!(
+                s,
+                "{:<20} clean={clean:.3}  worst(no-scrub)={:.3}  worst(scrub@{})={scrubbed:.3}  \
+                 worst(fault-aware)={:.3} ({} zombie reloads)",
+                p.name, worst.ipc, fast_scrub, worst.ipc_fault_aware, worst.zombie_reloads,
+            );
         }
-        Err(e) => {
-            let _ = writeln!(s, "\ncould not write BENCH_fault_sweep.json: {e}");
-        }
+        s
     }
-    s
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_and_merge, SweepConfig};
 
     #[test]
     fn sweep_point_degrades_and_recovers() {
@@ -311,6 +394,8 @@ mod tests {
         assert!(j.contains("\"upset_ppm\":20000"));
         assert!(j.contains("\"ipc_fault_aware\":"));
         assert!(j.contains("\"zombie_reloads\":"));
+        let back: FaultRow = serde_json::from_str(&j).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), j);
     }
 
     #[test]
@@ -338,5 +423,36 @@ mod tests {
         assert_eq!(clean_base.retired, clean_aware.retired);
         assert_eq!(clean_aware.loader.zombie_reloads, 0);
         assert_eq!(clean_aware.loader.replacements, 0);
+    }
+
+    #[test]
+    fn point_keys_are_parameter_derived_and_order_free() {
+        let sweep = FaultSweep::full();
+        let points = sweep.points();
+        assert_eq!(points.len(), 2 * 4 * 4);
+        // Keys never mention position: permuting the grid leaves every
+        // key unchanged.
+        let keys: Vec<String> = points.iter().map(|p| sweep.key(p)).collect();
+        let mut reversed: Vec<String> = points.iter().rev().map(|p| sweep.key(p)).collect();
+        reversed.reverse();
+        assert_eq!(keys, reversed);
+        assert!(keys.contains(&"memcpy/u20000/s16".to_string()), "{keys:?}");
+    }
+
+    #[test]
+    fn reduced_sweep_runs_and_verifies_on_the_engine() {
+        let sweep = FaultSweep::reduced();
+        let dir = std::env::temp_dir().join(format!("rsp-fault-reduced-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SweepConfig {
+            out_dir: dir.clone(),
+            ..SweepConfig::default()
+        };
+        let summary = run_and_merge(&sweep, &cfg).expect("reduced sweep runs");
+        assert_eq!(summary.points, 2 * 2 * 2);
+        let text = std::fs::read_to_string(summary.artifact.unwrap()).unwrap();
+        let rows: Vec<FaultRow> = serde_json::from_str(&text).unwrap();
+        assert!(sweep.verify(&rows).is_ok());
+        assert!(summary.report.contains("fault-sweep"));
     }
 }

@@ -4,6 +4,13 @@
 //! (DESIGN.md §4), [`faults`] sweeps the fault model (DESIGN.md §9).
 //! Every function returns the report text it prints, so tests can assert
 //! on content.
+//!
+//! Experiments whose grid is worth sharding/resuming are [`crate::sweep::Sweep`]s and
+//! dispatch through [`sweep_runner`] (the `experiments` bin routes them
+//! onto the engine, honouring `--shard`/`--resume`/`--out-dir`); the
+//! rest dispatch through [`run`].
+
+use crate::sweep::SweepRunner;
 
 pub mod evals;
 pub mod faults;
@@ -37,7 +44,17 @@ pub const ALL_IDS: [&str; 24] = [
     "all",
 ];
 
-/// Dispatch one experiment by id; returns its report text.
+/// The sweep-engine experiments: ids whose grids run sharded/resumable.
+/// `run(id)` returns `None` for these; drive them through the engine.
+pub fn sweep_runner(id: &str) -> Option<Box<dyn SweepRunner>> {
+    match id {
+        "e1-ipc" => Some(Box::new(evals::E1Sweep::new())),
+        "fault-sweep" => Some(Box::new(faults::FaultSweep::full())),
+        _ => None,
+    }
+}
+
+/// Dispatch one non-sweep experiment by id; returns its report text.
 pub fn run(id: &str) -> Option<String> {
     Some(match id {
         "table1" => figures::table1(),
@@ -48,7 +65,6 @@ pub fn run(id: &str) -> Option<String> {
         "fig5" => figures::fig5(),
         "fig6" => figures::fig6(),
         "fig7" => figures::fig7(),
-        "e1-ipc" => evals::e1_ipc(),
         "e2-partial" => evals::e2_partial(),
         "e3-stability" => evals::e3_stability(),
         "e4-latency" => evals::e4_latency(),
@@ -62,7 +78,6 @@ pub fn run(id: &str) -> Option<String> {
         "e12-selectfree" => evals::e12_selectfree(),
         "e13-hwcost" => evals::e13_hwcost(),
         "e14-predictor" => evals::e14_predictor(),
-        "fault-sweep" => faults::fault_sweep(),
         _ => return None,
     })
 }

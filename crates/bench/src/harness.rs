@@ -4,7 +4,7 @@ use rsp_core::cem::CemKind;
 use rsp_core::select::TieBreak;
 use rsp_isa::Program;
 use rsp_sim::{PolicyKind, Processor, SimConfig, SimReport};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Cycle budget for every experiment run: generously above any workload
 /// used here; a run hitting it is a bug surfaced by `halted == false`.
@@ -72,7 +72,7 @@ pub fn run_one(cfg: SimConfig, program: &Program) -> SimReport {
 }
 
 /// One result row for serialisation into `results/*.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Row {
     /// Workload label.
     pub workload: String,
@@ -91,9 +91,17 @@ pub struct Row {
 impl Row {
     /// Build from a report.
     pub fn from_report(workload: &str, r: &SimReport) -> Row {
+        let policy = r.policy.clone();
+        Row::labelled(workload, &policy, r)
+    }
+
+    /// Build from a report under an explicit policy label (comparison
+    /// tables key columns by [`PolicySpec::label`], not by the
+    /// simulator's own policy name).
+    pub fn labelled(workload: &str, policy: &str, r: &SimReport) -> Row {
         Row {
             workload: workload.into(),
-            policy: r.policy.clone(),
+            policy: policy.into(),
             ipc: r.ipc(),
             cycles: r.cycles,
             reconfigs: r.fabric.loads_started,
@@ -128,6 +136,27 @@ pub fn pivot_table<T: std::fmt::Display>(
     s
 }
 
+/// Render a pivot table directly from a row set: rows = workloads,
+/// columns = `col_labels`, each cell the first row matching
+/// `(workload, column)` rendered by `cell` (blank when absent). This is
+/// the find-the-matching-row plumbing `evals` and `faults` each used to
+/// hand-roll around [`pivot_table`].
+pub fn pivot_rows<R, T: std::fmt::Display>(
+    title: &str,
+    rows: &[R],
+    workloads: &[String],
+    col_labels: &[String],
+    matches: impl Fn(&R, &str, &str) -> bool,
+    cell: impl Fn(&R) -> T,
+) -> String {
+    pivot_table(title, workloads, col_labels, |w, c| {
+        rows.iter()
+            .find(|r| matches(r, w, c))
+            .map(|r| cell(r).to_string())
+            .unwrap_or_default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +170,21 @@ mod tests {
             assert!(r.halted);
             assert!(r.retired > 0);
         }
+    }
+
+    #[test]
+    fn pivot_rows_finds_cells_and_blanks_gaps() {
+        let rows = vec![("a", "x", 1.5), ("b", "x", 2.0)];
+        let t = pivot_rows(
+            "t",
+            &rows,
+            &["a".into(), "b".into(), "c".into()],
+            &["x".into()],
+            |r, w, c| r.0 == w && r.1 == c,
+            |r| format!("{:.1}", r.2),
+        );
+        assert!(t.contains("1.5"));
+        assert!(t.contains("2.0"));
     }
 
     #[test]

@@ -2,9 +2,14 @@
 //!
 //! Shared plumbing for the `experiments` binary (one subcommand per
 //! table/figure/experiment of DESIGN.md §4) and the Criterion
-//! micro-benchmarks. Parameter sweeps fan out across simulator instances
-//! with rayon — each simulation is single-threaded and deterministic, so
-//! parallelism is free of ordering effects.
+//! micro-benchmarks. Parameter grids run on the [`sweep`] engine
+//! (DESIGN.md §12): a declarative ordered grid with stable per-point
+//! keys, executed in-process (rayon fan-out — each simulation is
+//! single-threaded and deterministic, so parallelism is free of
+//! ordering effects), as `hash(key) % N` shards across worker
+//! processes, or resumed from a keyed JSONL journal; a deterministic
+//! merge re-runs each sweep's cross-point assertions and emits the
+//! `BENCH_*.json` artifact byte-identically however the grid was split.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,8 +17,10 @@
 pub mod experiments;
 pub mod harness;
 pub mod scaled;
+pub mod sweep;
 pub mod throughput;
 pub mod timeline;
 
 pub use harness::{policies, run_one, PolicySpec, Row};
 pub use scaled::scaled_paper_set;
+pub use sweep::{write_artifact, Executor, Shard, Sweep, SweepConfig, SweepError, SweepRunner};

@@ -1,0 +1,225 @@
+//! Keyed JSONL result journals — the sweep engine's checkpoint format.
+//!
+//! Every completed grid point is appended to the shard's journal as one
+//! line, `{"key":"<PointKey>","row":{...}}`, flushed immediately so a
+//! killed run loses at most a partial trailing line. Loading tolerates
+//! exactly that: a non-parsing *final* line is treated as truncation and
+//! dropped; a non-parsing line anywhere else is corruption and an error.
+//! Resume rewrites the journal from its valid entries before appending,
+//! so a resumed file is always clean.
+
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use super::SweepError;
+
+/// One journal line: a point key and its result row, kept as raw JSON so
+/// loading can defer typed decoding (and so rewriting preserves bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// The point's stable key.
+    pub key: String,
+    /// The row, as its serialised JSON value.
+    pub row: serde_json::Value,
+}
+
+impl JournalEntry {
+    /// Encode a typed row into an entry.
+    pub fn encode<R: Serialize>(key: &str, row: &R) -> Result<JournalEntry, SweepError> {
+        let row = serde_json::to_value(row).map_err(|e| SweepError::Encode {
+            key: key.to_string(),
+            msg: e.to_string(),
+        })?;
+        Ok(JournalEntry {
+            key: key.to_string(),
+            row,
+        })
+    }
+
+    /// Decode the row into its concrete type.
+    pub fn decode<R: Deserialize>(&self) -> Result<R, SweepError> {
+        serde_json::from_value(self.row.clone()).map_err(|e| SweepError::Decode {
+            key: self.key.clone(),
+            msg: e.to_string(),
+        })
+    }
+
+    /// The single JSONL line for this entry (no trailing newline).
+    pub fn to_line(&self) -> String {
+        // Field order is fixed by hand so journal bytes are stable.
+        format!(
+            "{{\"key\":{},\"row\":{}}}",
+            serde_json::to_string(&self.key).expect("strings serialise"),
+            serde_json::to_string(&self.row).expect("values serialise"),
+        )
+    }
+
+    fn parse(line: &str) -> Option<JournalEntry> {
+        let v: serde_json::Value = serde_json::from_str(line).ok()?;
+        let key = v.get("key")?.as_str()?.to_string();
+        let row = v.get("row")?.clone();
+        Some(JournalEntry { key, row })
+    }
+}
+
+/// An append-only journal writer; every [`Journal::append`] flushes, so
+/// the on-disk file is a valid checkpoint after every completed point.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: BufWriter<fs::File>,
+}
+
+impl Journal {
+    /// Open `path` for appending, creating it (and its directory) if
+    /// missing.
+    pub fn append_to(path: &Path) -> Result<Journal, SweepError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| SweepError::io(dir, e))?;
+            }
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| SweepError::io(path, e))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Append one entry and flush it to disk.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), SweepError> {
+        let line = entry.to_line();
+        (|| {
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.writer.flush()
+        })()
+        .map_err(|e| SweepError::io(&self.path, e))
+    }
+}
+
+/// Load every valid entry of a journal file. A final line that does not
+/// parse is truncation (a killed run) and is silently dropped; an
+/// earlier one is corruption and an error. Missing file = empty journal.
+pub fn load(path: &Path) -> Result<Vec<JournalEntry>, SweepError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(SweepError::io(path, e)),
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut entries = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalEntry::parse(line) {
+            Some(e) => entries.push(e),
+            None if i == lines.len() - 1 => break, // truncated tail from a kill
+            None => {
+                return Err(SweepError::Journal {
+                    path: path.to_path_buf(),
+                    line: i + 1,
+                    msg: "unparseable entry before end of file".into(),
+                })
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Rewrite `path` to contain exactly `entries` (dropping any truncated
+/// tail), via a temp file + rename so the journal is never half-written.
+pub fn rewrite(path: &Path, entries: &[JournalEntry]) -> Result<(), SweepError> {
+    let mut text = String::new();
+    for e in entries {
+        text.push_str(&e.to_line());
+        text.push('\n');
+    }
+    let tmp = path.with_extension("jsonl.tmp");
+    fs::write(&tmp, &text).map_err(|e| SweepError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| SweepError::io(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct R {
+        x: u32,
+        y: f64,
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rsp-journal-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_load_roundtrip() {
+        let p = tmp("roundtrip.jsonl");
+        let _ = fs::remove_file(&p);
+        let mut j = Journal::append_to(&p).unwrap();
+        let a = JournalEntry::encode("a", &R { x: 1, y: 0.5 }).unwrap();
+        let b = JournalEntry::encode("b", &R { x: 2, y: 1.0 / 3.0 }).unwrap();
+        j.append(&a).unwrap();
+        j.append(&b).unwrap();
+        drop(j);
+        let got = load(&p).unwrap();
+        assert_eq!(got, vec![a.clone(), b.clone()]);
+        assert_eq!(got[1].decode::<R>().unwrap(), R { x: 2, y: 1.0 / 3.0 });
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_midfile_corruption_errors() {
+        let p = tmp("trunc.jsonl");
+        let a = JournalEntry::encode("a", &R { x: 1, y: 2.0 }).unwrap();
+        fs::write(&p, format!("{}\n{{\"key\":\"b\",\"ro", a.to_line())).unwrap();
+        let got = load(&p).unwrap();
+        assert_eq!(got, vec![a.clone()]);
+
+        let p2 = tmp("corrupt.jsonl");
+        fs::write(&p2, format!("garbage\n{}\n", a.to_line())).unwrap();
+        assert!(matches!(
+            load(&p2),
+            Err(SweepError::Journal { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_empty_and_rewrite_cleans() {
+        let p = tmp("missing.jsonl");
+        let _ = fs::remove_file(&p);
+        assert!(load(&p).unwrap().is_empty());
+        let a = JournalEntry::encode("a", &R { x: 7, y: 0.0 }).unwrap();
+        rewrite(&p, std::slice::from_ref(&a)).unwrap();
+        assert_eq!(load(&p).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn f64_rows_roundtrip_byte_identically() {
+        // serde_json prints the shortest representation that parses back
+        // to the same f64, so journal round-trips re-serialise to the
+        // same bytes — the property the merge step's byte-identity
+        // guarantee rests on.
+        for y in [1.0 / 3.0, 0.1 + 0.2, f64::MIN_POSITIVE, 12345.6789e-7] {
+            let row = R { x: 0, y };
+            let e = JournalEntry::encode("k", &row).unwrap();
+            let back: R = JournalEntry::parse(&e.to_line()).unwrap().decode().unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&row).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,753 @@
+//! The sweep engine: sharded, resumable experiment grids (DESIGN.md §12).
+//!
+//! Every experiment harness in this crate used to hand-roll the same
+//! machinery — enumerate a parameter grid, fan it out, serialise rows,
+//! assert cross-point claims. This module is that machinery, once:
+//!
+//! * **[`Sweep`]** — the declarative spec: a deterministic, *ordered*
+//!   enumeration of grid points, each with a stable string **point key**
+//!   derived only from its parameters (never from enumeration order),
+//!   plus the per-point runner, the cross-point verifier, and the
+//!   artifact renderer.
+//! * **Executors** — [`Executor::InProcess`] runs the whole grid in one
+//!   process (rayon fan-out, or serial for wall-clock-timed sweeps);
+//!   [`Executor::Shard`] runs only the points whose key hashes to
+//!   `k mod N` ([`shard::stable_key_hash`]); [`Executor::Workers`]
+//!   spawns one `--shard k/N` subprocess per shard. Either way, every
+//!   completed point streams into a keyed JSONL journal.
+//! * **Checkpoint/resume** — with [`SweepConfig::resume`], keys already
+//!   present in the journal are skipped, so a killed 10k-point sweep
+//!   picks up where it died (a truncated trailing line is dropped).
+//! * **[`merge`]** — replays every shard journal in the output
+//!   directory, verifies the key set exactly matches the spec (no
+//!   duplicates, no gaps, no strays), orders rows by the spec's
+//!   enumeration order, re-runs the sweep's cross-point assertions, and
+//!   writes the artifact. Because every row is a pure function of its
+//!   key and f64s round-trip through JSON exactly, the merged artifact
+//!   is byte-for-byte identical whether the grid ran as one process,
+//!   N shards, or a killed-and-resumed run.
+
+pub mod journal;
+pub mod shard;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+use rsp_obs::{ProgressSnapshot, SweepProgress};
+use serde::{Deserialize, Serialize};
+
+use journal::{Journal, JournalEntry};
+pub use shard::Shard;
+
+/// Everything that can go wrong running or merging a sweep. Rendered by
+/// the CLI bins, which exit non-zero — artifact-write failures included.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Filesystem failure on `path`.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// A journal line failed to parse before the end of the file.
+    Journal {
+        /// The journal file.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A row failed to serialise.
+    Encode {
+        /// The point key.
+        key: String,
+        /// Serialiser error.
+        msg: String,
+    },
+    /// A journalled row failed to deserialise.
+    Decode {
+        /// The point key.
+        key: String,
+        /// Deserialiser error.
+        msg: String,
+    },
+    /// A `K/N` shard argument was malformed.
+    BadShard(String),
+    /// A journal holds a key the spec does not enumerate (stale journal
+    /// or wrong sweep).
+    UnknownKey {
+        /// The stray key.
+        key: String,
+    },
+    /// The same key appears in more than one journal entry.
+    DuplicateKey {
+        /// The duplicated key.
+        key: String,
+    },
+    /// Keys the spec enumerates but no journal supplied.
+    MissingKeys {
+        /// The absent keys, in spec order (first few).
+        sample: Vec<String>,
+        /// How many are missing in total.
+        count: usize,
+    },
+    /// The sweep's cross-point assertions failed on the merged rows.
+    Verify(String),
+    /// A spawned shard worker failed.
+    Worker {
+        /// Which shard.
+        shard: Shard,
+        /// What happened.
+        msg: String,
+    },
+}
+
+impl SweepError {
+    fn io(path: &Path, err: std::io::Error) -> SweepError {
+        SweepError::Io {
+            path: path.to_path_buf(),
+            err,
+        }
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+            SweepError::Journal { path, line, msg } => {
+                write!(f, "{}:{line}: corrupt journal: {msg}", path.display())
+            }
+            SweepError::Encode { key, msg } => write!(f, "point {key}: cannot encode row: {msg}"),
+            SweepError::Decode { key, msg } => write!(f, "point {key}: cannot decode row: {msg}"),
+            SweepError::BadShard(s) => {
+                write!(f, "bad shard {s:?} (expected K/N with K < N, N > 0)")
+            }
+            SweepError::UnknownKey { key } => {
+                write!(
+                    f,
+                    "journal holds key {key:?} the sweep spec does not enumerate"
+                )
+            }
+            SweepError::DuplicateKey { key } => {
+                write!(f, "key {key:?} appears more than once across the journals")
+            }
+            SweepError::MissingKeys { sample, count } => {
+                write!(
+                    f,
+                    "{count} point(s) missing from the journals, e.g. {sample:?}"
+                )
+            }
+            SweepError::Verify(msg) => write!(f, "cross-point verification failed: {msg}"),
+            SweepError::Worker { shard, msg } => write!(f, "shard worker {shard}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// A declarative sweep: the ordered grid, the stable per-point key, the
+/// per-point runner, and the cross-point contract.
+pub trait Sweep: Sync {
+    /// One grid point's parameters.
+    type Point: Clone + Send + Sync;
+    /// One grid point's result row.
+    type Row: Serialize + Deserialize + Send;
+
+    /// The sweep's name — journal files are `<name>.shard-KofN.jsonl`.
+    fn name(&self) -> &'static str;
+
+    /// The full grid, in canonical (artifact) order. Must be
+    /// deterministic: merging relies on every process enumerating the
+    /// same points in the same order.
+    fn points(&self) -> Vec<Self::Point>;
+
+    /// The point's stable key. **Derive it only from the point's
+    /// parameters** — never from enumeration order or ambient state —
+    /// so shard assignment and resume survive grid re-orderings, and a
+    /// journal row can be matched back to its point across processes.
+    fn key(&self, point: &Self::Point) -> String;
+
+    /// Run one point. Must be a pure function of the point (plus the
+    /// spec's own immutable configuration): the merge step assumes a
+    /// row is the same whichever process computed it.
+    fn run_point(&self, point: &Self::Point) -> Self::Row;
+
+    /// False for sweeps that time wall-clock per point (run them
+    /// serially so points don't contend for the host CPU).
+    fn parallel(&self) -> bool {
+        true
+    }
+
+    /// Cross-point assertions, re-run on every merged set.
+    fn verify(&self, _rows: &[Self::Row]) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// File name of the merged artifact (e.g. `BENCH_fault_sweep.json`),
+    /// if the sweep writes one.
+    fn artifact(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Render the merged rows into the artifact's contents. The default
+    /// is the pretty-printed row array every `BENCH_*.json` used before.
+    fn render_artifact(&self, rows: &[Self::Row]) -> Result<String, SweepError> {
+        serde_json::to_string_pretty(rows).map_err(|e| SweepError::Encode {
+            key: "<artifact>".into(),
+            msg: e.to_string(),
+        })
+    }
+
+    /// Render the human-readable report printed after a merge.
+    fn report(&self, rows: &[Self::Row]) -> String;
+}
+
+/// How to execute a sweep run.
+#[derive(Debug, Clone)]
+pub enum Executor {
+    /// The whole grid in this process (rayon fan-out unless the sweep
+    /// asks for serial execution).
+    InProcess,
+    /// Only the points of one shard, in this process.
+    Shard(Shard),
+    /// Spawn `count` worker subprocesses (`exe args... --shard k/N
+    /// --out-dir ... [--resume]`), one per shard.
+    Workers {
+        /// Worker executable (usually `std::env::current_exe()`).
+        exe: PathBuf,
+        /// Arguments before the engine-appended `--shard`/`--out-dir`.
+        args: Vec<String>,
+        /// Number of shards.
+        count: u32,
+    },
+}
+
+impl Executor {
+    fn shard(&self) -> Shard {
+        match self {
+            Executor::InProcess | Executor::Workers { .. } => Shard::WHOLE,
+            Executor::Shard(s) => *s,
+        }
+    }
+}
+
+/// Where and how a sweep runs.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// How to execute.
+    pub executor: Executor,
+    /// Directory for journals and the merged artifact.
+    pub out_dir: PathBuf,
+    /// Replay the journal and skip completed points instead of starting
+    /// over.
+    pub resume: bool,
+    /// Echo per-point progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            executor: Executor::InProcess,
+            out_dir: PathBuf::from("."),
+            resume: false,
+            verbose: false,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The journal path for `sweep`'s shard under this config.
+    pub fn journal_path(&self, sweep_name: &str, shard: Shard) -> PathBuf {
+        self.out_dir.join(format!(
+            "{sweep_name}.shard-{}of{}.jsonl",
+            shard.index, shard.count
+        ))
+    }
+}
+
+/// What a run executed (one shard's view).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Which shard ran.
+    pub shard: Shard,
+    /// Final progress counters (total = points in this shard).
+    pub progress: ProgressSnapshot,
+    /// The journal the run streamed into.
+    pub journal: PathBuf,
+}
+
+/// What a merge produced.
+#[derive(Debug, Clone)]
+pub struct MergeSummary {
+    /// Points merged (always the full grid).
+    pub points: usize,
+    /// Journal fragments consumed.
+    pub fragments: usize,
+    /// Path of the written artifact, if the sweep defines one.
+    pub artifact: Option<PathBuf>,
+    /// The sweep's rendered report.
+    pub report: String,
+}
+
+/// Object-safe driver facade over [`Sweep`] (the `experiments` bin holds
+/// sweeps as `Box<dyn SweepRunner>`). Blanket-implemented for every
+/// `Sweep`.
+pub trait SweepRunner: Sync {
+    /// The sweep's name.
+    fn name(&self) -> &'static str;
+    /// Total points in the grid.
+    fn total_points(&self) -> usize;
+    /// Execute per the config, streaming results into the journal.
+    fn run(&self, cfg: &SweepConfig) -> Result<RunSummary, SweepError>;
+    /// Merge the journals in `cfg.out_dir`: validate, verify, write the
+    /// artifact, render the report.
+    fn merge(&self, cfg: &SweepConfig) -> Result<MergeSummary, SweepError>;
+}
+
+impl<S: Sweep> SweepRunner for S {
+    fn name(&self) -> &'static str {
+        Sweep::name(self)
+    }
+
+    fn total_points(&self) -> usize {
+        self.points().len()
+    }
+
+    fn run(&self, cfg: &SweepConfig) -> Result<RunSummary, SweepError> {
+        if let Executor::Workers { exe, args, count } = &cfg.executor {
+            shard::spawn_shard_workers(exe, args, *count, &cfg.out_dir, cfg.resume)?;
+            return Ok(RunSummary {
+                shard: Shard::WHOLE,
+                progress: ProgressSnapshot {
+                    total: self.total_points() as u64,
+                    ..ProgressSnapshot::default()
+                },
+                journal: cfg.out_dir.clone(),
+            });
+        }
+        run_shard(self, cfg)
+    }
+
+    fn merge(&self, cfg: &SweepConfig) -> Result<MergeSummary, SweepError> {
+        merge(self, cfg)
+    }
+}
+
+/// Keys of the full grid, in canonical order plus as a set, validated
+/// unique.
+fn spec_keys<S: Sweep>(
+    sweep: &S,
+    points: &[S::Point],
+) -> Result<(Vec<String>, BTreeSet<String>), SweepError> {
+    let keys: Vec<String> = points.iter().map(|p| sweep.key(p)).collect();
+    let mut seen = BTreeSet::new();
+    for k in &keys {
+        if !seen.insert(k.clone()) {
+            return Err(SweepError::DuplicateKey { key: k.clone() });
+        }
+    }
+    Ok((keys, seen))
+}
+
+/// Run one shard of the sweep in-process, streaming each completed point
+/// into the shard's journal.
+fn run_shard<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<RunSummary, SweepError> {
+    let shard = cfg.executor.shard();
+    let points = sweep.points();
+    let (keys, key_set) = spec_keys(sweep, &points)?;
+    let journal_path = cfg.journal_path(Sweep::name(sweep), shard);
+
+    // Resume: replay the journal, keep only entries this shard owns and
+    // the spec still enumerates, and rewrite the file clean (dropping
+    // any truncated tail) before appending to it.
+    let mut done: BTreeSet<String> = BTreeSet::new();
+    if cfg.resume {
+        let existing = journal::load(&journal_path)?;
+        for e in &existing {
+            if !key_set.contains(&e.key) {
+                return Err(SweepError::UnknownKey { key: e.key.clone() });
+            }
+            if !shard.owns(&e.key) {
+                return Err(SweepError::Journal {
+                    path: journal_path.clone(),
+                    line: 0,
+                    msg: format!("entry {:?} does not belong to shard {shard}", e.key),
+                });
+            }
+            if !done.insert(e.key.clone()) {
+                return Err(SweepError::DuplicateKey { key: e.key.clone() });
+            }
+        }
+        journal::rewrite(&journal_path, &existing)?;
+    } else if journal_path.exists() {
+        fs::remove_file(&journal_path).map_err(|e| SweepError::io(&journal_path, e))?;
+    }
+
+    let todo: Vec<(usize, &S::Point)> = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| shard.owns(&keys[*i]) && !done.contains(&keys[*i]))
+        .collect();
+    let in_shard = keys.iter().filter(|k| shard.owns(k)).count();
+
+    let progress = SweepProgress::with_total(in_shard as u64);
+    progress.points_skipped(done.len() as u64);
+    if cfg.verbose && !done.is_empty() {
+        eprintln!(
+            "{} {shard}: resumed {} completed point(s) from journal",
+            Sweep::name(sweep),
+            done.len()
+        );
+    }
+
+    let writer = Mutex::new(Journal::append_to(&journal_path)?);
+    let complete_one = |(i, point): &(usize, &S::Point)| -> Result<(), SweepError> {
+        let key = &keys[*i];
+        let row = sweep.run_point(point);
+        let entry = JournalEntry::encode(key, &row)?;
+        writer
+            .lock()
+            .expect("journal writer poisoned")
+            .append(&entry)?;
+        let snap = progress.point_completed();
+        if cfg.verbose {
+            eprintln!("{} {shard} {snap} {key}", Sweep::name(sweep));
+        }
+        Ok(())
+    };
+    let result: Result<Vec<()>, SweepError> = if sweep.parallel() {
+        todo.par_iter().map(complete_one).collect()
+    } else {
+        todo.iter().map(complete_one).collect()
+    };
+    if result.is_err() {
+        progress.point_failed();
+    }
+    result?;
+
+    Ok(RunSummary {
+        shard,
+        progress: progress.snapshot(),
+        journal: journal_path,
+    })
+}
+
+/// Replay every `<name>.shard-*.jsonl` fragment in `cfg.out_dir`,
+/// validate the key set against the spec (no duplicates, no gaps, no
+/// strays), order rows canonically, re-run the sweep's cross-point
+/// assertions, and write the artifact.
+pub fn merge<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<MergeSummary, SweepError> {
+    let points = sweep.points();
+    let (keys, key_set) = spec_keys(sweep, &points)?;
+
+    let prefix = format!("{}.shard-", Sweep::name(sweep));
+    let mut fragments: Vec<PathBuf> = fs::read_dir(&cfg.out_dir)
+        .map_err(|e| SweepError::io(&cfg.out_dir, e))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".jsonl"))
+        })
+        .collect();
+    fragments.sort();
+
+    let mut by_key: BTreeMap<String, JournalEntry> = BTreeMap::new();
+    for path in &fragments {
+        for entry in journal::load(path)? {
+            if !key_set.contains(&entry.key) {
+                return Err(SweepError::UnknownKey { key: entry.key });
+            }
+            let key = entry.key.clone();
+            if by_key.insert(key.clone(), entry).is_some() {
+                return Err(SweepError::DuplicateKey { key });
+            }
+        }
+    }
+
+    let missing: Vec<String> = keys
+        .iter()
+        .filter(|k| !by_key.contains_key(*k))
+        .cloned()
+        .collect();
+    if !missing.is_empty() {
+        return Err(SweepError::MissingKeys {
+            sample: missing.iter().take(4).cloned().collect(),
+            count: missing.len(),
+        });
+    }
+
+    // Canonical order: the spec's enumeration order, not hash or
+    // journal-arrival order — this is what makes the merged artifact
+    // byte-identical to a single-process run's.
+    let rows: Vec<S::Row> = keys
+        .iter()
+        .map(|k| by_key[k].decode::<S::Row>())
+        .collect::<Result<_, _>>()?;
+
+    sweep.verify(&rows).map_err(SweepError::Verify)?;
+
+    let artifact = match sweep.artifact() {
+        Some(name) => {
+            let contents = sweep.render_artifact(&rows)?;
+            Some(write_artifact(&cfg.out_dir, name, &contents)?)
+        }
+        None => None,
+    };
+
+    Ok(MergeSummary {
+        points: rows.len(),
+        fragments: fragments.len(),
+        artifact,
+        report: sweep.report(&rows),
+    })
+}
+
+/// The one `--out-dir`-aware artifact writer every bench output goes
+/// through. Creates the directory, writes the file, and *returns* the
+/// error — callers (the CLI bins) exit non-zero instead of printing and
+/// carrying on.
+pub fn write_artifact(out_dir: &Path, name: &str, contents: &str) -> Result<PathBuf, SweepError> {
+    if !out_dir.as_os_str().is_empty() {
+        fs::create_dir_all(out_dir).map_err(|e| SweepError::io(out_dir, e))?;
+    }
+    let path = out_dir.join(name);
+    fs::write(&path, contents).map_err(|e| SweepError::io(&path, e))?;
+    Ok(path)
+}
+
+/// Convenience driver: run the whole grid in-process (with optional
+/// resume) and merge, returning the merge summary. This is what a plain
+/// `experiments <sweep-id>` invocation does.
+pub fn run_and_merge<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<MergeSummary, SweepError> {
+    SweepRunner::run(sweep, cfg)?;
+    merge(sweep, cfg)
+}
+
+/// The light in-process path for experiments that want the fan-out and
+/// progress accounting but no journal/artifact plumbing: run every
+/// point (rayon), preserving point order in the returned rows.
+pub fn run_grid<P, R>(name: &str, points: &[P], run: impl Fn(&P) -> R + Sync) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+{
+    let progress = SweepProgress::with_total(points.len() as u64);
+    let rows: Vec<R> = points
+        .par_iter()
+        .map(|p| {
+            let row = run(p);
+            progress.point_completed();
+            row
+        })
+        .collect();
+    debug_assert!(progress.snapshot().is_complete(), "{name}: grid incomplete");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap synthetic sweep: rows are pure functions of the key.
+    struct TestSweep {
+        n: u32,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct TestRow {
+        key: String,
+        value: f64,
+    }
+
+    impl Sweep for TestSweep {
+        type Point = u32;
+        type Row = TestRow;
+
+        fn name(&self) -> &'static str {
+            "test_sweep"
+        }
+
+        fn points(&self) -> Vec<u32> {
+            (0..self.n).collect()
+        }
+
+        fn key(&self, p: &u32) -> String {
+            format!("p{p:03}")
+        }
+
+        fn run_point(&self, p: &u32) -> TestRow {
+            TestRow {
+                key: format!("p{p:03}"),
+                value: *p as f64 / 3.0,
+            }
+        }
+
+        fn verify(&self, rows: &[TestRow]) -> Result<(), String> {
+            if rows.len() == self.n as usize {
+                Ok(())
+            } else {
+                Err(format!("expected {} rows, got {}", self.n, rows.len()))
+            }
+        }
+
+        fn artifact(&self) -> Option<&'static str> {
+            Some("BENCH_test_sweep.json")
+        }
+
+        fn report(&self, rows: &[TestRow]) -> String {
+            format!("{} rows", rows.len())
+        }
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rsp-sweep-{}", std::process::id()))
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg_in(dir: &Path) -> SweepConfig {
+        SweepConfig {
+            out_dir: dir.to_path_buf(),
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_process_run_and_merge_produces_ordered_artifact() {
+        let sweep = TestSweep { n: 7 };
+        let dir = fresh_dir("single");
+        let summary = run_and_merge(&sweep, &cfg_in(&dir)).unwrap();
+        assert_eq!(summary.points, 7);
+        assert_eq!(summary.fragments, 1);
+        let artifact = fs::read_to_string(summary.artifact.unwrap()).unwrap();
+        let rows: Vec<TestRow> = serde_json::from_str(&artifact).unwrap();
+        assert_eq!(
+            rows,
+            sweep
+                .points()
+                .iter()
+                .map(|p| sweep.run_point(p))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sharded_runs_merge_byte_identically_to_single() {
+        let sweep = TestSweep { n: 11 };
+        let single = fresh_dir("shard-single");
+        let s1 = run_and_merge(&sweep, &cfg_in(&single)).unwrap();
+        let want = fs::read(s1.artifact.unwrap()).unwrap();
+
+        let dir = fresh_dir("shard-split");
+        for index in 0..3 {
+            let cfg = SweepConfig {
+                executor: Executor::Shard(Shard::new(index, 3).unwrap()),
+                ..cfg_in(&dir)
+            };
+            let run = SweepRunner::run(&sweep, &cfg).unwrap();
+            assert_eq!(run.progress.completed, run.progress.total);
+        }
+        let merged = merge(&sweep, &cfg_in(&dir)).unwrap();
+        assert_eq!(merged.fragments, 3);
+        let got = fs::read(merged.artifact.unwrap()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_duplicates_and_strays() {
+        let sweep = TestSweep { n: 5 };
+        let dir = fresh_dir("gaps");
+        let cfg = SweepConfig {
+            executor: Executor::Shard(Shard::new(0, 2).unwrap()),
+            ..cfg_in(&dir)
+        };
+        SweepRunner::run(&sweep, &cfg).unwrap();
+        // Shard 1 never ran → gaps.
+        assert!(matches!(
+            merge(&sweep, &cfg_in(&dir)),
+            Err(SweepError::MissingKeys { .. })
+        ));
+        // Same shard journalled twice under a different shard label → duplicates.
+        let src = cfg.journal_path("test_sweep", Shard::new(0, 2).unwrap());
+        fs::copy(&src, dir.join("test_sweep.shard-0of9.jsonl")).unwrap();
+        assert!(matches!(
+            merge(&sweep, &cfg_in(&dir)),
+            Err(SweepError::DuplicateKey { .. })
+        ));
+        // A key outside the spec → stray: a journal produced by a wider
+        // grid (n = 6 has p005) replayed against the n = 5 spec.
+        let wider = TestSweep { n: 6 };
+        let dir2 = fresh_dir("stray");
+        run_and_merge(&wider, &cfg_in(&dir2)).unwrap();
+        fs::remove_file(dir2.join("BENCH_test_sweep.json")).unwrap();
+        let err = merge(&sweep, &cfg_in(&dir2)).unwrap_err();
+        assert!(
+            matches!(err, SweepError::UnknownKey { ref key } if key == "p005"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn resume_skips_journalled_points_and_completes() {
+        let sweep = TestSweep { n: 9 };
+        let ref_dir = fresh_dir("resume-ref");
+        let want = fs::read(
+            run_and_merge(&sweep, &cfg_in(&ref_dir))
+                .unwrap()
+                .artifact
+                .unwrap(),
+        )
+        .unwrap();
+
+        // Simulate a kill: keep only the first 4 journal lines plus a
+        // truncated tail.
+        let dir = fresh_dir("resume");
+        run_and_merge(&sweep, &cfg_in(&dir)).unwrap();
+        let jpath = dir.join("test_sweep.shard-0of1.jsonl");
+        let text = fs::read_to_string(&jpath).unwrap();
+        let keep: Vec<&str> = text.lines().take(4).collect();
+        fs::write(&jpath, format!("{}\n{{\"key\":\"p0", keep.join("\n"))).unwrap();
+        fs::remove_file(dir.join("BENCH_test_sweep.json")).unwrap();
+
+        let cfg = SweepConfig {
+            resume: true,
+            ..cfg_in(&dir)
+        };
+        let run = SweepRunner::run(&sweep, &cfg).unwrap();
+        assert_eq!(run.progress.skipped, 4);
+        assert_eq!(run.progress.completed, 5);
+        let merged = merge(&sweep, &cfg_in(&dir)).unwrap();
+        assert_eq!(fs::read(merged.artifact.unwrap()).unwrap(), want);
+    }
+
+    #[test]
+    fn run_grid_preserves_point_order() {
+        let points: Vec<u32> = (0..20).collect();
+        let rows = run_grid("order", &points, |p| p * 2);
+        assert_eq!(rows, points.iter().map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn write_artifact_reports_failure() {
+        let dir = fresh_dir("write-fail");
+        // A directory where the file should be → write fails, surfaced
+        // as an error rather than printed-and-ignored.
+        fs::create_dir_all(dir.join("BENCH_x.json")).unwrap();
+        assert!(matches!(
+            write_artifact(&dir, "BENCH_x.json", "{}"),
+            Err(SweepError::Io { .. })
+        ));
+        assert!(write_artifact(&dir, "ok.json", "{}").is_ok());
+    }
+}

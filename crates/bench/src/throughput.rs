@@ -13,8 +13,10 @@
 use rsp_isa::Program;
 use rsp_sim::{BatchRunner, FaultParams, SimConfig, SimReport};
 use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+use crate::sweep::{Sweep, SweepError};
 
 /// Per-program cycle budget. Generous: every class program halts well
 /// under this, so hitting it indicates a simulator bug.
@@ -108,7 +110,7 @@ pub fn faulty_params() -> FaultParams {
 }
 
 /// Measured throughput of one class.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClassResult {
     /// Class name.
     pub name: String,
@@ -130,7 +132,7 @@ pub struct ClassResult {
 }
 
 /// The whole report, serialised to `BENCH_throughput.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputReport {
     /// True when produced with `--quick` (single pass; CI smoke only —
     /// numbers are noisy).
@@ -197,6 +199,106 @@ pub fn measure_all(cfg: &SimConfig, min_wall: Duration, quick: bool) -> Throughp
         quick,
         policy: format!("{:?}", cfg.policy),
         classes,
+    }
+}
+
+/// The throughput harness as a [`Sweep`]: one point per workload class,
+/// keyed by class name, run **serially** (each point times wall clock —
+/// concurrent points would contend for the host CPU and corrupt the
+/// measurement). Rows here are *not* pure functions of their keys (they
+/// carry timing), so unlike the simulation sweeps the merged artifact is
+/// not byte-stable across reruns — but journaling still buys
+/// checkpoint/resume: a killed run resumes without re-measuring finished
+/// classes.
+pub struct ThroughputSweep {
+    classes: Vec<WorkloadClass>,
+    cfg: SimConfig,
+    min_wall: Duration,
+    quick: bool,
+}
+
+impl ThroughputSweep {
+    /// All standard classes under `cfg`, `min_wall` per class.
+    pub fn new(cfg: SimConfig, min_wall: Duration, quick: bool) -> ThroughputSweep {
+        ThroughputSweep {
+            classes: workload_classes(),
+            cfg,
+            min_wall,
+            quick,
+        }
+    }
+}
+
+impl Sweep for ThroughputSweep {
+    type Point = String;
+    type Row = ClassResult;
+
+    fn name(&self) -> &'static str {
+        "throughput"
+    }
+
+    fn points(&self) -> Vec<String> {
+        self.classes.iter().map(|c| c.name.to_string()).collect()
+    }
+
+    fn key(&self, point: &String) -> String {
+        point.clone()
+    }
+
+    fn run_point(&self, point: &String) -> ClassResult {
+        let class = self
+            .classes
+            .iter()
+            .find(|c| c.name == point)
+            .expect("point references a standard class");
+        measure_class(&self.cfg, class, self.min_wall)
+    }
+
+    fn parallel(&self) -> bool {
+        false
+    }
+
+    fn verify(&self, rows: &[ClassResult]) -> Result<(), String> {
+        for r in rows {
+            if r.cycles_per_sec <= 0.0 || !r.cycles_per_sec.is_finite() || r.sim_cycles == 0 {
+                return Err(format!("class {} measured no progress", r.name));
+            }
+        }
+        Ok(())
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("BENCH_throughput.json")
+    }
+
+    fn render_artifact(&self, rows: &[ClassResult]) -> Result<String, SweepError> {
+        let report = ThroughputReport {
+            quick: self.quick,
+            policy: format!("{:?}", self.cfg.policy),
+            classes: rows.to_vec(),
+        };
+        serde_json::to_string_pretty(&report).map_err(|e| SweepError::Encode {
+            key: "<artifact>".into(),
+            msg: e.to_string(),
+        })
+    }
+
+    fn report(&self, rows: &[ClassResult]) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<16} {:>9} {:>7} {:>14} {:>12} {:>15}",
+            "class", "programs", "passes", "sim cycles", "wall (s)", "cycles/sec"
+        );
+        for c in rows {
+            let _ = writeln!(
+                s,
+                "{:<16} {:>9} {:>7} {:>14} {:>12.3} {:>15.0}",
+                c.name, c.programs, c.passes, c.sim_cycles, c.wall_seconds, c.cycles_per_sec
+            );
+        }
+        s
     }
 }
 

@@ -1,0 +1,155 @@
+//! Property tests for the sweep engine's merge invariants, on the real
+//! (reduced) fault sweep:
+//!
+//! * splitting a run's journal lines into an arbitrary number of shard
+//!   fragments, in any interleaving, merges into a `BENCH_*.json`
+//!   byte-identical to the single-process run's;
+//! * a journal truncated at an arbitrary point (a killed run, possibly
+//!   mid-line) resumes to completion and merges byte-identically;
+//! * actually re-running the grid as `--shard k/N` style shard runs
+//!   reproduces the artifact bytes too (rows are pure functions of their
+//!   keys — the fault schedule is open-loop).
+//!
+//! The canonical single-process run happens once (`OnceLock`); the
+//! properties then mostly shuffle journal *lines*, so the per-case cost
+//! is parsing and merging, not re-simulation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rsp_bench::experiments::faults::FaultSweep;
+use rsp_bench::sweep::{self, Executor, Shard, SweepConfig, SweepRunner};
+
+/// The canonical single-process run of the reduced fault sweep: its
+/// journal lines and its artifact bytes.
+struct Canonical {
+    lines: Vec<String>,
+    artifact: Vec<u8>,
+}
+
+fn canonical() -> &'static Canonical {
+    static CANON: OnceLock<Canonical> = OnceLock::new();
+    CANON.get_or_init(|| {
+        let dir = fresh_dir("canonical");
+        let sweep = FaultSweep::reduced();
+        let summary = sweep::run_and_merge(&sweep, &cfg_in(&dir)).expect("canonical run");
+        let artifact = fs::read(summary.artifact.expect("fault sweep writes an artifact"))
+            .expect("read canonical artifact");
+        let journal = fs::read_to_string(dir.join("fault_sweep.shard-0of1.jsonl"))
+            .expect("read canonical journal");
+        let lines: Vec<String> = journal.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 8, "reduced grid is 2 workloads x 2 x 2");
+        Canonical { lines, artifact }
+    })
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir()
+        .join(format!("rsp-sweep-props-{}", std::process::id()))
+        .join(format!("{name}-{}", SEQ.fetch_add(1, Ordering::Relaxed)));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg_in(dir: &Path) -> SweepConfig {
+    SweepConfig {
+        out_dir: dir.to_path_buf(),
+        ..SweepConfig::default()
+    }
+}
+
+fn merged_bytes(dir: &Path) -> Vec<u8> {
+    let sweep = FaultSweep::reduced();
+    let summary = sweep::merge(&sweep, &cfg_in(dir)).expect("merge succeeds");
+    fs::read(summary.artifact.expect("artifact written")).expect("read artifact")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any assignment of journal lines to any number of shard fragments,
+    /// written in any order, merges byte-identically to the
+    /// single-process artifact.
+    #[test]
+    fn any_fragmenting_and_interleaving_merges_identically(
+        n in 1usize..=5,
+        assign in proptest::collection::vec(0usize..5, 8),
+        prio in proptest::collection::vec(0u64..1_000_000, 8),
+    ) {
+        let canon = canonical();
+        let dir = fresh_dir("fragment");
+        // Order lines by an arbitrary priority, then deal each to an
+        // arbitrary fragment (mod n) — neither respects hash-based shard
+        // ownership, which merge must not require.
+        let mut order: Vec<usize> = (0..canon.lines.len()).collect();
+        order.sort_by_key(|&i| (prio[i], i));
+        let mut fragments: Vec<Vec<&str>> = vec![Vec::new(); n];
+        for &i in &order {
+            fragments[assign[i] % n].push(&canon.lines[i]);
+        }
+        for (k, lines) in fragments.iter().enumerate() {
+            // Empty fragments are written too: merge must tolerate them.
+            let mut text = lines.join("\n");
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            fs::write(dir.join(format!("fault_sweep.shard-{k}of{n}.jsonl")), text).unwrap();
+        }
+        prop_assert_eq!(&merged_bytes(&dir), &canon.artifact);
+    }
+
+    /// A journal truncated at an arbitrary point — k complete lines,
+    /// optionally plus a partial line (the kill arrived mid-write) —
+    /// resumes to completion and merges byte-identically.
+    #[test]
+    fn resume_after_arbitrary_truncation_completes_identically(
+        keep in 0usize..8,
+        cut in 1usize..40,
+        partial in proptest::bool::ANY,
+    ) {
+        let canon = canonical();
+        let dir = fresh_dir("resume");
+        let mut text = String::new();
+        for line in canon.lines.iter().take(keep) {
+            text.push_str(line);
+            text.push('\n');
+        }
+        if partial {
+            let tail = &canon.lines[keep];
+            text.push_str(&tail[..cut.min(tail.len() - 1)]);
+        }
+        fs::write(dir.join("fault_sweep.shard-0of1.jsonl"), text).unwrap();
+
+        let sweep = FaultSweep::reduced();
+        let cfg = SweepConfig { resume: true, ..cfg_in(&dir) };
+        let run = SweepRunner::run(&sweep, &cfg).expect("resume run");
+        prop_assert_eq!(run.progress.skipped, keep as u64);
+        prop_assert_eq!(run.progress.completed, (8 - keep) as u64);
+        prop_assert_eq!(&merged_bytes(&dir), &canon.artifact);
+    }
+}
+
+/// Genuinely re-run the grid as 2 shard processes' worth of work (same
+/// code path as `experiments fault-sweep --shard k/2`) and check the
+/// merged artifact bytes — this one re-simulates, proving rows are pure
+/// functions of their keys across runs, not just that merge shuffles
+/// lines correctly.
+#[test]
+fn two_shard_rerun_reproduces_artifact_bytes() {
+    let canon = canonical();
+    let dir = fresh_dir("shard-rerun");
+    let sweep = FaultSweep::reduced();
+    for index in 0..2 {
+        let cfg = SweepConfig {
+            executor: Executor::Shard(Shard::new(index, 2).unwrap()),
+            ..cfg_in(&dir)
+        };
+        SweepRunner::run(&sweep, &cfg).expect("shard run");
+    }
+    assert_eq!(merged_bytes(&dir), canon.artifact);
+}

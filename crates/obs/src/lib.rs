@@ -14,8 +14,12 @@
 //!   [`RingSink`] keeps the last N in a pre-allocated ring and exports
 //!   JSON Lines for the `rsp-timeline` analyzer.
 //!
-//! [`Telemetry`] bundles the three behind a single handle the simulator
-//! owns. **Overhead policy:** a disabled handle reduces every emit to
+//! A fourth, host-side layer — [`SweepProgress`] — tallies experiment
+//! sweep progress (points completed / resumed / failed) for the
+//! `rsp-bench` sweep engine; it counts host work, not simulated events.
+//!
+//! [`Telemetry`] bundles the first three behind a single handle the
+//! simulator owns. **Overhead policy:** a disabled handle reduces every emit to
 //! one branch; an enabled handle never allocates after construction
 //! (events are `Copy`, the registry is fixed arrays, the ring is
 //! pre-allocated) — the zero-alloc test pins the disabled case and the
@@ -26,6 +30,7 @@
 
 mod event;
 mod metrics;
+mod progress;
 mod sink;
 
 pub use event::{Event, StallCause, Stamped, MAX_CANDIDATES};
@@ -33,6 +38,7 @@ pub use metrics::{
     Counter, CounterValue, CycleHistogram, Histo, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, HIST_BUCKETS, NUM_COUNTERS, NUM_HISTOS,
 };
+pub use progress::{ProgressSnapshot, SweepProgress};
 pub use sink::{EventSink, NoopSink, RingSink};
 
 /// Heads beyond this index skip load-latency pairing (far above any
