@@ -3,24 +3,31 @@
 //! `BENCH_throughput.json` into `--out-dir`.
 //!
 //! ```text
-//! throughput [--quick] [--out-dir DIR] [--seconds N] [--resume]
+//! throughput [--quick] [--out-dir DIR] [--seconds N] [--resume] [--lanes N]
 //! ```
 //!
 //! `--quick` runs a single pass per class (CI smoke); the default runs
 //! each class for ≥ 2 s of wall clock for stable numbers. Classes run
 //! serially (each point is wall-clock timed), journalling each finished
 //! class, so `--resume` restarts a killed run without re-measuring
-//! completed classes.
+//! completed classes. `--lanes N` sizes the bit-sliced lane-kernel
+//! class (default 256; must be a positive multiple of 64).
 
-use rsp_bench::throughput::ThroughputSweep;
+use rsp_bench::throughput::{ThroughputSweep, DEFAULT_LANES};
 use rsp_bench::{sweep, SweepConfig};
 use rsp_sim::SimConfig;
 use std::path::PathBuf;
 use std::time::Duration;
 
+const USAGE: &str =
+    "usage: throughput [--quick] [--out-dir DIR] [--seconds N] [--resume] [--lanes N]";
+
+// `is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.82.
+#[allow(unknown_lints, clippy::manual_is_multiple_of)]
 fn main() {
     let mut quick = false;
     let mut seconds: f64 = 2.0;
+    let mut lanes = DEFAULT_LANES;
     let mut cfg = SweepConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -37,8 +44,20 @@ fn main() {
                     .parse()
                     .expect("--seconds needs a number")
             }
+            "--lanes" => {
+                lanes = args
+                    .next()
+                    .expect("--lanes needs a number")
+                    .parse()
+                    .expect("--lanes needs a number");
+                if lanes == 0 || lanes % 64 != 0 {
+                    eprintln!("error: --lanes must be a positive multiple of 64, got {lanes}");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: throughput [--quick] [--out-dir DIR] [--seconds N] [--resume]");
+                eprintln!("{USAGE}");
                 return;
             }
             other => panic!("unknown argument {other:?}"),
@@ -50,7 +69,7 @@ fn main() {
         Duration::from_secs_f64(seconds)
     };
 
-    let harness = ThroughputSweep::new(SimConfig::default(), min_wall, quick);
+    let harness = ThroughputSweep::new(SimConfig::default(), min_wall, quick).with_lanes(lanes);
     match sweep::run_and_merge(&harness, &cfg) {
         Ok(merged) => {
             print!("{}", merged.report);

@@ -10,9 +10,11 @@
 //! the steady-state Criterion benchmark in `benches/end_to_end.rs`
 //! reuses [`workload_classes`].
 
+use rsp_isa::units::UnitType;
 use rsp_isa::Program;
+use rsp_sim::lanes::{LaneRunner, LaneStimulus};
 use rsp_sim::{BatchRunner, FaultParams, SimConfig, SimReport};
-use rsp_workloads::{kernels, PhasedSpec, SynthSpec, UnitMix};
+use rsp_workloads::{kernels, LaneTraceSpec, PhasedSpec, SynthSpec, UnitMix};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -94,6 +96,81 @@ pub fn workload_classes() -> Vec<WorkloadClass> {
         faults: faulty_params(),
     });
     classes
+}
+
+/// Name of the bit-sliced lane-kernel throughput class.
+pub const LANES_CLASS: &str = "lanes-synthetic-mix";
+
+/// Lanes the lane-kernel class steps by default (a multiple of 64).
+pub const DEFAULT_LANES: usize = 256;
+
+/// Stimulus trace length for the lanes class (replayed cyclically).
+const LANE_TRACE_CYCLES: u32 = 512;
+
+/// Kernel steps per timed pass of the lanes class.
+const LANE_PASS_CYCLES: u64 = 4_096;
+
+/// The lanes class's demand stimulus: the four named synthetic mixes
+/// phased per lane with per-lane offsets ([`LaneTraceSpec`]'s
+/// `synthetic_mix`), pre-transposed into bit planes. Deterministic, so
+/// numbers are comparable across builds.
+pub fn lanes_stimulus(cfg: &SimConfig, lanes: usize) -> LaneStimulus {
+    let mut spec = LaneTraceSpec::synthetic_mix(LANE_TRACE_CYCLES, 0xA5E5);
+    spec.queue_len = spec.queue_len.min(cfg.queue_size as u8);
+    let mut stim = LaneStimulus::new(
+        lanes,
+        LANE_TRACE_CYCLES as usize,
+        cfg.queue_size,
+        cfg.fabric.rfu_slots,
+    );
+    let mut row = [UnitType::IntAlu; 7];
+    for lane in 0..lanes {
+        for (cycle, r) in spec.generate_lane(lane).iter().enumerate() {
+            let n = r.len as usize;
+            for (e, slot) in row[..n].iter_mut().enumerate() {
+                *slot = UnitType::from_index(r.types[e] as usize).expect("valid type index");
+            }
+            stim.set_row(lane, cycle, &row[..n]);
+        }
+    }
+    stim
+}
+
+/// Measure the bit-sliced lane kernel: `lanes` synthetic-mix machines
+/// stepped in lockstep until `min_wall` fills (at least one pass). The
+/// headline `cycles_per_sec` is **aggregate lane-cycles** per
+/// wall-second — comparable against the scalar `synthetic-mix` class's
+/// per-machine rate to read off the kernel's speedup. Lanes retire no
+/// instructions (they run the steering loop, not the pipeline), so
+/// `retired` is 0 and `programs` counts lanes.
+pub fn measure_lanes(cfg: &SimConfig, lanes: usize, min_wall: Duration) -> ClassResult {
+    let stim = lanes_stimulus(cfg, lanes);
+    let mut runner = LaneRunner::new(cfg, stim).expect("lane-capable config");
+    let mut passes = 0u64;
+    let started = Instant::now();
+    loop {
+        runner.run(LANE_PASS_CYCLES);
+        passes += 1;
+        if started.elapsed() >= min_wall {
+            break;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let sum = runner.summary();
+    assert!(
+        sum.loads_started > 0 && sum.selection_changes > 0,
+        "lanes class must exercise steering, not just idle lanes"
+    );
+    ClassResult {
+        name: LANES_CLASS.to_string(),
+        programs: lanes,
+        passes,
+        sim_cycles: sum.lane_cycles,
+        retired: 0,
+        wall_seconds: wall,
+        cycles_per_sec: sum.lane_cycles as f64 / wall,
+        instrs_per_sec: 0.0,
+    }
 }
 
 /// The fault environment of the `faulty` throughput class (and the
@@ -215,17 +292,28 @@ pub struct ThroughputSweep {
     cfg: SimConfig,
     min_wall: Duration,
     quick: bool,
+    lanes: usize,
 }
 
 impl ThroughputSweep {
-    /// All standard classes under `cfg`, `min_wall` per class.
+    /// All standard classes under `cfg`, `min_wall` per class. The
+    /// lane-kernel class runs with [`DEFAULT_LANES`] lanes; see
+    /// [`ThroughputSweep::with_lanes`].
     pub fn new(cfg: SimConfig, min_wall: Duration, quick: bool) -> ThroughputSweep {
         ThroughputSweep {
             classes: workload_classes(),
             cfg,
             min_wall,
             quick,
+            lanes: DEFAULT_LANES,
         }
+    }
+
+    /// Set the lane count of the lane-kernel class (must be a positive
+    /// multiple of 64 — [`rsp_sim::lanes::LaneBatch`] enforces it).
+    pub fn with_lanes(mut self, lanes: usize) -> ThroughputSweep {
+        self.lanes = lanes;
+        self
     }
 }
 
@@ -238,7 +326,9 @@ impl Sweep for ThroughputSweep {
     }
 
     fn points(&self) -> Vec<String> {
-        self.classes.iter().map(|c| c.name.to_string()).collect()
+        let mut pts: Vec<String> = self.classes.iter().map(|c| c.name.to_string()).collect();
+        pts.push(LANES_CLASS.to_string());
+        pts
     }
 
     fn key(&self, point: &String) -> String {
@@ -246,6 +336,9 @@ impl Sweep for ThroughputSweep {
     }
 
     fn run_point(&self, point: &String) -> ClassResult {
+        if point == LANES_CLASS {
+            return measure_lanes(&self.cfg, self.lanes, self.min_wall);
+        }
         let class = self
             .classes
             .iter()
@@ -296,6 +389,18 @@ impl Sweep for ThroughputSweep {
                 s,
                 "{:<16} {:>9} {:>7} {:>14} {:>12.3} {:>15.0}",
                 c.name, c.programs, c.passes, c.sim_cycles, c.wall_seconds, c.cycles_per_sec
+            );
+        }
+        // Lane-kernel headline: aggregate lane-cycles/sec over the
+        // scalar per-machine rate on the same synthetic-mix demand.
+        let scalar = rows.iter().find(|c| c.name == "synthetic-mix");
+        let lanes = rows.iter().find(|c| c.name == LANES_CLASS);
+        if let (Some(scalar), Some(lanes)) = (scalar, lanes) {
+            let _ = writeln!(
+                s,
+                "lanes speedup: {:.1}x aggregate over scalar synthetic-mix ({} lanes)",
+                lanes.cycles_per_sec / scalar.cycles_per_sec,
+                lanes.programs
             );
         }
         s

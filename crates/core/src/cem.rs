@@ -102,10 +102,19 @@ impl CemUnit {
     #[inline]
     pub fn term(&self, required: u8, available: u8) -> u32 {
         let r = required.min(7) as u32; // 3-bit hardware quantity
-        match self.kind {
+        let t = match self.kind {
             CemKind::BarrelShifter => (r >> shift_for_quantity(available)) * ERROR_SCALE,
             CemKind::ExactDivider => r * ERROR_SCALE / (available.max(1) as u32),
+        };
+        #[cfg(debug_assertions)]
+        if self.kind == CemKind::BarrelShifter {
+            debug_assert_eq!(
+                t,
+                cem_term_spec(required, available),
+                "CemUnit::term diverged from its specification"
+            );
         }
+        t
     }
 
     /// The raw (unscaled) 3-bit-adder-tree error of the shifter hardware:
@@ -147,6 +156,42 @@ impl CemUnit {
             })
             .collect()
     }
+}
+
+/// One barrel-shifter CEM term as a pure gate-level specification
+/// (mirroring the `*_scan` idiom of `rsp-fabric`): clamp both operands
+/// to their 3-bit hardware quantities, derive the shift from the upper
+/// two availability bits exactly as Fig. 3(c) wires them, shift, scale.
+/// [`CemUnit::term`] cross-checks against this in debug builds; the
+/// bit-sliced lane kernel's differential tests compare against it
+/// directly, not against CEM internals.
+pub fn cem_term_spec(required: u8, available: u8) -> u32 {
+    // 3-bit hardware quantities; Fig. 3(c) wires the shift select from
+    // the upper two availability bits.
+    let r = required.min(7);
+    let q = available.min(7);
+    let s2 = q & 0b100 != 0;
+    let s1 = !s2 && (q & 0b010 != 0);
+    let shifted = if s2 {
+        r >> 2
+    } else if s1 {
+        r >> 1
+    } else {
+        r
+    };
+    (shifted as u32) * ERROR_SCALE
+}
+
+/// The full five-type barrel-shifter CEM as a specification: the sum of
+/// the per-type [`cem_term_spec`] terms. Equal to
+/// `CemUnit::PAPER.error(..)` for every input (a proptest pins this),
+/// and to `ERROR_SCALE ×` [`CemUnit::raw_error`] whenever total demand
+/// fits the paper's 7-entry queue.
+pub fn cem_error_spec(required: &TypeCounts, available: &TypeCounts) -> u32 {
+    UnitType::ALL
+        .iter()
+        .map(|&t| cem_term_spec(required.get(t), available.get(t)))
+        .sum()
 }
 
 /// One row of a CEM trace.
@@ -298,6 +343,33 @@ mod tests {
                 more.add(UnitType::from_index(bump).unwrap(), 1);
                 prop_assert!(kind.error(&more, &avail) >= base);
             }
+        }
+
+        /// The pure specification matches the shifter implementation on
+        /// every input, term-wise and summed.
+        #[test]
+        fn prop_spec_matches_shifter(req in arb_counts(31), avail in arb_counts(31)) {
+            prop_assert_eq!(CemUnit::PAPER.error(&req, &avail), cem_error_spec(&req, &avail));
+            for &t in &UnitType::ALL {
+                prop_assert_eq!(
+                    CemUnit::PAPER.term(req.get(t), avail.get(t)),
+                    cem_term_spec(req.get(t), avail.get(t))
+                );
+            }
+        }
+
+        /// Within the paper's queue bound the spec is the scaled 3-bit
+        /// raw error — the width claim, restated against the spec.
+        #[test]
+        fn prop_spec_is_scaled_raw_error(req in arb_counts(2), avail in arb_counts(7)) {
+            // The vendored proptest has no prop_assume!; skip over-bound draws.
+            if req.total() > 7 {
+                return;
+            }
+            prop_assert_eq!(
+                cem_error_spec(&req, &avail),
+                ERROR_SCALE * CemUnit::PAPER.raw_error(&req, &avail) as u32
+            );
         }
 
         /// Error is antitone in supply: more available units of any type

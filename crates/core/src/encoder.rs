@@ -49,7 +49,7 @@ impl RequirementEncoder {
     }
 
     fn clamp(&self, counts: TypeCounts) -> TypeCounts {
-        match self.saturate_at {
+        let clamped = match self.saturate_at {
             Some(7) => counts.saturating_3bit(),
             Some(n) => {
                 let mut c = counts;
@@ -59,8 +59,47 @@ impl RequirementEncoder {
                 c
             }
             None => counts,
-        }
+        };
+        debug_assert_eq!(
+            clamped,
+            requirement_counts_spec(counts, self.saturate_at),
+            "RequirementEncoder diverged from its specification"
+        );
+        clamped
     }
+}
+
+/// The stage-2 requirement encoder bank as a pure specification
+/// (mirroring the `*_scan` idiom of `rsp-fabric`): per unit type, count
+/// the asserted decoder outputs and saturate the 3-bit (or `width`-wide)
+/// hardware counter. [`RequirementEncoder`] is cross-checked against
+/// this in debug builds; the bit-sliced lane kernel's differential tests
+/// compare against it directly, not against encoder internals.
+pub fn requirement_counts_spec(raw: TypeCounts, saturate_at: Option<u8>) -> TypeCounts {
+    let mut out = TypeCounts::ZERO;
+    for &t in &UnitType::ALL {
+        let c = raw.get(t);
+        out.set(
+            t,
+            match saturate_at {
+                Some(w) => c.min(w),
+                None => c,
+            },
+        );
+    }
+    out
+}
+
+/// [`requirement_counts_spec`] applied to a queue snapshot given as unit
+/// types — exactly the view the lane kernel's stage-1 decoders see (one
+/// 3-bit type code per occupied entry). The paper's 3-bit width is
+/// hard-wired here, matching [`RequirementEncoder::PAPER`].
+pub fn requirement_counts_spec_types(entries: &[UnitType]) -> TypeCounts {
+    let mut raw = TypeCounts::ZERO;
+    for &t in entries {
+        raw.add(t, 1);
+    }
+    requirement_counts_spec(raw, Some(7))
 }
 
 #[cfg(test)]
@@ -132,6 +171,29 @@ mod tests {
             prop_assert_eq!(c.total() as usize, hots.len());
             let ideal = RequirementEncoder { saturate_at: None }.encode(&hots);
             prop_assert_eq!(c, ideal);
+        }
+
+        /// The pure specification matches the encoder bank on arbitrary
+        /// queue snapshots, clamped and unclamped.
+        #[test]
+        fn prop_spec_matches_encoder(types in proptest::collection::vec(0usize..5, 0..=12)) {
+            let units: Vec<UnitType> =
+                types.iter().map(|&i| UnitType::from_index(i).unwrap()).collect();
+            let hots: Vec<OneHot> = units.iter().map(|&t| OneHot::of(t)).collect();
+            let mut raw = TypeCounts::ZERO;
+            for &t in &units {
+                raw.add(t, 1);
+            }
+            prop_assert_eq!(
+                RequirementEncoder::PAPER.encode(&hots),
+                requirement_counts_spec(raw, Some(7))
+            );
+            if units.len() <= 7 {
+                prop_assert_eq!(
+                    RequirementEncoder::PAPER.encode(&hots),
+                    requirement_counts_spec_types(&units)
+                );
+            }
         }
     }
 }

@@ -44,9 +44,9 @@ pub mod policy;
 pub mod select;
 pub mod smooth;
 
-pub use cem::{CemKind, CemUnit, ERROR_SCALE};
+pub use cem::{cem_error_spec, cem_term_spec, CemKind, CemUnit, ERROR_SCALE};
 pub use decode::{unit_decoder, OneHot};
-pub use encoder::RequirementEncoder;
+pub use encoder::{requirement_counts_spec, requirement_counts_spec_types, RequirementEncoder};
 pub use loader::{ConfigurationLoader, LoaderStats};
 pub use policy::{DemandDriven, PaperSteering, PolicyOutcome, StaticPolicy, SteeringPolicy};
 pub use select::{ConfigChoice, MinimalErrorSelector, SelectionResult, SelectionUnit, TieBreak};

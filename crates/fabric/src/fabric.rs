@@ -532,6 +532,22 @@ impl Fabric {
         }
     }
 
+    /// Per-slot busy bits packed into a word (bit `s` set iff slot `s`
+    /// belongs to a unit executing a multicycle instruction). This is
+    /// the per-cycle busy *input* the bit-sliced lane kernel replays
+    /// when differentially checking against a scalar machine.
+    ///
+    /// # Panics
+    /// Panics if the fabric has more than 64 slots (the lane kernel's
+    /// replay format is one bit per slot per word).
+    pub fn busy_mask(&self) -> u64 {
+        assert!(self.alloc.len() <= 64, "busy_mask packs at most 64 slots");
+        self.slot_busy
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (s, &b)| m | ((b as u64) << s))
+    }
+
     /// True iff `slot` is part of an in-flight load.
     pub fn slot_loading(&self, slot: usize) -> bool {
         self.loads

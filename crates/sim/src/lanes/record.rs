@@ -1,0 +1,144 @@
+//! Recording scalar steering stimuli and replaying them into lanes.
+//!
+//! The lane kernel evaluates the closed steering loop (selection,
+//! loader, load countdown, fault tick) but not the out-of-order core
+//! that produces the demand it observes. To compare the kernel against
+//! the scalar [`Machine`](crate::processor::Machine) bit-for-bit, we
+//! record the selection unit's per-cycle *inputs* from a scalar run —
+//! the raw demand signature and the fabric busy mask at the steer
+//! stage — together with the scalar's per-cycle *outputs* (choice and
+//! loads started), then replay the inputs through a [`LaneBatch`] and
+//! check the outputs match on every cycle.
+//!
+//! One busy snapshot per cycle serves both consumers in the kernel
+//! (loader span-busy check and fault-tick idle-victim check) because in
+//! the scalar machine busy bits only change before steer (complete /
+//! issue) and at the very end of the cycle (fabric tick).
+
+use super::stimulus::LaneStimulus;
+use crate::config::SimConfig;
+use crate::processor::Processor;
+use rsp_isa::units::TypeCounts;
+use rsp_isa::Program;
+
+/// One steer-stage observation from a scalar run: the policy inputs
+/// seen this cycle and the outcome it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteerRecord {
+    /// Raw ready-demand signature (pre-filter, pre-saturation).
+    pub demand: TypeCounts,
+    /// Fabric busy mask at the steer stage (bit `s` = slot `s` busy).
+    pub busy: u64,
+    /// Two-bit configuration choice, `None` for policies that never
+    /// select (e.g. [`PolicyKind::Static`](crate::config::PolicyKind)).
+    pub chosen: Option<u8>,
+    /// Reconfiguration loads the policy started this cycle.
+    pub loads_started: u8,
+}
+
+/// A scalar run's complete steer log plus its cycle count.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    /// Per-cycle steer observations, index = cycle. May be shorter than
+    /// `cycles`: the halting cycle retires without reaching steer.
+    pub records: Vec<SteerRecord>,
+    /// Total machine cycles the run took (or the cap, if it hit it).
+    pub cycles: u64,
+}
+
+/// Run `program` on the scalar machine under `cfg`, recording the
+/// steer-stage stimulus and outcome of every cycle (up to
+/// `max_cycles`).
+pub fn record_steering(
+    cfg: &SimConfig,
+    program: &Program,
+    max_cycles: u64,
+) -> Result<RecordedRun, String> {
+    let proc = Processor::try_new(cfg.clone()).map_err(|e| e.to_string())?;
+    let mut m = proc.start(program).map_err(|e| e.to_string())?;
+    m.enable_steer_log();
+    while m.cycle() < max_cycles && m.step() {}
+    Ok(RecordedRun {
+        records: m.take_steer_log(),
+        cycles: m.cycle(),
+    })
+}
+
+/// Build a lane stimulus replaying `runs` across `lanes` lanes: lane
+/// `l` replays run `l % runs.len()`. The stimulus covers the longest
+/// run; shorter lanes idle (zero demand, no busy slots) past their
+/// recorded length, so comparisons against the scalar are only
+/// meaningful within each lane's own recorded window.
+pub fn stimulus_from_records(
+    runs: &[RecordedRun],
+    lanes: usize,
+    queue_len: usize,
+    n_slots: usize,
+) -> Result<LaneStimulus, String> {
+    if runs.is_empty() {
+        return Err("no recorded runs to replay".into());
+    }
+    let cycles = runs
+        .iter()
+        .map(|r| r.records.len())
+        .max()
+        .expect("non-empty");
+    if cycles == 0 {
+        return Err("all recorded runs are empty".into());
+    }
+    let mut stim = LaneStimulus::new(lanes, cycles, queue_len, n_slots);
+    for lane in 0..lanes {
+        let run = &runs[lane % runs.len()];
+        for (cycle, rec) in run.records.iter().enumerate() {
+            stim.set_demand_counts(lane, cycle, &rec.demand)?;
+            stim.set_busy_mask(lane, cycle, rec.busy);
+        }
+    }
+    Ok(stim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_workloads::synth::SynthSpec;
+
+    #[test]
+    fn records_and_replays_a_scalar_run() {
+        let cfg = SimConfig::default();
+        let program = SynthSpec {
+            body_len: 80,
+            ..SynthSpec::new("record-smoke", rsp_workloads::UnitMix::INT_HEAVY, 11)
+        }
+        .generate();
+        let run = record_steering(&cfg, &program, 2_000).expect("record");
+        assert!(!run.records.is_empty());
+        assert!(run.cycles as usize >= run.records.len());
+        // The paper policy always chooses something each steer cycle.
+        assert!(run.records.iter().all(|r| r.chosen.is_some()));
+
+        let stim = stimulus_from_records(
+            std::slice::from_ref(&run),
+            128,
+            cfg.queue_size,
+            cfg.fabric.rfu_slots,
+        )
+        .expect("stimulus");
+        assert_eq!(stim.cycles(), run.records.len());
+        // Every lane replays the same single run.
+        for (cycle, rec) in run.records.iter().enumerate() {
+            assert_eq!(stim.busy_mask(0, cycle), rec.busy);
+            assert_eq!(stim.busy_mask(127, cycle), rec.busy);
+            assert_eq!(stim.row(64, cycle).len(), rec.demand.total() as usize);
+        }
+    }
+
+    #[test]
+    fn stimulus_requires_records() {
+        assert!(stimulus_from_records(&[], 64, 7, 8).is_err());
+        let empty = RecordedRun {
+            records: Vec::new(),
+            cycles: 0,
+        };
+        assert!(stimulus_from_records(&[empty], 64, 7, 8).is_err());
+    }
+}

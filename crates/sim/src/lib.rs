@@ -44,6 +44,7 @@ pub mod batch;
 pub mod config;
 pub mod exec;
 pub mod frontend;
+pub mod lanes;
 pub mod processor;
 pub mod rob;
 pub mod stats;
@@ -51,6 +52,7 @@ pub mod trace;
 
 pub use batch::{run_batch, BatchRunner, BatchSummary};
 pub use config::{BranchPrediction, DemandMode, Latencies, PolicyKind, SelectMode, SimConfig};
+pub use lanes::{LaneBatch, LaneRunner, LaneStimulus, LaneSummary};
 pub use processor::{Processor, RunError};
 pub use rsp_fabric::fault::{FaultParams, FaultStats};
 pub use rsp_obs::{MetricsSnapshot, Telemetry};

@@ -26,6 +26,7 @@
 use crate::config::{DemandMode, PolicyKind, SelectMode, SimConfig};
 use crate::exec::{execute, operand_value};
 use crate::frontend::{FetchUnit, FetchedInstr};
+use crate::lanes::SteerRecord;
 use crate::rob::{Rob, RobEntry, Seq, Stage};
 use crate::stats::SimReport;
 use rsp_core::cem::CemUnit;
@@ -248,6 +249,10 @@ pub struct Machine {
     /// Cycle of the most recent selection *change*, open until the next
     /// RFU grant closes the decision-to-grant latency sample.
     pending_decision: Option<u64>,
+    /// When `Some`, every steer stage appends a [`SteerRecord`] — the
+    /// per-cycle (demand, busy-mask, choice) triple the bit-sliced lane
+    /// kernel replays in its differential tests. Off by default.
+    steer_log: Option<Vec<SteerRecord>>,
     // statistics
     retired: u64,
     collisions: u64,
@@ -283,6 +288,7 @@ impl Machine {
             dispatch_stall: None,
             last_choice: None,
             pending_decision: None,
+            steer_log: None,
             cfg,
             cycle: 0,
             halted: false,
@@ -322,6 +328,9 @@ impl Machine {
         self.dispatch_stall = None;
         self.last_choice = None;
         self.pending_decision = None;
+        if let Some(log) = &mut self.steer_log {
+            log.clear();
+        }
         self.cycle = 0;
         self.halted = false;
         self.retired = 0;
@@ -389,6 +398,23 @@ impl Machine {
     /// The telemetry bus (metrics registry + optional event ring).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Start recording a [`SteerRecord`] per cycle — the stimulus the
+    /// bit-sliced lane kernel ([`crate::lanes`]) replays to prove
+    /// bit-identical steering. Cheap (one busy-mask fold and a push per
+    /// cycle), but off by default.
+    pub fn enable_steer_log(&mut self) {
+        self.steer_log = Some(Vec::new());
+    }
+
+    /// Take the recorded steer log (empty if logging was never enabled);
+    /// logging continues if it was on.
+    pub fn take_steer_log(&mut self) -> Vec<SteerRecord> {
+        match &mut self.steer_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Mutable telemetry access (e.g. to drain the event ring mid-run).
@@ -836,9 +862,27 @@ impl Machine {
             DemandMode::Ready => self.wakeup.demand_ready(),
             DemandMode::Unscheduled => self.wakeup.demand_unscheduled(),
         };
+        // Snapshot the busy mask *before* the policy runs: busy bits only
+        // change in complete/issue (both precede steer) and in the fabric
+        // tick (the last stage), so this one snapshot is what both the
+        // loader's span-busy checks and the fault tick's idle-victim
+        // check observed this cycle.
+        let busy = if self.steer_log.is_some() {
+            self.fabric.busy_mask()
+        } else {
+            0
+        };
         let outcome = self
             .policy
             .tick(&demand, &mut self.fabric, &mut self.telemetry);
+        if let Some(log) = &mut self.steer_log {
+            log.push(SteerRecord {
+                demand,
+                busy,
+                chosen: outcome.choice.map(|c| c.two_bit()),
+                loads_started: outcome.loads_started as u8,
+            });
+        }
         if self.telemetry.enabled() {
             if let Some(c) = outcome.choice {
                 if self.last_choice.is_some_and(|prev| prev != c) {

@@ -14,15 +14,19 @@
 //!   tile, checksum, memcpy) with architecturally checkable results.
 //! * [`mixes`] — named demand-signature distributions used by the basis
 //!   search (E6) and the CEM table sweeps.
+//! * [`lanes`] — per-lane queue-snapshot demand traces for the
+//!   bit-sliced lane kernel (phased mixes, per-lane seeds/offsets).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ilp;
 pub mod kernels;
+pub mod lanes;
 pub mod mixes;
 pub mod paper_example;
 pub mod synth;
 
 pub use ilp::chains;
+pub use lanes::{LaneTraceSpec, QueueRow};
 pub use synth::{PhasedSpec, SynthSpec, UnitMix};

@@ -1,0 +1,306 @@
+//! Lane-kernel differential testing: every lane of the bit-sliced
+//! [`LaneBatch`] must be **bit-identical** to the scalar
+//! [`Machine`](rsp::sim::processor::Machine) running the same program
+//! under the same policy, seed, and fault schedule.
+//!
+//! Protocol (two passes over the same configuration):
+//!
+//! 1. **Record** — run each (program, fault-seed) variant on the scalar
+//!    machine with the steer log enabled, capturing the selection
+//!    unit's per-cycle inputs (raw demand, busy mask) and outputs
+//!    (two-bit choice, loads started).
+//! 2. **Replay** — feed the recorded inputs to a [`LaneBatch`] whose
+//!    lanes cycle through the recordings, stepping a fresh scalar
+//!    machine per variant in lockstep, and compare *every cycle*:
+//!    choice, load-start, and CEM scores (lane raw errors ×
+//!    [`ERROR_SCALE`] against the scalar telemetry's
+//!    `SteeringDecision` scores). At each lane's window end the full
+//!    fabric state must match: slot encodings, corruption mask,
+//!    configured/effective counts, loads in flight.
+//!
+//! Covered policies: the paper policy under both tie-break rules, with
+//! and without partial reconfiguration, the fault-aware variant under
+//! a keyed upset + scrub schedule (zombie slots change the availability
+//! shifts mid-run), the static policy, and the EWMA-smoothed variant.
+//! `DemandDriven` is excluded by construction — it scores candidates
+//! with floating-point greedy packing, not the paper's selection
+//! circuit, so it has no lane lowering ([`LaneBatch::new`] rejects it).
+//! Likewise `CemKind::ExactDivider` (the E5 ablation) is rejected: the
+//! lane CEM is the barrel shifter.
+
+use proptest::prelude::*;
+use rsp::obs::{Event, Telemetry};
+use rsp::sim::lanes::{record_steering, stimulus_from_records, LaneBatch, RecordedRun};
+use rsp::sim::{FaultParams, PolicyKind, Processor, SimConfig};
+use rsp::steering::cem::ERROR_SCALE;
+use rsp::steering::select::TieBreak;
+use rsp::workloads::{PhasedSpec, SynthSpec, UnitMix};
+use rsp_isa::Program;
+
+const BUDGET: u64 = 4_000;
+
+/// One scalar variant: a program and the fault seed it runs under.
+struct Variant {
+    program: Program,
+    seed: u64,
+}
+
+fn variants(seeds: &[u64]) -> Vec<Variant> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let program = match i % 3 {
+                0 => PhasedSpec::int_fp_mem(40 + 10 * i, 2, seed).generate(),
+                1 => SynthSpec {
+                    body_len: 90 + 15 * i,
+                    ..SynthSpec::new("lanes-int", UnitMix::INT_HEAVY, seed)
+                }
+                .generate(),
+                _ => SynthSpec {
+                    body_len: 70 + 15 * i,
+                    ..SynthSpec::new("lanes-fp", UnitMix::FP_HEAVY, seed)
+                }
+                .generate(),
+            };
+            Variant { program, seed }
+        })
+        .collect()
+}
+
+/// Record every variant, replay them through a lane batch, and compare
+/// lane-by-lane, cycle-by-cycle against lockstepped scalar machines.
+fn check_lanes(cfg: &SimConfig, variants: &[Variant], lanes: usize) {
+    // Pass 1: record the steering stimulus of every variant.
+    let runs: Vec<RecordedRun> = variants
+        .iter()
+        .map(|v| {
+            let mut c = cfg.clone();
+            c.fabric.faults.seed = v.seed;
+            record_steering(&c, &v.program, BUDGET).expect("record")
+        })
+        .collect();
+    assert!(runs.iter().all(|r| !r.records.is_empty()));
+
+    let stim = stimulus_from_records(&runs, lanes, cfg.queue_size, cfg.fabric.rfu_slots)
+        .expect("stimulus");
+
+    // Pass 2: lockstep replay. One fresh scalar machine per variant,
+    // with ring telemetry so CEM scores can be compared afterwards.
+    let mut batch = LaneBatch::new(cfg, lanes).expect("lane batch");
+    for lane in 0..lanes {
+        batch.set_fault_seed(lane, variants[lane % variants.len()].seed);
+    }
+    let mut machines: Vec<_> = variants
+        .iter()
+        .map(|v| {
+            let mut c = cfg.clone();
+            c.fabric.faults.seed = v.seed;
+            let mut m = Processor::try_new(c)
+                .expect("config valid")
+                .start(&v.program)
+                .expect("program valid");
+            m.set_telemetry(Telemetry::ring(1 << 20));
+            m
+        })
+        .collect();
+
+    // Raw lane errors per (variant, cycle), captured live from the out
+    // planes (lane r < variants.len() replays variant r).
+    let mut lane_scores: Vec<Vec<Vec<u8>>> = vec![Vec::new(); variants.len()];
+
+    for t in 0..stim.cycles() {
+        batch.step(&stim, t);
+        for (r, m) in machines.iter_mut().enumerate() {
+            if t < runs[r].records.len() {
+                assert!(m.step(), "scalar halted before its steer log ended");
+            }
+        }
+        for lane in 0..lanes {
+            let r = lane % runs.len();
+            let Some(rec) = runs[r].records.get(t) else {
+                continue; // lane past its window: free-runs, not compared
+            };
+            assert_eq!(
+                batch.lane_choice(lane),
+                rec.chosen,
+                "lane {lane} cycle {t}: choice diverged"
+            );
+            assert_eq!(
+                batch.lane_started(lane),
+                rec.loads_started > 0,
+                "lane {lane} cycle {t}: load-start diverged"
+            );
+            if rec.chosen.is_some() {
+                if let Some(scores) = lane_scores.get_mut(lane) {
+                    scores.push(batch.lane_raw_errors(lane));
+                }
+            }
+            // Window end: the whole fabric state must match the scalar.
+            if t + 1 == runs[r].records.len() {
+                let f = machines[r].fabric();
+                let alloc: Vec<u8> = f.alloc().encodings().iter().map(|e| e.0).collect();
+                assert_eq!(batch.lane_alloc(lane), alloc, "lane {lane}: alloc diverged");
+                let corrupted: u64 = (0..cfg.fabric.rfu_slots)
+                    .map(|s| (f.slot_corrupted(s) as u64) << s)
+                    .sum();
+                assert_eq!(
+                    batch.lane_corrupted(lane),
+                    corrupted,
+                    "lane {lane}: corruption diverged"
+                );
+                assert_eq!(
+                    batch.lane_configured_counts(lane),
+                    f.configured_counts(),
+                    "lane {lane}: configured counts diverged"
+                );
+                assert_eq!(
+                    batch.lane_effective_counts(lane),
+                    f.effective_counts(),
+                    "lane {lane}: effective counts diverged"
+                );
+                assert_eq!(
+                    batch.lane_load_in_flight(lane).is_some() as usize,
+                    f.loads_in_flight(),
+                    "lane {lane}: in-flight loads diverged"
+                );
+            }
+        }
+    }
+
+    // CEM scores: the scalar telemetry logs one SteeringDecision per
+    // steer cycle; raw lane errors × ERROR_SCALE must match exactly.
+    for (r, m) in machines.iter().enumerate() {
+        let decisions: Vec<_> = m
+            .telemetry()
+            .ring_sink()
+            .expect("ring attached")
+            .events()
+            .into_iter()
+            .filter_map(|s| match s.event {
+                Event::SteeringDecision {
+                    scores, candidates, ..
+                } => Some((scores, candidates)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), lane_scores[r].len());
+        for (t, ((scores, candidates), lane_err)) in
+            decisions.iter().zip(&lane_scores[r]).enumerate()
+        {
+            let want: Vec<u32> = scores[..*candidates as usize].to_vec();
+            let got: Vec<u32> = lane_err.iter().map(|&e| e as u32 * ERROR_SCALE).collect();
+            assert_eq!(got, want, "variant {r} steer {t}: CEM scores diverged");
+        }
+    }
+}
+
+#[test]
+fn paper_policy_lanes_are_bit_identical() {
+    let cfg = SimConfig::default();
+    check_lanes(&cfg, &variants(&[3, 17, 29, 101]), 128);
+}
+
+#[test]
+fn prefer_predefined_full_reload_lanes_match() {
+    let cfg = SimConfig {
+        policy: PolicyKind::Paper {
+            tie: TieBreak::PreferPredefined,
+            cem: rsp::steering::cem::CemKind::BarrelShifter,
+            partial: false,
+            fault_aware: false,
+        },
+        ..SimConfig::default()
+    };
+    check_lanes(&cfg, &variants(&[7, 23, 55]), 64);
+}
+
+#[test]
+fn smoothed_policy_lanes_match() {
+    let cfg = SimConfig {
+        policy: PolicyKind::PaperSmoothed { shift: 2 },
+        ..SimConfig::default()
+    };
+    check_lanes(&cfg, &variants(&[11, 42, 77]), 64);
+}
+
+#[test]
+fn static_policy_lanes_match() {
+    let cfg = SimConfig {
+        policy: PolicyKind::Static,
+        initial_config: Some(0),
+        ..SimConfig::default()
+    };
+    check_lanes(&cfg, &variants(&[5, 13]), 64);
+}
+
+#[test]
+fn fault_aware_lanes_match_under_upsets_and_scrub() {
+    let mut cfg = SimConfig {
+        policy: PolicyKind::PAPER_FAULT_AWARE,
+        ..SimConfig::default()
+    };
+    cfg.fabric.faults = FaultParams {
+        seed: 0, // overridden per variant
+        load_failure_ppm: 0,
+        upset_ppm: 40_000, // heavy: several strikes per recorded window
+        scrub_interval: 300,
+        dead_slots: vec![],
+    };
+    check_lanes(&cfg, &variants(&[19, 31, 63, 87]), 128);
+}
+
+#[test]
+fn fault_naive_paper_policy_sees_upsets_identically() {
+    // Upsets with the *non*-fault-aware paper policy: corruption still
+    // changes effective capacity and zombie reload behaviour.
+    let mut cfg = SimConfig::default();
+    cfg.fabric.faults = FaultParams {
+        seed: 0,
+        load_failure_ppm: 0,
+        upset_ppm: 25_000,
+        scrub_interval: 500,
+        dead_slots: vec![],
+    };
+    check_lanes(&cfg, &variants(&[41, 59]), 64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary programs, seeds, and policy knobs: every lane stays
+    /// bit-identical to the scalar machine.
+    #[test]
+    fn arbitrary_programs_stay_bit_identical(
+        seeds in proptest::collection::vec(any::<u64>(), 2..5),
+        tie_pred in any::<bool>(),
+        partial in any::<bool>(),
+        fault_aware in any::<bool>(),
+        smooth in 0u32..4,
+        upset_ppm in prop_oneof![Just(0u32), 10_000u32..60_000],
+    ) {
+        let mut cfg = SimConfig {
+            policy: if smooth > 0 && !fault_aware {
+                PolicyKind::PaperSmoothed { shift: smooth }
+            } else {
+                PolicyKind::Paper {
+                    tie: if tie_pred { TieBreak::PreferPredefined } else { TieBreak::FavorCurrent },
+                    cem: rsp::steering::cem::CemKind::BarrelShifter,
+                    partial,
+                    fault_aware,
+                }
+            },
+            ..SimConfig::default()
+        };
+        if upset_ppm > 0 {
+            cfg.fabric.faults = FaultParams {
+                seed: 0,
+                load_failure_ppm: 0,
+                upset_ppm,
+                scrub_interval: 400,
+                dead_slots: vec![],
+            };
+        }
+        check_lanes(&cfg, &variants(&seeds), 64);
+    }
+}

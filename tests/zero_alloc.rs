@@ -170,6 +170,76 @@ fn step_with_fault_aware_selection_and_faults_is_allocation_free() {
     let _ = during;
 }
 
+/// The bit-sliced lane kernel's steady-state step must be
+/// allocation-free too: all plane groups live in fixed-size locals, the
+/// state/output planes are preallocated by `LaneBatch::new`, and the
+/// keyed fault draws are pure functions. This covers the selecting,
+/// loading, upset-striking, and scrubbing paths across 256 lanes.
+#[test]
+fn lane_kernel_step_is_allocation_free_in_steady_state() {
+    use rsp::fabric::fault::FaultParams;
+    use rsp::isa::units::TypeCounts;
+    use rsp::sim::lanes::{LaneBatch, LaneStimulus};
+    use rsp::sim::PolicyKind;
+
+    let mut cfg = SimConfig {
+        policy: PolicyKind::PAPER_FAULT_AWARE,
+        ..SimConfig::default()
+    };
+    cfg.fabric.faults = FaultParams {
+        seed: 0xBEEF,
+        upset_ppm: 20_000,
+        load_failure_ppm: 0,
+        scrub_interval: 64,
+        dead_slots: vec![],
+    };
+
+    // A phased demand trace: every lane sweeps int-heavy → fp-heavy →
+    // mem-heavy pressure so selections change and loads start/complete.
+    let lanes = 256;
+    let mut stim = LaneStimulus::new(lanes, 48, cfg.queue_size, cfg.fabric.rfu_slots);
+    let phases = [
+        TypeCounts::new([3, 2, 1, 0, 0]),
+        TypeCounts::new([0, 0, 1, 3, 2]),
+        TypeCounts::new([1, 0, 4, 0, 1]),
+    ];
+    for lane in 0..lanes {
+        for cycle in 0..48 {
+            let demand = &phases[(cycle / 16 + lane) % phases.len()];
+            stim.set_demand_counts(lane, cycle, demand).unwrap();
+            stim.set_busy_mask(lane, cycle, ((lane as u64 + cycle as u64) % 7) & 0x3);
+        }
+    }
+
+    let mut batch = LaneBatch::new(&cfg, lanes).expect("lane batch");
+    for c in 0..200u64 {
+        batch.step(&stim, (c % 48) as usize);
+    }
+
+    let before = allocations();
+    for c in 200..10_200u64 {
+        batch.step(&stim, (c % 48) as usize);
+    }
+    let during = allocations() - before;
+    let stats = *batch.stats();
+    assert!(
+        stats.loads_started > 0 && stats.selection_changes > 0,
+        "steering must actually be live in this run: {stats:?}"
+    );
+    assert!(
+        stats.upsets_injected > 0 && stats.scrub_passes > 0,
+        "fault machinery must actually be live in this run: {stats:?}"
+    );
+
+    #[cfg(all(not(debug_assertions), not(feature = "validate")))]
+    assert_eq!(
+        during, 0,
+        "LaneBatch::step allocated {during} times over 10k steady-state cycles"
+    );
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    let _ = during;
+}
+
 /// The telemetry hooks must cost nothing on the allocator either when
 /// enabled with the no-op sink: counters and histograms live in fixed
 /// arrays, and no event is buffered. (A ring sink *does* pre-allocate
