@@ -7,7 +7,8 @@
 //!             [--shard K/N | --spawn N | --merge]
 //! ```
 //!
-//! Sweep-engine experiments (`e1-ipc`, `fault-sweep`) additionally honour
+//! Sweep-engine experiments (`e1-ipc`, `fault-sweep`,
+//! `serve-saturation`) additionally honour
 //! the sharding flags: `--shard K/N` runs one shard of the grid into a
 //! keyed journal and exits (no merge — run the other shards, then
 //! `--merge`); `--spawn N` forks one worker subprocess per shard and
@@ -173,7 +174,7 @@ fn main() {
             if let Some(sweep) = sweep_runner(id) {
                 drive_sweep(sweep.as_ref(), &cli);
             } else if cli.sweep_flags_used {
-                eprintln!("'{id}' is not a sweep experiment; --shard/--spawn/--merge/--resume need one of: e1-ipc, fault-sweep");
+                eprintln!("'{id}' is not a sweep experiment; --shard/--spawn/--merge/--resume need one of: e1-ipc, fault-sweep, serve-saturation");
                 exit(2);
             } else {
                 match run(id) {

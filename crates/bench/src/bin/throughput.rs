@@ -22,6 +22,19 @@ use std::time::Duration;
 const USAGE: &str =
     "usage: throughput [--quick] [--out-dir DIR] [--seconds N] [--resume] [--lanes N]";
 
+/// Report a usage error and exit 2 (the `experiments` bin's exit-code
+/// convention: 1 = sweep error, 2 = usage).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The flag's value, or a usage error when the argument list ran out.
+fn need(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+}
+
 // `is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.82.
 #[allow(unknown_lints, clippy::manual_is_multiple_of)]
 fn main() {
@@ -33,34 +46,31 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out-dir" => {
-                cfg.out_dir = PathBuf::from(args.next().expect("--out-dir needs a path"))
-            }
+            "--out-dir" => cfg.out_dir = PathBuf::from(need("--out-dir", args.next())),
             "--resume" => cfg.resume = true,
             "--seconds" => {
-                seconds = args
-                    .next()
-                    .expect("--seconds needs a number")
+                seconds = need("--seconds", args.next())
                     .parse()
-                    .expect("--seconds needs a number")
+                    .unwrap_or_else(|_| usage_error("--seconds needs a number"));
+                if seconds.is_nan() || seconds <= 0.0 {
+                    usage_error("--seconds needs a positive number");
+                }
             }
             "--lanes" => {
-                lanes = args
-                    .next()
-                    .expect("--lanes needs a number")
+                lanes = need("--lanes", args.next())
                     .parse()
-                    .expect("--lanes needs a number");
+                    .unwrap_or_else(|_| usage_error("--lanes needs a number"));
                 if lanes == 0 || lanes % 64 != 0 {
-                    eprintln!("error: --lanes must be a positive multiple of 64, got {lanes}");
-                    eprintln!("{USAGE}");
-                    std::process::exit(2);
+                    usage_error(&format!(
+                        "--lanes must be a positive multiple of 64, got {lanes}"
+                    ));
                 }
             }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return;
             }
-            other => panic!("unknown argument {other:?}"),
+            other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
     let min_wall = if quick {

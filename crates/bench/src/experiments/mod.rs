@@ -17,7 +17,7 @@ pub mod faults;
 pub mod figures;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 24] = [
+pub const ALL_IDS: [&str; 25] = [
     "table1",
     "fig1",
     "fig2",
@@ -41,6 +41,7 @@ pub const ALL_IDS: [&str; 24] = [
     "e13-hwcost",
     "e14-predictor",
     "fault-sweep",
+    "serve-saturation",
     "all",
 ];
 
@@ -50,6 +51,7 @@ pub fn sweep_runner(id: &str) -> Option<Box<dyn SweepRunner>> {
     match id {
         "e1-ipc" => Some(Box::new(evals::E1Sweep::new())),
         "fault-sweep" => Some(Box::new(faults::FaultSweep::full())),
+        "serve-saturation" => Some(Box::new(crate::serve_saturation::ServeSaturationSweep)),
         _ => None,
     }
 }

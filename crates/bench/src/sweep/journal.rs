@@ -3,10 +3,15 @@
 //! Every completed grid point is appended to the shard's journal as one
 //! line, `{"key":"<PointKey>","row":{...}}`, flushed immediately so a
 //! killed run loses at most a partial trailing line. Loading tolerates
-//! exactly that: a non-parsing *final* line is treated as truncation and
-//! dropped; a non-parsing line anywhere else is corruption and an error.
-//! Resume rewrites the journal from its valid entries before appending,
-//! so a resumed file is always clean.
+//! exactly that and nothing more: a *torn tail* — a final line that is
+//! not valid JSON **and** is missing its terminating newline (the only
+//! shape a killed write can leave) — is silently dropped. Every other
+//! defect is corruption and an error: a line that is valid JSON but not
+//! a `{"key": <string>, "row": ...}` object is malformed wherever it
+//! sits (truncation cannot produce complete JSON of the wrong shape),
+//! and a newline-terminated line that fails to parse was written whole
+//! and then damaged. Resume rewrites the journal from its valid entries
+//! before appending, so a resumed file is always clean.
 
 use std::fs;
 use std::io::{BufWriter, Write};
@@ -48,21 +53,55 @@ impl JournalEntry {
     }
 
     /// The single JSONL line for this entry (no trailing newline).
-    pub fn to_line(&self) -> String {
+    /// Fallible end to end: a row (or key) the serialiser rejects
+    /// surfaces as [`SweepError::Encode`] instead of killing the shard.
+    pub fn to_line(&self) -> Result<String, SweepError> {
+        let enc = |msg: serde_json::Error| SweepError::Encode {
+            key: self.key.clone(),
+            msg: msg.to_string(),
+        };
         // Field order is fixed by hand so journal bytes are stable.
-        format!(
+        Ok(format!(
             "{{\"key\":{},\"row\":{}}}",
-            serde_json::to_string(&self.key).expect("strings serialise"),
-            serde_json::to_string(&self.row).expect("values serialise"),
-        )
+            serde_json::to_string(&self.key).map_err(enc)?,
+            serde_json::to_string(&self.row).map_err(enc)?,
+        ))
     }
+}
 
-    fn parse(line: &str) -> Option<JournalEntry> {
-        let v: serde_json::Value = serde_json::from_str(line).ok()?;
-        let key = v.get("key")?.as_str()?.to_string();
-        let row = v.get("row")?.clone();
-        Some(JournalEntry { key, row })
-    }
+/// What one journal line turned out to be.
+enum Line {
+    /// A well-formed entry.
+    Entry(JournalEntry),
+    /// Not valid JSON — the shape a partial (killed) write leaves, and
+    /// tolerable only as a newline-less final line.
+    Torn,
+    /// Complete, valid JSON of the wrong shape — corruption wherever it
+    /// appears, because truncation cannot produce it.
+    Malformed(&'static str),
+}
+
+/// Classify one journal line. Distinguishes a torn write (not JSON)
+/// from a malformed-but-complete line (JSON, wrong shape) so the loader
+/// can treat only the former as benign truncation.
+fn classify(line: &str) -> Line {
+    let v: serde_json::Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(_) => return Line::Torn,
+    };
+    let Some(key) = v.get("key") else {
+        return Line::Malformed("entry has no `key` field");
+    };
+    let Some(key) = key.as_str() else {
+        return Line::Malformed("entry `key` is not a string");
+    };
+    let Some(row) = v.get("row") else {
+        return Line::Malformed("entry has no `row` field");
+    };
+    Line::Entry(JournalEntry {
+        key: key.to_string(),
+        row: row.clone(),
+    })
 }
 
 /// An append-only journal writer; every [`Journal::append`] flushes, so
@@ -93,9 +132,10 @@ impl Journal {
         })
     }
 
-    /// Append one entry and flush it to disk.
+    /// Append one entry and flush it to disk. An entry that fails to
+    /// encode is reported (and writes nothing) rather than panicking.
     pub fn append(&mut self, entry: &JournalEntry) -> Result<(), SweepError> {
-        let line = entry.to_line();
+        let line = entry.to_line()?;
         (|| {
             self.writer.write_all(line.as_bytes())?;
             self.writer.write_all(b"\n")?;
@@ -105,9 +145,13 @@ impl Journal {
     }
 }
 
-/// Load every valid entry of a journal file. A final line that does not
-/// parse is truncation (a killed run) and is silently dropped; an
-/// earlier one is corruption and an error. Missing file = empty journal.
+/// Load every valid entry of a journal file. The only defect forgiven
+/// is a torn tail — a final line that is not valid JSON *and* has no
+/// terminating newline, which is what a killed mid-line write leaves;
+/// it is silently dropped. Anything else that fails to classify —
+/// valid JSON of the wrong shape anywhere (including the final line),
+/// or a non-parsing line that was newline-terminated — is corruption
+/// and an error. Missing file = empty journal.
 pub fn load(path: &Path) -> Result<Vec<JournalEntry>, SweepError> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
@@ -120,16 +164,18 @@ pub fn load(path: &Path) -> Result<Vec<JournalEntry>, SweepError> {
         if line.trim().is_empty() {
             continue;
         }
-        match JournalEntry::parse(line) {
-            Some(e) => entries.push(e),
-            None if i == lines.len() - 1 => break, // truncated tail from a kill
-            None => {
-                return Err(SweepError::Journal {
-                    path: path.to_path_buf(),
-                    line: i + 1,
-                    msg: "unparseable entry before end of file".into(),
-                })
-            }
+        let corrupt = |msg: String| {
+            Err(SweepError::Journal {
+                path: path.to_path_buf(),
+                line: i + 1,
+                msg,
+            })
+        };
+        match classify(line) {
+            Line::Entry(e) => entries.push(e),
+            Line::Torn if i == lines.len() - 1 && !text.ends_with('\n') => break,
+            Line::Torn => return corrupt("unparseable complete entry".into()),
+            Line::Malformed(msg) => return corrupt(format!("malformed entry: {msg}")),
         }
     }
     Ok(entries)
@@ -140,7 +186,7 @@ pub fn load(path: &Path) -> Result<Vec<JournalEntry>, SweepError> {
 pub fn rewrite(path: &Path, entries: &[JournalEntry]) -> Result<(), SweepError> {
     let mut text = String::new();
     for e in entries {
-        text.push_str(&e.to_line());
+        text.push_str(&e.to_line()?);
         text.push('\n');
     }
     let tmp = path.with_extension("jsonl.tmp");
@@ -184,16 +230,75 @@ mod tests {
     fn truncated_tail_is_dropped_midfile_corruption_errors() {
         let p = tmp("trunc.jsonl");
         let a = JournalEntry::encode("a", &R { x: 1, y: 2.0 }).unwrap();
-        fs::write(&p, format!("{}\n{{\"key\":\"b\",\"ro", a.to_line())).unwrap();
+        let line = a.to_line().unwrap();
+        fs::write(&p, format!("{line}\n{{\"key\":\"b\",\"ro")).unwrap();
         let got = load(&p).unwrap();
         assert_eq!(got, vec![a.clone()]);
 
         let p2 = tmp("corrupt.jsonl");
-        fs::write(&p2, format!("garbage\n{}\n", a.to_line())).unwrap();
+        fs::write(&p2, format!("garbage\n{line}\n")).unwrap();
         assert!(matches!(
             load(&p2),
             Err(SweepError::Journal { line: 1, .. })
         ));
+    }
+
+    /// A final line that is valid JSON but not a `{"key","row"}` object
+    /// is corruption, not truncation: a torn write cannot leave complete
+    /// JSON of the wrong shape. Likewise a newline-terminated line that
+    /// fails to parse was written whole, so it too is corruption even in
+    /// final position.
+    #[test]
+    fn malformed_but_complete_final_lines_are_corruption() {
+        let a = JournalEntry::encode("a", &R { x: 1, y: 2.0 }).unwrap();
+        let line = a.to_line().unwrap();
+        for (name, tail) in [
+            ("wrong-shape", "{\"kee\":\"b\",\"row\":{}}"), // no `key`
+            ("key-not-string", "{\"key\":3,\"row\":{}}"),
+            ("no-row", "{\"key\":\"b\"}"),
+            ("not-an-object", "42"),
+        ] {
+            // Complete (valid JSON) but malformed: error with or without
+            // the trailing newline.
+            for nl in ["", "\n"] {
+                let p = tmp(&format!("malformed-{name}{}.jsonl", nl.len()));
+                fs::write(&p, format!("{line}\n{tail}{nl}")).unwrap();
+                assert!(
+                    matches!(load(&p), Err(SweepError::Journal { line: 2, .. })),
+                    "{name} (newline: {}) must be corruption",
+                    !nl.is_empty()
+                );
+            }
+        }
+        // A newline-terminated non-JSON final line was written whole —
+        // corruption, not a torn tail.
+        let p = tmp("terminated-garbage.jsonl");
+        fs::write(&p, format!("{line}\ngarbage\n")).unwrap();
+        assert!(matches!(load(&p), Err(SweepError::Journal { line: 2, .. })));
+    }
+
+    /// A row whose `Serialize` impl fails surfaces as
+    /// [`SweepError::Encode`] from the encode path (here via
+    /// `JournalEntry::encode`; the sweep engine propagates the same
+    /// error out of `Journal::append` instead of killing the shard).
+    #[test]
+    fn failing_serialize_row_is_a_sweep_error() {
+        struct Poison;
+        impl serde::Serialize for Poison {
+            fn to_value(&self) -> serde_json::Value {
+                serde_json::Value::Null
+            }
+            fn try_to_value(&self) -> Result<serde_json::Value, serde_json::Error> {
+                Err(serde_json::Error::msg("poisoned row"))
+            }
+        }
+        match JournalEntry::encode("p", &Poison) {
+            Err(SweepError::Encode { key, msg }) => {
+                assert_eq!(key, "p");
+                assert!(msg.contains("poisoned row"), "{msg}");
+            }
+            other => panic!("expected Encode error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -215,7 +320,10 @@ mod tests {
         for y in [1.0 / 3.0, 0.1 + 0.2, f64::MIN_POSITIVE, 12345.6789e-7] {
             let row = R { x: 0, y };
             let e = JournalEntry::encode("k", &row).unwrap();
-            let back: R = JournalEntry::parse(&e.to_line()).unwrap().decode().unwrap();
+            let Line::Entry(reparsed) = classify(&e.to_line().unwrap()) else {
+                panic!("round-trip line must classify as an entry");
+            };
+            let back: R = reparsed.decode().unwrap();
             assert_eq!(
                 serde_json::to_string(&back).unwrap(),
                 serde_json::to_string(&row).unwrap()

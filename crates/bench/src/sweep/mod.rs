@@ -731,6 +731,74 @@ mod tests {
         assert_eq!(fs::read(merged.artifact.unwrap()).unwrap(), want);
     }
 
+    /// A row whose `Serialize` impl fails mid-grid surfaces from the
+    /// full sweep run as [`SweepError::Encode`] naming the point —
+    /// propagated through `JournalEntry::encode` and `Journal::append`
+    /// rather than panicking the shard. Rows journalled before the
+    /// failure survive on disk, so a fixed serialiser can resume.
+    #[test]
+    fn failing_serialize_row_fails_the_run_with_encode_error() {
+        struct PoisonRow {
+            id: u32,
+        }
+        impl Serialize for PoisonRow {
+            fn to_value(&self) -> serde_json::Value {
+                serde_json::Value::Int(self.id as i128)
+            }
+            fn try_to_value(&self) -> Result<serde_json::Value, serde_json::Error> {
+                if self.id == 3 {
+                    Err(serde_json::Error::msg("row 3 refuses to serialise"))
+                } else {
+                    Ok(self.to_value())
+                }
+            }
+        }
+        impl Deserialize for PoisonRow {
+            fn from_value(v: &serde_json::Value) -> Result<PoisonRow, serde_json::Error> {
+                u32::from_value(v).map(|id| PoisonRow { id })
+            }
+        }
+        struct PoisonSweep;
+        impl Sweep for PoisonSweep {
+            type Point = u32;
+            type Row = PoisonRow;
+            fn name(&self) -> &'static str {
+                "poison_sweep"
+            }
+            fn points(&self) -> Vec<u32> {
+                (0..6).collect()
+            }
+            fn key(&self, p: &u32) -> String {
+                format!("p{p}")
+            }
+            fn run_point(&self, p: &u32) -> PoisonRow {
+                PoisonRow { id: *p }
+            }
+            fn parallel(&self) -> bool {
+                false // deterministic journal contents up to the failure
+            }
+            fn report(&self, rows: &[PoisonRow]) -> String {
+                format!("{} rows", rows.len())
+            }
+        }
+
+        let dir = fresh_dir("poison");
+        let err = run_and_merge(&PoisonSweep, &cfg_in(&dir)).unwrap_err();
+        match err {
+            SweepError::Encode { key, msg } => {
+                assert_eq!(key, "p3");
+                assert!(msg.contains("refuses to serialise"), "{msg}");
+            }
+            other => panic!("expected Encode error, got {other}"),
+        }
+        // The three rows completed before the poisoned one are on disk.
+        let journal = journal::load(&dir.join("poison_sweep.shard-0of1.jsonl")).unwrap();
+        assert_eq!(
+            journal.iter().map(|e| e.key.as_str()).collect::<Vec<_>>(),
+            ["p0", "p1", "p2"]
+        );
+    }
+
     #[test]
     fn run_grid_preserves_point_order() {
         let points: Vec<u32> = (0..20).collect();

@@ -1,0 +1,127 @@
+//! Property tests for the journal loader's corruption taxonomy: a line
+//! that is *valid JSON of the wrong shape* is corruption wherever it
+//! sits — including the final line — because a torn (killed) write can
+//! never leave complete JSON behind. Only a non-JSON, newline-less tail
+//! is forgiven. Pins the fix for the old loader, which treated any
+//! unparseable-as-entry line as a benign truncated tail and silently
+//! dropped completed work.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use rsp_bench::sweep::journal::{self, JournalEntry};
+use rsp_bench::sweep::SweepError;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Row {
+    x: u32,
+    y: f64,
+}
+
+fn tmp_journal() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("rsp-journal-props-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("j{}.jsonl", SEQ.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// Valid journal lines for `n` synthetic rows.
+fn valid_lines(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let row = Row {
+                x: i as u32,
+                y: i as f64 / 3.0,
+            };
+            JournalEntry::encode(&format!("k{i:02}"), &row)
+                .unwrap()
+                .to_line()
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Complete JSON documents that are not `{"key": <string>, "row": ...}`
+/// entries — every shape the classifier must reject as corruption.
+fn wrong_shape_line(variant: u8, filler: u32) -> String {
+    match variant % 5 {
+        0 => format!("{{\"kee\":\"x{filler}\",\"row\":{{}}}}"), // no `key`
+        1 => format!("{{\"key\":{filler},\"row\":{{}}}}"),      // key not a string
+        2 => format!("{{\"key\":\"x{filler}\"}}"),              // no `row`
+        3 => format!("{filler}"),                               // not an object
+        _ => format!("[{filler},{filler}]"),                    // not an object
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A wrong-shape (but valid-JSON) line injected at *any* position —
+    /// first, middle, or last, newline-terminated or not — makes `load`
+    /// report corruption at exactly that line, never silently drop it.
+    #[test]
+    fn injected_wrong_shape_line_is_corruption_at_its_line(
+        n in 1usize..8,
+        pos_pick in 0usize..8,
+        variant in 0u8..5,
+        filler in 0u32..1_000_000,
+        terminated in proptest::bool::ANY,
+    ) {
+        let lines = valid_lines(n);
+        let pos = pos_pick % (n + 1); // 0..=n: before each line or at the end
+        let mut text = String::new();
+        for line in &lines[..pos] {
+            text.push_str(line);
+            text.push('\n');
+        }
+        text.push_str(&wrong_shape_line(variant, filler));
+        if pos < n || terminated {
+            text.push('\n');
+        }
+        for line in &lines[pos..] {
+            text.push_str(line);
+            text.push('\n');
+        }
+        let path = tmp_journal();
+        fs::write(&path, &text).unwrap();
+
+        match journal::load(&path) {
+            Err(SweepError::Journal { line, msg, .. }) => {
+                prop_assert_eq!(line, pos + 1, "error must point at the bad line");
+                prop_assert!(msg.contains("malformed"), "{}", msg);
+            }
+            other => prop_assert!(false, "expected corruption error, got {:?}", other.map(|v| v.len())),
+        }
+    }
+
+    /// The complement: with no injection, every journal written this way
+    /// loads in full, and a *non-JSON* newline-less tail (the one shape
+    /// a killed write leaves) drops only that tail.
+    #[test]
+    fn clean_and_torn_tail_journals_load(
+        n in 1usize..8,
+        cut in 1usize..20,
+        torn in proptest::bool::ANY,
+    ) {
+        let lines = valid_lines(n);
+        let mut text = lines.join("\n");
+        text.push('\n');
+        if torn {
+            let tail = &lines[0][..cut.min(lines[0].len() - 1)];
+            // A strict prefix of a JSON object is never valid JSON, so
+            // this is a credible torn write.
+            prop_assert!(serde_json::from_str::<serde_json::Value>(tail).is_err());
+            text.push_str(tail);
+        }
+        let path = tmp_journal();
+        fs::write(&path, &text).unwrap();
+        let entries = journal::load(&path).unwrap();
+        prop_assert_eq!(entries.len(), n);
+        for (i, e) in entries.iter().enumerate() {
+            prop_assert_eq!(e.decode::<Row>().unwrap().x, i as u32);
+        }
+    }
+}

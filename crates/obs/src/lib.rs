@@ -31,6 +31,7 @@
 mod event;
 mod metrics;
 mod progress;
+mod route;
 mod sink;
 
 pub use event::{Event, StallCause, Stamped, MAX_CANDIDATES};
@@ -39,6 +40,7 @@ pub use metrics::{
     MetricsSnapshot, HIST_BUCKETS, NUM_COUNTERS, NUM_HISTOS,
 };
 pub use progress::{ProgressSnapshot, SweepProgress};
+pub use route::TenantRouter;
 pub use sink::{EventSink, NoopSink, RingSink};
 
 /// Heads beyond this index skip load-latency pairing (far above any

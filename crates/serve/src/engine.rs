@@ -1,0 +1,784 @@
+//! The serve engine: admission, batched stepping, retirement.
+//!
+//! [`ServeEngine`] owns the machine fleet and multiplexes admitted
+//! tenants over it in round-robin quanta:
+//!
+//! * **Scalar tenants** (program streams) lease a `Machine` from the
+//!   [`MachinePool`]; each tick they step up to one scheduler quantum
+//!   of cycles, and on completion their telemetry ring is drained into
+//!   the [`TenantRouter`] and the machine returns to the pool.
+//! * **Lane tenants** (demand-trace streams whose config fits the
+//!   [`LaneParams::from_config`] envelope) are packed 64-per-word onto
+//!   a shared [`LaneBatch`]: tenants activated in the same tick with
+//!   an identical effective config join one *lane group* at group
+//!   cycle 0, so every lane's history starts from reset — the property
+//!   that makes a lane tenant bit-identically replayable offline at
+//!   lane 0 of a fresh batch (per-lane independence is pinned by the
+//!   `lanes_differential` suite, which is why lane groups require a
+//!   fault-free config: fault streams are keyed by *physical* lane
+//!   index and would break placement-independence).
+//!
+//! Determinism: a tenant's behaviour depends only on `(spec, seed,
+//! policy, base config)` — never on arrival time, queue position, or
+//! which machine/lane it landed on. [`replay`] re-derives any tenant's
+//! telemetry from its request alone; the engine test suite and the
+//! `serve-saturation` harness assert byte identity.
+
+use crate::scheduler::{LoadSnapshot, Scheduler, ShedReason, WatermarkScheduler};
+use crate::tenant::{tenant_key, TenantPhase, TenantRequest, TenantStatus};
+use rsp_isa::units::UnitType;
+use rsp_obs::{Telemetry, TenantRouter};
+use rsp_sim::lanes::{LaneBatch, LaneParams};
+use rsp_sim::pool::{MachinePool, PoolStats};
+use rsp_sim::processor::Machine;
+use rsp_sim::{LaneStimulus, Processor, SimConfig};
+use rsp_workloads::QueueRow;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+
+/// Lanes per lane group — one bit-plane word of the lane kernel.
+pub const LANES_PER_GROUP: usize = 64;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Base machine configuration; a tenant's [`TenantRequest::policy`]
+    /// overrides only the `policy` field.
+    pub base: SimConfig,
+    /// Idle machines the [`MachinePool`] retains.
+    pub pool_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            base: SimConfig::default(),
+            pool_capacity: 32,
+        }
+    }
+}
+
+/// Aggregate engine counters (the serve `Stats` wire payload).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Submissions received (admitted + shed).
+    pub submitted: u64,
+    /// Submissions admitted into the queue.
+    pub admitted: u64,
+    /// Tenants that ran to completion.
+    pub completed: u64,
+    /// Tenants whose activation failed server-side.
+    pub failed: u64,
+    /// Sheds at the queue-depth watermark.
+    pub shed_queue_full: u64,
+    /// Sheds at the step-lag watermark.
+    pub shed_step_lag: u64,
+    /// Sheds for invalid/unservable specs.
+    pub shed_bad_spec: u64,
+    /// Tenants currently queued.
+    pub queued: usize,
+    /// Tenants currently active (scalar + lane).
+    pub active: usize,
+    /// Total tenant-cycles stepped.
+    pub stepped_cycles: u64,
+    /// Machine-pool lease/reuse counters.
+    pub pool: PoolStats,
+}
+
+impl EngineStats {
+    /// All sheds, over all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_step_lag + self.shed_bad_spec
+    }
+}
+
+struct QueuedTenant {
+    id: u64,
+    req: TenantRequest,
+    enqueued_tick: u64,
+}
+
+struct ScalarTenant {
+    id: u64,
+    cfg: SimConfig,
+    machine: Machine,
+    budget: u64,
+}
+
+struct LaneTenant {
+    id: u64,
+    rows: Vec<QueueRow>,
+    budget: u64,
+    done: bool,
+}
+
+struct LaneGroup {
+    batch: LaneBatch,
+    tenants: Vec<LaneTenant>,
+    cursor: u64,
+}
+
+impl LaneGroup {
+    fn live(&self) -> usize {
+        self.tenants.iter().filter(|t| !t.done).count()
+    }
+}
+
+/// The serve engine (see module docs).
+pub struct ServeEngine<S: Scheduler = WatermarkScheduler> {
+    cfg: EngineConfig,
+    scheduler: S,
+    pool: MachinePool,
+    router: TenantRouter,
+    queue: VecDeque<QueuedTenant>,
+    scalars: Vec<ScalarTenant>,
+    groups: Vec<LaneGroup>,
+    statuses: BTreeMap<u64, TenantStatus>,
+    next_id: u64,
+    tick: u64,
+    stats: EngineStats,
+}
+
+/// The tenant's effective machine config: base + policy override.
+pub fn effective_cfg(base: &SimConfig, req: &TenantRequest) -> SimConfig {
+    let mut cfg = base.clone();
+    if let Some(p) = req.policy {
+        cfg.policy = p;
+    }
+    cfg
+}
+
+fn telemetry_for(capacity: usize) -> Telemetry {
+    if capacity > 0 {
+        Telemetry::ring(capacity)
+    } else {
+        Telemetry::counting()
+    }
+}
+
+fn row_units(row: &QueueRow) -> Vec<UnitType> {
+    row.types[..row.len as usize]
+        .iter()
+        .map(|&t| UnitType::ALL[t as usize])
+        .collect()
+}
+
+/// The sparse per-cycle transition record of a lane tenant, if this
+/// cycle produced one (a selection change or a load start). Shared by
+/// the serving path and [`replay`] so both emit identical bytes.
+pub fn lane_transition_line(batch: &LaneBatch, lane: usize, cycle: u64) -> Option<String> {
+    let changed = batch.lane_changed(lane);
+    let started = batch.lane_started(lane);
+    if !changed && !started {
+        return None;
+    }
+    let choice = batch.lane_choice(lane).map_or(-1i16, |c| c as i16);
+    Some(format!(
+        "{{\"cycle\":{cycle},\"choice\":{choice},\"changed\":{changed},\"started\":{started}}}"
+    ))
+}
+
+/// Validate a request against the engine's base config; the error is
+/// the `BadSpec` shed reason.
+pub fn check_request(base: &SimConfig, req: &TenantRequest) -> Result<(), ShedReason> {
+    let bad = |msg: String| ShedReason::BadSpec(msg);
+    req.spec.validate().map_err(|e| bad(e.to_string()))?;
+    let cfg = effective_cfg(base, req);
+    cfg.validate().map_err(bad)?;
+    if req.spec.is_lane() {
+        if cfg.fabric.faults.enabled() {
+            return Err(bad(
+                "lane tenants require a fault-free config (fault streams are keyed \
+                 by physical lane and would break replay)"
+                    .into(),
+            ));
+        }
+        LaneParams::from_config(&cfg).map_err(bad)?;
+        let trace = req.spec.lane_trace().map_err(|e| bad(e.to_string()))?;
+        if trace.queue_len as usize > cfg.queue_size {
+            return Err(bad(format!(
+                "lane trace queue_len {} exceeds config queue size {}",
+                trace.queue_len, cfg.queue_size
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl ServeEngine<WatermarkScheduler> {
+    /// An engine with the default watermark scheduler.
+    pub fn with_defaults(cfg: EngineConfig) -> ServeEngine<WatermarkScheduler> {
+        ServeEngine::new(cfg, WatermarkScheduler::default())
+    }
+}
+
+impl<S: Scheduler> ServeEngine<S> {
+    /// A fresh engine over an empty fleet.
+    pub fn new(cfg: EngineConfig, scheduler: S) -> ServeEngine<S> {
+        let pool = MachinePool::new(cfg.pool_capacity);
+        ServeEngine {
+            cfg,
+            scheduler,
+            pool,
+            router: TenantRouter::new(0),
+            queue: VecDeque::new(),
+            scalars: Vec::new(),
+            groups: Vec::new(),
+            statuses: BTreeMap::new(),
+            next_id: 0,
+            tick: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn load(&self) -> LoadSnapshot {
+        let step_lag = self
+            .queue
+            .front()
+            .map_or(0, |q| self.tick - q.enqueued_tick);
+        LoadSnapshot {
+            queued: self.queue.len(),
+            active: self.scalars.len() + self.groups.iter().map(LaneGroup::live).sum::<usize>(),
+            step_lag,
+        }
+    }
+
+    /// Submit a tenant: validated, then admitted or shed. Every shed
+    /// is counted (never silently dropped).
+    pub fn submit(&mut self, req: TenantRequest) -> Result<u64, ShedReason> {
+        self.stats.submitted += 1;
+        let gate =
+            check_request(&self.cfg.base, &req).and_then(|()| self.scheduler.admit(&self.load()));
+        if let Err(reason) = gate {
+            match reason {
+                ShedReason::QueueFull => self.stats.shed_queue_full += 1,
+                ShedReason::StepLag => self.stats.shed_step_lag += 1,
+                ShedReason::BadSpec(_) => self.stats.shed_bad_spec += 1,
+            }
+            return Err(reason);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.statuses.insert(
+            id,
+            TenantStatus {
+                id,
+                name: req.spec.name.clone(),
+                phase: TenantPhase::Queued,
+                cycles: 0,
+                halted: false,
+                lane: req.spec.is_lane(),
+            },
+        );
+        self.queue.push_back(QueuedTenant {
+            id,
+            req,
+            enqueued_tick: self.tick,
+        });
+        self.stats.admitted += 1;
+        Ok(id)
+    }
+
+    fn fail(&mut self, id: u64) {
+        if let Some(s) = self.statuses.get_mut(&id) {
+            s.phase = TenantPhase::Failed;
+        }
+        self.stats.failed += 1;
+    }
+
+    fn activate(&mut self, q: QueuedTenant, lane_new: &mut Vec<(SimConfig, LaneTenant)>) {
+        let cfg = effective_cfg(&self.cfg.base, &q.req);
+        let budget = q.req.spec.max_cycles;
+        if q.req.spec.is_lane() {
+            let trace = match q.req.spec.lane_trace() {
+                Ok(t) => t,
+                Err(_) => return self.fail(q.id),
+            };
+            // The trace lane index is always 0 — independent of the
+            // physical lane the tenant lands on — so replay needs only
+            // the request.
+            let rows = trace.generate_lane(0);
+            let budget = budget.min(rows.len() as u64);
+            lane_new.push((
+                cfg,
+                LaneTenant {
+                    id: q.id,
+                    rows,
+                    budget,
+                    done: false,
+                },
+            ));
+        } else {
+            let program = match q.req.spec.program() {
+                Ok(p) => p,
+                Err(_) => return self.fail(q.id),
+            };
+            let mut machine = match self.pool.lease(&cfg, &program) {
+                Ok(m) => m,
+                Err(_) => return self.fail(q.id),
+            };
+            machine.set_telemetry(telemetry_for(q.req.telemetry_capacity));
+            self.scalars.push(ScalarTenant {
+                id: q.id,
+                cfg,
+                machine,
+                budget,
+            });
+        }
+        if let Some(s) = self.statuses.get_mut(&q.id) {
+            s.phase = TenantPhase::Running;
+        }
+    }
+
+    /// One engine tick: activate queued tenants up to the scheduler's
+    /// ceiling, then step every active tenant one quantum.
+    pub fn tick(&mut self) {
+        self.tick += 1;
+        self.stats.ticks += 1;
+        let n = self.scheduler.activations(&self.load());
+        let mut lane_new: Vec<(SimConfig, LaneTenant)> = Vec::new();
+        for _ in 0..n {
+            let Some(q) = self.queue.pop_front() else {
+                break;
+            };
+            self.activate(q, &mut lane_new);
+        }
+        self.form_groups(lane_new);
+        let quantum = self.scheduler.quantum();
+        self.step_scalars(quantum);
+        self.step_groups(quantum);
+    }
+
+    /// Pack newly activated lane tenants into groups of identical
+    /// config, at most [`LANES_PER_GROUP`] per group, all starting at
+    /// group cycle 0.
+    fn form_groups(&mut self, mut lane_new: Vec<(SimConfig, LaneTenant)>) {
+        while let Some((cfg, first)) = lane_new.pop() {
+            let mut members = vec![first];
+            let mut rest = Vec::with_capacity(lane_new.len());
+            for (c, t) in lane_new {
+                if c == cfg && members.len() < LANES_PER_GROUP {
+                    members.push(t);
+                } else {
+                    rest.push((c, t));
+                }
+            }
+            lane_new = rest;
+            match LaneBatch::new(&cfg, LANES_PER_GROUP) {
+                Ok(batch) => self.groups.push(LaneGroup {
+                    batch,
+                    tenants: members,
+                    cursor: 0,
+                }),
+                Err(_) => {
+                    for t in members {
+                        self.fail(t.id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_scalars(&mut self, quantum: u64) {
+        let ServeEngine {
+            scalars,
+            stats,
+            statuses,
+            router,
+            pool,
+            ..
+        } = self;
+        let mut i = 0;
+        while i < scalars.len() {
+            let s = &mut scalars[i];
+            let mut stepped = 0;
+            while stepped < quantum && !s.machine.finished() && s.machine.cycle() < s.budget {
+                s.machine.step();
+                stepped += 1;
+            }
+            stats.stepped_cycles += stepped;
+            let finished = s.machine.finished() || s.machine.cycle() >= s.budget;
+            if let Some(st) = statuses.get_mut(&s.id) {
+                st.cycles = s.machine.cycle();
+            }
+            if finished {
+                let s = scalars.swap_remove(i);
+                router.collect(&tenant_key(s.id), s.machine.telemetry());
+                if let Some(st) = statuses.get_mut(&s.id) {
+                    st.phase = TenantPhase::Done;
+                    st.halted = s.machine.finished();
+                }
+                pool.release(s.cfg, s.machine);
+                stats.completed += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn step_groups(&mut self, quantum: u64) {
+        let ServeEngine {
+            groups,
+            stats,
+            statuses,
+            router,
+            ..
+        } = self;
+        for g in groups.iter_mut() {
+            let remaining = g
+                .tenants
+                .iter()
+                .filter(|t| !t.done)
+                .map(|t| t.budget - g.cursor)
+                .max()
+                .unwrap_or(0);
+            let steps = remaining.min(quantum) as usize;
+            if steps == 0 {
+                continue;
+            }
+            let params = g.batch.params();
+            let (queue_len, n_slots) = (params.queue_len(), params.n_slots());
+            let mut stim = LaneStimulus::new(LANES_PER_GROUP, steps, queue_len, n_slots);
+            for (lane, t) in g.tenants.iter().enumerate() {
+                if t.done {
+                    continue;
+                }
+                for k in 0..steps {
+                    let c = g.cursor + k as u64;
+                    if c < t.budget {
+                        stim.set_row(lane, k, &row_units(&t.rows[c as usize]));
+                    }
+                }
+            }
+            for k in 0..steps {
+                g.batch.step(&stim, k);
+                let cycle = g.cursor + k as u64;
+                for (lane, t) in g.tenants.iter().enumerate() {
+                    if !t.done && cycle < t.budget {
+                        stats.stepped_cycles += 1;
+                        if let Some(line) = lane_transition_line(&g.batch, lane, cycle) {
+                            router.append_line(&tenant_key(t.id), &line);
+                        }
+                    }
+                }
+            }
+            g.cursor += steps as u64;
+            for t in &mut g.tenants {
+                if let Some(st) = statuses.get_mut(&t.id) {
+                    st.cycles = t.budget.min(g.cursor);
+                }
+                if !t.done && g.cursor >= t.budget {
+                    t.done = true;
+                    if let Some(st) = statuses.get_mut(&t.id) {
+                        st.phase = TenantPhase::Done;
+                        st.halted = true;
+                    }
+                    stats.completed += 1;
+                }
+            }
+        }
+        groups.retain(|g| g.live() > 0);
+    }
+
+    /// True iff nothing is queued or running.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.scalars.is_empty() && self.groups.is_empty()
+    }
+
+    /// Tick until idle; false if `max_ticks` elapsed first.
+    pub fn run_until_idle(&mut self, max_ticks: u64) -> bool {
+        for _ in 0..max_ticks {
+            if self.is_idle() {
+                return true;
+            }
+            self.tick();
+        }
+        self.is_idle()
+    }
+
+    /// A tenant's status, if the id was ever admitted.
+    pub fn status(&self, id: u64) -> Option<&TenantStatus> {
+        self.statuses.get(&id)
+    }
+
+    /// All tenant statuses, in id order.
+    pub fn statuses(&self) -> impl Iterator<Item = &TenantStatus> {
+        self.statuses.values()
+    }
+
+    /// A tenant's routed telemetry (JSONL), if any was produced.
+    pub fn telemetry(&self, id: u64) -> Option<&str> {
+        self.router.jsonl(&tenant_key(id))
+    }
+
+    /// Counter snapshot (queue/active/pool filled in live).
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats.clone();
+        let load = self.load();
+        s.queued = load.queued;
+        s.active = load.active;
+        s.pool = self.pool.stats();
+        s
+    }
+
+    /// Ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Export per-tenant telemetry as `<dir>/t<id>.jsonl`.
+    pub fn export_telemetry(&self, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        self.router.export_dir(dir)
+    }
+}
+
+/// Replay a tenant offline from its request alone, producing exactly
+/// the telemetry the serving path routes for it (byte-identical).
+pub fn replay(base: &SimConfig, req: &TenantRequest) -> Result<String, ShedReason> {
+    check_request(base, req)?;
+    let cfg = effective_cfg(base, req);
+    let mut router = TenantRouter::new(0);
+    if req.spec.is_lane() {
+        let trace = req
+            .spec
+            .lane_trace()
+            .map_err(|e| ShedReason::BadSpec(e.to_string()))?;
+        let rows = trace.generate_lane(0);
+        let budget = req.spec.max_cycles.min(rows.len() as u64) as usize;
+        let mut batch = LaneBatch::new(&cfg, LANES_PER_GROUP).map_err(ShedReason::BadSpec)?;
+        let params = batch.params();
+        let (queue_len, n_slots) = (params.queue_len(), params.n_slots());
+        let mut stim = LaneStimulus::new(LANES_PER_GROUP, budget.max(1), queue_len, n_slots);
+        for (c, row) in rows.iter().take(budget).enumerate() {
+            stim.set_row(0, c, &row_units(row));
+        }
+        for c in 0..budget {
+            batch.step(&stim, c);
+            if let Some(line) = lane_transition_line(&batch, 0, c as u64) {
+                router.append_line("t", &line);
+            }
+        }
+    } else {
+        let program = req
+            .spec
+            .program()
+            .map_err(|e| ShedReason::BadSpec(e.to_string()))?;
+        let mut machine = Processor::try_new(cfg)
+            .map_err(|e| ShedReason::BadSpec(e.to_string()))?
+            .start(&program)
+            .map_err(|e| ShedReason::BadSpec(e.to_string()))?;
+        machine.set_telemetry(telemetry_for(req.telemetry_capacity));
+        while !machine.finished() && machine.cycle() < req.spec.max_cycles {
+            machine.step();
+        }
+        router.collect("t", machine.telemetry());
+    }
+    Ok(router.jsonl("t").unwrap_or_default().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_sim::PolicyKind;
+    use rsp_workloads::{LaneTraceSpec, StreamSpec, SynthSpec, UnitMix};
+
+    fn scalar_req(seed: u64, max_cycles: u64) -> TenantRequest {
+        let spec = StreamSpec::synth(
+            format!("synth-{seed}"),
+            SynthSpec {
+                body_len: 120,
+                ..SynthSpec::new("s", UnitMix::BALANCED, seed)
+            },
+            max_cycles,
+        );
+        TenantRequest {
+            telemetry_capacity: 64,
+            ..TenantRequest::new(spec)
+        }
+    }
+
+    fn lane_req(seed: u64, cycles: u32) -> TenantRequest {
+        let spec = StreamSpec::lane(
+            format!("lane-{seed}"),
+            LaneTraceSpec::synthetic_mix(cycles, seed),
+            u64::from(cycles),
+        );
+        TenantRequest::new(spec)
+    }
+
+    fn drained(engine: &mut ServeEngine) -> EngineStats {
+        assert!(engine.run_until_idle(10_000), "engine did not drain");
+        engine.stats()
+    }
+
+    #[test]
+    fn scalar_tenants_complete_with_telemetry() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        let ids: Vec<u64> = (0..4)
+            .map(|s| engine.submit(scalar_req(s, 50_000)).unwrap())
+            .collect();
+        let stats = drained(&mut engine);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.failed, 0);
+        for id in ids {
+            let st = engine.status(id).unwrap();
+            assert_eq!(st.phase, TenantPhase::Done);
+            assert!(st.halted, "tenant {id} should halt within budget");
+            assert!(st.cycles > 0);
+            let jsonl = engine.telemetry(id).expect("telemetry routed");
+            assert!(!jsonl.is_empty());
+        }
+    }
+
+    #[test]
+    fn lane_tenants_pack_into_groups_and_complete() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        let ids: Vec<u64> = (0..6)
+            .map(|s| engine.submit(lane_req(s, 512)).unwrap())
+            .collect();
+        engine.tick();
+        // All six share one config → one group.
+        assert_eq!(engine.groups.len(), 1);
+        assert_eq!(engine.groups[0].tenants.len(), 6);
+        let stats = drained(&mut engine);
+        assert_eq!(stats.completed, 6);
+        for id in ids {
+            let st = engine.status(id).unwrap();
+            assert_eq!(st.phase, TenantPhase::Done);
+            assert_eq!(st.cycles, 512);
+            let jsonl = engine.telemetry(id).expect("lane transitions routed");
+            assert!(jsonl.lines().count() > 0);
+        }
+    }
+
+    #[test]
+    fn policy_override_splits_lane_groups() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        // Traces longer than one quantum, so the groups are still live
+        // (not yet retired) when we count them after the first tick.
+        engine.submit(lane_req(1, 1024)).unwrap();
+        let mut smoothed = lane_req(2, 1024);
+        smoothed.policy = Some(PolicyKind::PaperSmoothed { shift: 2 });
+        engine.submit(smoothed).unwrap();
+        engine.tick();
+        assert_eq!(engine.groups.len(), 2);
+        let stats = drained(&mut engine);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn queue_full_and_step_lag_shed_with_reasons() {
+        let tight = WatermarkScheduler {
+            queue_depth: 2,
+            max_active: 0, // nothing ever activates → lag grows
+            step_lag_watermark: 3,
+            quantum: 16,
+        };
+        let mut engine = ServeEngine::new(EngineConfig::default(), tight);
+        engine.submit(scalar_req(0, 1000)).unwrap();
+        engine.submit(scalar_req(1, 1000)).unwrap();
+        assert_eq!(
+            engine.submit(scalar_req(2, 1000)),
+            Err(ShedReason::QueueFull)
+        );
+        for _ in 0..5 {
+            engine.tick();
+        }
+        // Queue is still below depth after the shed, but the oldest
+        // tenant has now waited past the lag watermark.
+        let err = {
+            let mut e2 = ServeEngine::new(
+                EngineConfig::default(),
+                WatermarkScheduler {
+                    queue_depth: 10,
+                    max_active: 0,
+                    step_lag_watermark: 3,
+                    quantum: 16,
+                },
+            );
+            e2.submit(scalar_req(0, 1000)).unwrap();
+            for _ in 0..5 {
+                e2.tick();
+            }
+            e2.submit(scalar_req(1, 1000))
+        };
+        assert_eq!(err, Err(ShedReason::StepLag));
+        let stats = engine.stats();
+        assert_eq!(stats.shed_queue_full, 1);
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.admitted, 2);
+    }
+
+    #[test]
+    fn bad_specs_shed_before_admission() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        let mut bad = scalar_req(0, 1000);
+        bad.spec.max_cycles = 0;
+        assert!(matches!(engine.submit(bad), Err(ShedReason::BadSpec(_))));
+        // Lane tenant under a faulted base config is unservable.
+        let mut cfg = EngineConfig::default();
+        cfg.base.fabric.faults.upset_ppm = 500;
+        cfg.base.fabric.faults.scrub_interval = 64;
+        let mut faulted = ServeEngine::with_defaults(cfg);
+        assert!(matches!(
+            faulted.submit(lane_req(0, 64)),
+            Err(ShedReason::BadSpec(_))
+        ));
+        // The same scalar tenant is still servable under faults.
+        faulted.submit(scalar_req(1, 10_000)).unwrap();
+        assert_eq!(faulted.stats().shed_bad_spec, 1);
+    }
+
+    #[test]
+    fn scalar_replay_is_bit_identical_to_served_telemetry() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        let req = scalar_req(7, 20_000);
+        let id = engine.submit(req.clone()).unwrap();
+        // Load the engine with other tenants so the served run shares
+        // the fleet (placement must not matter).
+        engine.submit(scalar_req(8, 20_000)).unwrap();
+        engine.submit(lane_req(9, 256)).unwrap();
+        drained(&mut engine);
+        let served = engine.telemetry(id).unwrap();
+        let offline = replay(&SimConfig::default(), &req).unwrap();
+        assert!(!served.is_empty());
+        assert_eq!(served, offline);
+    }
+
+    #[test]
+    fn lane_replay_is_bit_identical_to_served_telemetry() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        let req = lane_req(5, 512);
+        // Surround the tenant with neighbours in the same group so it
+        // lands on a non-zero physical lane.
+        engine.submit(lane_req(3, 512)).unwrap();
+        let id = engine.submit(req.clone()).unwrap();
+        engine.submit(lane_req(4, 512)).unwrap();
+        drained(&mut engine);
+        let served = engine.telemetry(id).unwrap();
+        let offline = replay(&SimConfig::default(), &req).unwrap();
+        assert!(!served.is_empty());
+        assert_eq!(served, offline);
+    }
+
+    #[test]
+    fn pool_reuses_machines_across_tenant_waves() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        for s in 0..3 {
+            engine.submit(scalar_req(s, 30_000)).unwrap();
+        }
+        drained(&mut engine);
+        for s in 3..6 {
+            engine.submit(scalar_req(s, 30_000)).unwrap();
+        }
+        let stats = drained(&mut engine);
+        assert!(
+            stats.pool.reuses >= 3,
+            "second wave should reuse pooled machines: {:?}",
+            stats.pool
+        );
+    }
+}

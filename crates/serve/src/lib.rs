@@ -1,0 +1,43 @@
+//! # rsp-serve — steering-as-a-service over a pooled machine fleet
+//!
+//! A long-running server that owns a pool of simulated machines and
+//! steps many concurrent tenant workload streams (DESIGN.md §14). The
+//! paper's selection unit steers one machine; this crate puts that
+//! machine behind a service boundary so an *arrival mix* of many
+//! independent streams becomes observable — the queuing-model framing
+//! under which capacity should be configured to offered load.
+//!
+//! Four swappable layers:
+//!
+//! * **transport** ([`protocol`], [`server`], [`client`]) — 4-byte
+//!   length-prefixed JSON frames over TCP or Unix sockets, std-only;
+//! * **admission** ([`scheduler`]) — the [`Scheduler`] trait separates
+//!   policy from stepping; the default [`WatermarkScheduler`] sheds
+//!   with explicit [`ShedReason`]s at a queue-depth or step-lag
+//!   watermark instead of silently stalling;
+//! * **stepping** ([`engine`]) — scalar tenants round-robin quanta on
+//!   pooled `Machine`s; compatible lane tenants pack 64-per-word onto
+//!   the bit-sliced lane kernel;
+//! * **telemetry** — per-tenant ring-JSONL streams routed through
+//!   `rsp_obs::TenantRouter`; any tenant is bit-identically
+//!   replayable offline from `(spec, seed)` alone ([`replay`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod tenant;
+
+pub use client::ServeClient;
+pub use engine::{
+    check_request, effective_cfg, lane_transition_line, replay, EngineConfig, EngineStats,
+    ServeEngine, LANES_PER_GROUP,
+};
+pub use protocol::{Request, Response, MAX_FRAME};
+pub use scheduler::{LoadSnapshot, Scheduler, ShedReason, WatermarkScheduler};
+pub use server::{Server, ServerConfig};
+pub use tenant::{tenant_key, TenantPhase, TenantRequest, TenantStatus};

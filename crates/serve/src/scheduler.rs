@@ -1,0 +1,160 @@
+//! Admission policy, separated from stepping (DESIGN.md §14).
+//!
+//! The engine consults a [`Scheduler`] at two points: on `submit`
+//! (admit or shed, with an explicit [`ShedReason`]) and on each tick
+//! (how many queued tenants to activate, and how many cycles each
+//! active tenant is stepped per tick). Keeping this behind a trait
+//! means admission policy is testable in-process — no sockets, no
+//! engine — and swappable without touching the stepping loop.
+//!
+//! [`WatermarkScheduler`] is the default policy: a bounded admission
+//! queue (reject `QueueFull` at the depth watermark), a step-lag bound
+//! (reject `StepLag` once the oldest queued tenant has waited more
+//! than `step_lag_watermark` ticks for a slot — the signal that the
+//! fleet is saturated and latency would otherwise collapse), and a
+//! fixed activation ceiling with round-robin quanta.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a submission was rejected. Every shed is counted in the engine
+/// stats under the matching counter — load is never silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The admission queue is at its depth watermark.
+    QueueFull,
+    /// The oldest queued tenant has waited past the step-lag
+    /// watermark: the fleet cannot keep up with offered load.
+    StepLag,
+    /// The stream spec is invalid or unservable (bad kernel size, lane
+    /// trace outside the lane-kernel envelope, faulted lane config…).
+    BadSpec(String),
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "admission queue full"),
+            ShedReason::StepLag => write!(f, "step lag over watermark"),
+            ShedReason::BadSpec(msg) => write!(f, "bad spec: {msg}"),
+        }
+    }
+}
+
+/// The load signals a scheduler decides from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadSnapshot {
+    /// Tenants admitted but not yet activated.
+    pub queued: usize,
+    /// Tenants actively stepping (scalar machines + live lanes).
+    pub active: usize,
+    /// Ticks the oldest queued tenant has been waiting for a slot.
+    pub step_lag: u64,
+}
+
+/// Admission and pacing policy, decoupled from the stepping engine.
+pub trait Scheduler {
+    /// Admit a new tenant under `load`, or explain the shed.
+    fn admit(&self, load: &LoadSnapshot) -> Result<(), ShedReason>;
+
+    /// How many queued tenants to activate this tick under `load`.
+    fn activations(&self, load: &LoadSnapshot) -> usize;
+
+    /// Cycles each active tenant is stepped per tick (the round-robin
+    /// quantum).
+    fn quantum(&self) -> u64;
+}
+
+/// The default watermark policy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatermarkScheduler {
+    /// Admission queue depth watermark (`QueueFull` beyond it).
+    pub queue_depth: usize,
+    /// Maximum concurrently active tenants.
+    pub max_active: usize,
+    /// Queue-wait watermark in ticks (`StepLag` beyond it).
+    pub step_lag_watermark: u64,
+    /// Cycles per active tenant per tick.
+    pub quantum: u64,
+}
+
+impl Default for WatermarkScheduler {
+    fn default() -> WatermarkScheduler {
+        WatermarkScheduler {
+            queue_depth: 64,
+            max_active: 32,
+            step_lag_watermark: 16,
+            quantum: 256,
+        }
+    }
+}
+
+impl Scheduler for WatermarkScheduler {
+    fn admit(&self, load: &LoadSnapshot) -> Result<(), ShedReason> {
+        if load.queued >= self.queue_depth {
+            return Err(ShedReason::QueueFull);
+        }
+        if load.step_lag > self.step_lag_watermark {
+            return Err(ShedReason::StepLag);
+        }
+        Ok(())
+    }
+
+    fn activations(&self, load: &LoadSnapshot) -> usize {
+        self.max_active.saturating_sub(load.active)
+    }
+
+    fn quantum(&self) -> u64 {
+        self.quantum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(queued: usize, active: usize, step_lag: u64) -> LoadSnapshot {
+        LoadSnapshot {
+            queued,
+            active,
+            step_lag,
+        }
+    }
+
+    #[test]
+    fn admits_under_both_watermarks() {
+        let s = WatermarkScheduler {
+            queue_depth: 4,
+            max_active: 2,
+            step_lag_watermark: 3,
+            quantum: 16,
+        };
+        assert_eq!(s.admit(&load(3, 2, 3)), Ok(()));
+        assert_eq!(s.admit(&load(4, 0, 0)), Err(ShedReason::QueueFull));
+        assert_eq!(s.admit(&load(0, 0, 4)), Err(ShedReason::StepLag));
+    }
+
+    #[test]
+    fn activations_fill_up_to_the_ceiling() {
+        let s = WatermarkScheduler {
+            max_active: 8,
+            ..WatermarkScheduler::default()
+        };
+        assert_eq!(s.activations(&load(10, 3, 0)), 5);
+        assert_eq!(s.activations(&load(10, 8, 0)), 0);
+        assert_eq!(s.activations(&load(10, 12, 0)), 0);
+    }
+
+    #[test]
+    fn shed_reasons_serialise() {
+        for r in [
+            ShedReason::QueueFull,
+            ShedReason::StepLag,
+            ShedReason::BadSpec("nope".into()),
+        ] {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: ShedReason = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The `rsp-serve` binary follows the workspace exit-code convention:
+//! usage errors exit 2 with the usage string, runtime failures exit 1.
+
+use std::process::{Command, Output};
+
+fn rsp_serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rsp-serve"))
+        .args(args)
+        .output()
+        .expect("spawn rsp-serve")
+}
+
+fn assert_usage(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(stderr.contains(needle), "{needle:?} not in:\n{stderr}");
+    assert!(stderr.contains("usage:"), "no usage string:\n{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_usage(&rsp_serve(&[]), "missing mode");
+    assert_usage(&rsp_serve(&["frobnicate"]), "unknown mode");
+    assert_usage(&rsp_serve(&["listen"]), "listen needs ADDR");
+    assert_usage(&rsp_serve(&["drive"]), "drive needs ADDR");
+    assert_usage(
+        &rsp_serve(&["listen", "127.0.0.1:0", "--pool"]),
+        "--pool needs a value",
+    );
+    assert_usage(
+        &rsp_serve(&["listen", "127.0.0.1:0", "--quantum", "wat"]),
+        "--quantum needs a number",
+    );
+    assert_usage(
+        &rsp_serve(&["listen", "127.0.0.1:0", "--quantum", "0"]),
+        "--quantum must be positive",
+    );
+    assert_usage(
+        &rsp_serve(&["drive", "127.0.0.1:1", "--tenants", "0"]),
+        "--tenants and --cycles must be positive",
+    );
+    assert_usage(
+        &rsp_serve(&["drive", "127.0.0.1:1", "--bogus"]),
+        "unknown argument",
+    );
+}
+
+#[test]
+fn help_exits_0_and_runtime_failure_exits_1() {
+    let out = rsp_serve(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // Nothing listens on a reserved port → connect fails → exit 1.
+    let out = rsp_serve(&["drive", "127.0.0.1:1", "--tenants", "1"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("connect"));
+}

@@ -45,6 +45,7 @@ pub mod config;
 pub mod exec;
 pub mod frontend;
 pub mod lanes;
+pub mod pool;
 pub mod processor;
 pub mod rob;
 pub mod stats;
@@ -53,6 +54,7 @@ pub mod trace;
 pub use batch::{run_batch, BatchRunner, BatchSummary};
 pub use config::{BranchPrediction, DemandMode, Latencies, PolicyKind, SelectMode, SimConfig};
 pub use lanes::{LaneBatch, LaneRunner, LaneStimulus, LaneSummary};
+pub use pool::{MachinePool, PoolStats};
 pub use processor::{Processor, RunError};
 pub use rsp_fabric::fault::{FaultParams, FaultStats};
 pub use rsp_obs::{MetricsSnapshot, Telemetry};

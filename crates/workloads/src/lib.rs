@@ -16,6 +16,9 @@
 //!   search (E6) and the CEM table sweeps.
 //! * [`lanes`] — per-lane queue-snapshot demand traces for the
 //!   bit-sliced lane kernel (phased mixes, per-lane seeds/offsets).
+//! * [`stream`] — tenant stream specifications for `rsp-serve`: a
+//!   serde-parseable wrapper selecting any generator above, with a
+//!   tenant-level seed override so `(spec, seed)` replays offline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +28,10 @@ pub mod kernels;
 pub mod lanes;
 pub mod mixes;
 pub mod paper_example;
+pub mod stream;
 pub mod synth;
 
 pub use ilp::chains;
 pub use lanes::{LaneTraceSpec, QueueRow};
+pub use stream::{StreamError, StreamSpec, StreamWorkload};
 pub use synth::{PhasedSpec, SynthSpec, UnitMix};

@@ -18,6 +18,18 @@ use json::{Error, Value};
 /// Serialization: convert `self` into a JSON value tree.
 pub trait Serialize {
     fn to_value(&self) -> Value;
+
+    /// Fallible serialization hook mirroring real serde, where a
+    /// `Serialize` impl can return an error. `serde_json`'s `to_value`
+    /// and `to_string` family route through this, so hand-written impls
+    /// that override it surface their failure as an `Err` instead of
+    /// panicking. The default (and everything the derive emits) never
+    /// fails. The hook propagates at the top level only; containers
+    /// (`Vec`, `Option`, maps) serialize elements via the infallible
+    /// `to_value`, matching the subset this workspace exercises.
+    fn try_to_value(&self) -> Result<Value, Error> {
+        Ok(self.to_value())
+    }
 }
 
 /// Deserialization: rebuild `Self` from a JSON value tree.
@@ -122,11 +134,19 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+
+    fn try_to_value(&self) -> Result<Value, Error> {
+        (**self).try_to_value()
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+
+    fn try_to_value(&self) -> Result<Value, Error> {
+        (**self).try_to_value()
     }
 }
 

@@ -8,12 +8,12 @@ pub type Result<T> = std::result::Result<T, Error>;
 
 /// Serialize to compact JSON text.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
-    Ok(serde::json::write_compact(&value.to_value()))
+    Ok(serde::json::write_compact(&value.try_to_value()?))
 }
 
 /// Serialize to human-readable (2-space indented) JSON text.
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
-    Ok(serde::json::write_pretty(&value.to_value()))
+    Ok(serde::json::write_pretty(&value.try_to_value()?))
 }
 
 /// Serialize to a compact JSON byte vector.
@@ -46,7 +46,7 @@ pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
 
 /// Convert a value into the JSON tree.
 pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
-    Ok(value.to_value())
+    value.try_to_value()
 }
 
 /// Rebuild a value from the JSON tree.
