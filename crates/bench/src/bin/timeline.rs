@@ -3,8 +3,16 @@
 //!
 //! ```text
 //! rsp-timeline <events.jsonl> [--json <out.json>]
+//! rsp-timeline --flight <flight.jsonl> [--json <out.json>]
 //! rsp-timeline --demo [--json <out.json>]
 //! ```
+//!
+//! The default mode analyses a per-tenant machine telemetry log
+//! (steering decisions, loads, faults, stalls). `--flight` instead
+//! ingests a serve-engine flight-recorder dump (the
+//! `flight-<seq>-<kind>.jsonl` files `rsp-serve` writes on anomaly
+//! triggers) and reconstructs the fleet story around the anomaly:
+//! tenant lifecycle arcs, shed counts by reason, and trigger stamps.
 //!
 //! `--demo` runs a phased workload under the fault-sweep environment
 //! with a ring-buffer event sink installed, analyses its own log, and
@@ -14,15 +22,26 @@
 
 use rsp_bench::sweep::write_artifact;
 use rsp_bench::throughput::faulty_params;
-use rsp_bench::timeline::{analyze, parse_jsonl, TimelineReport};
+use rsp_bench::timeline::{analyze, analyze_fleet, parse_jsonl, TimelineReport};
 use rsp_sim::{Processor, SimConfig, Telemetry};
 use rsp_workloads::PhasedSpec;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!("usage: rsp-timeline <events.jsonl> [--json <out.json>]");
+    eprintln!("       rsp-timeline --flight <flight.jsonl> [--json <out.json>]");
     eprintln!("       rsp-timeline --demo [--json <out.json>]");
     exit(2);
+}
+
+fn read_input(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rsp-timeline: cannot read {path}: {e}");
+            exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -30,10 +49,12 @@ fn main() {
     let mut input: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut demo = false;
+    let mut flight = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--demo" => demo = true,
+            "--flight" => flight = true,
             "--json" => {
                 i += 1;
                 json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -48,32 +69,40 @@ fn main() {
         }
         i += 1;
     }
+    if demo && (flight || input.is_some()) {
+        usage();
+    }
 
-    let report = if demo {
-        if input.is_some() {
-            usage();
-        }
-        run_demo()
-    } else {
+    // Both report types render and serialise; analyse the right one and
+    // keep only those two behaviours.
+    let (rendered, json) = if flight {
         let Some(path) = input else { usage() };
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
+        let entries = match rsp_obs::parse_fleet_jsonl(&read_input(&path)) {
+            Ok(en) => en,
             Err(e) => {
-                eprintln!("rsp-timeline: cannot read {path}: {e}");
+                eprintln!("rsp-timeline: {path}: {e}");
                 exit(1);
             }
         };
-        let events = match parse_jsonl(&text) {
+        let report = analyze_fleet(&entries);
+        (report.render(), report.to_json())
+    } else if demo {
+        let report = run_demo();
+        (report.render(), report.to_json())
+    } else {
+        let Some(path) = input else { usage() };
+        let events = match parse_jsonl(&read_input(&path)) {
             Ok(ev) => ev,
             Err(e) => {
                 eprintln!("rsp-timeline: {path}: {e}");
                 exit(1);
             }
         };
-        analyze(&events)
+        let report = analyze(&events);
+        (report.render(), report.to_json())
     };
 
-    print!("{}", report.render());
+    print!("{rendered}");
     if let Some(path) = json_out {
         let p = std::path::Path::new(&path);
         let dir = p.parent().unwrap_or_else(|| std::path::Path::new(""));
@@ -81,7 +110,7 @@ fn main() {
             .file_name()
             .and_then(|n| n.to_str())
             .unwrap_or_else(|| usage());
-        write_artifact(dir, name, &report.to_json()).unwrap_or_else(|e| {
+        write_artifact(dir, name, &json).unwrap_or_else(|e| {
             eprintln!("rsp-timeline: cannot write {path}: {e}");
             exit(1);
         });

@@ -98,6 +98,18 @@ pub struct SaturationRow {
     pub cycles_per_tick: f64,
     /// The engine drained to idle within the bound.
     pub drained: bool,
+    /// SLO column: median queue residency (admission → activation) in
+    /// engine ticks, from the engine's aggregate SLO histogram.
+    /// Tick-derived, so deterministic per grid point.
+    #[serde(default)]
+    pub queue_residency_p50: u64,
+    /// SLO column: p99 queue residency in engine ticks.
+    #[serde(default)]
+    pub queue_residency_p99: u64,
+    /// SLO column: p99 admission-to-first-quantum latency in engine
+    /// ticks.
+    #[serde(default)]
+    pub admit_to_first_step_p99: u64,
     /// Wall-clock seconds for the whole point.
     pub wall_seconds: f64,
     /// Aggregate tenant-cycles per wall-second (informative; host-
@@ -122,6 +134,13 @@ pub fn measure_rate(rate: u32) -> SaturationRow {
     let drained = engine.run_until_idle(MAX_DRAIN_TICKS);
     let wall = started.elapsed().as_secs_f64();
     let stats = engine.stats();
+    let slo = engine.metrics().aggregate;
+    let quantiles = |name: &str| -> (u64, u64) {
+        slo.histogram(name)
+            .map_or((0, 0), |h| (h.quantile(0.5), h.quantile(0.99)))
+    };
+    let (res_p50, res_p99) = quantiles("queue_residency");
+    let (_, admit_p99) = quantiles("admit_to_first_step");
     SaturationRow {
         rate,
         offered: stats.submitted,
@@ -134,6 +153,9 @@ pub fn measure_rate(rate: u32) -> SaturationRow {
         stepped_cycles: stats.stepped_cycles,
         cycles_per_tick: stats.stepped_cycles as f64 / stats.ticks as f64,
         drained,
+        queue_residency_p50: res_p50,
+        queue_residency_p99: res_p99,
+        admit_to_first_step_p99: admit_p99,
         wall_seconds: wall,
         cycles_per_sec: stats.stepped_cycles as f64 / wall,
     }
@@ -185,6 +207,12 @@ impl Sweep for ServeSaturationSweep {
             }
             if !(r.cycles_per_sec > 0.0 && r.cycles_per_sec.is_finite()) {
                 return Err(format!("rate {}: bogus wall-clock rate", r.rate));
+            }
+            if r.queue_residency_p50 > r.queue_residency_p99 {
+                return Err(format!(
+                    "rate {}: residency p50 {} exceeds p99 {}",
+                    r.rate, r.queue_residency_p50, r.queue_residency_p99
+                ));
             }
         }
         let unsaturated: Vec<&SaturationRow> = rows.iter().filter(|r| r.shed_rate == 0.0).collect();
@@ -248,7 +276,7 @@ impl Sweep for ServeSaturationSweep {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:>5} {:>8} {:>9} {:>6} {:>10} {:>7} {:>13} {:>15}",
+            "{:>5} {:>8} {:>9} {:>6} {:>10} {:>7} {:>13} {:>15} {:>9} {:>9}",
             "rate",
             "offered",
             "admitted",
@@ -256,12 +284,14 @@ impl Sweep for ServeSaturationSweep {
             "shed-rate",
             "ticks",
             "cycles/tick",
-            "cycles/sec"
+            "cycles/sec",
+            "res-p50",
+            "res-p99"
         );
         for r in rows {
             let _ = writeln!(
                 s,
-                "{:>5} {:>8} {:>9} {:>6} {:>10.3} {:>7} {:>13.0} {:>15.0}",
+                "{:>5} {:>8} {:>9} {:>6} {:>10.3} {:>7} {:>13.0} {:>15.0} {:>9} {:>9}",
                 r.rate,
                 r.offered,
                 r.admitted,
@@ -269,7 +299,9 @@ impl Sweep for ServeSaturationSweep {
                 r.shed_rate,
                 r.ticks,
                 r.cycles_per_tick,
-                r.cycles_per_sec
+                r.cycles_per_sec,
+                r.queue_residency_p50,
+                r.queue_residency_p99
             );
         }
         if let Some(first_shed) = rows.iter().find(|r| r.shed_rate > 0.0) {

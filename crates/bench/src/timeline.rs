@@ -18,8 +18,9 @@
 //! the machine did (the telemetry integration tests diff its episode
 //! count against [`rsp_sim::FaultStats::upsets_detected`]).
 
-use rsp_obs::{Event, StallCause, Stamped, MAX_CANDIDATES};
+use rsp_obs::{Event, FleetEntry, FleetEvent, StallCause, Stamped, MAX_CANDIDATES};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One reconstructed upset episode: inject → detect (scrub) → recover
@@ -433,6 +434,259 @@ impl TimelineReport {
     }
 }
 
+/// One tenant's reconstructed lifecycle arc from a flight-recorder
+/// dump: admitted → activated → quanta → completed (or failed). Fields
+/// are `Option` because a bounded ring may have evicted the arc's
+/// early entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct FleetTenantArc {
+    /// Server-assigned tenant id.
+    pub tenant: u64,
+    /// Tick the tenant was admitted, when still in the ring.
+    pub admitted_at: Option<u64>,
+    /// Tick the tenant activated, when still in the ring.
+    pub activated_at: Option<u64>,
+    /// Ticks spent queued, as stamped by the activation entry.
+    pub queued_ticks: Option<u64>,
+    /// Quanta recorded for this tenant.
+    pub quanta: u64,
+    /// Cycles stepped across those quanta.
+    pub cycles: u64,
+    /// Tick the tenant completed, when it did within the ring.
+    pub completed_at: Option<u64>,
+    /// Whether the tenant halted (vs. exhausting its budget).
+    pub halted: Option<bool>,
+    /// True iff activation failed server-side.
+    pub failed: bool,
+}
+
+/// Count per shed reason or trigger kind in a flight dump.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FleetShare {
+    /// The reason/kind label (`queue_full`, `shed_storm`, …).
+    pub label: String,
+    /// Entries with this label.
+    pub count: u64,
+}
+
+/// The fleet analyzer's output: what a flight-recorder dump says
+/// happened around the anomaly that triggered it.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Entries analysed.
+    pub entries: u64,
+    /// First entry's engine tick (0 for an empty dump).
+    pub first_tick: u64,
+    /// Last entry's engine tick (0 for an empty dump).
+    pub last_tick: u64,
+    /// Admissions in the ring.
+    pub admitted: u64,
+    /// Activations in the ring.
+    pub activated: u64,
+    /// Completions in the ring.
+    pub completed: u64,
+    /// Server-side activation failures.
+    pub failed: u64,
+    /// Sheds by reason (only reasons that occurred).
+    pub sheds: Vec<FleetShare>,
+    /// Anomaly triggers by kind, in ring order.
+    pub triggers: Vec<FleetShare>,
+    /// Queue-residency distribution over activation entries.
+    pub queued_ticks: LatencySummary,
+    /// Cycles-per-quantum distribution over quantum entries.
+    pub quantum_cycles: LatencySummary,
+    /// Per-tenant lifecycle arcs, in id order.
+    pub tenants: Vec<FleetTenantArc>,
+}
+
+/// Replay a flight-recorder dump (tick order expected, as recorded)
+/// into a [`FleetReport`].
+pub fn analyze_fleet(entries: &[FleetEntry]) -> FleetReport {
+    let mut admitted = 0u64;
+    let mut activated = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut sheds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut triggers: Vec<FleetShare> = Vec::new();
+    let mut queued = Vec::new();
+    let mut quanta = Vec::new();
+    let mut tenants: BTreeMap<u64, FleetTenantArc> = BTreeMap::new();
+    fn arc(tenants: &mut BTreeMap<u64, FleetTenantArc>, id: u64) -> &mut FleetTenantArc {
+        tenants.entry(id).or_insert(FleetTenantArc {
+            tenant: id,
+            ..FleetTenantArc::default()
+        })
+    }
+
+    for e in entries {
+        match e.event {
+            FleetEvent::Admitted => {
+                admitted += 1;
+                if let Some(id) = e.tenant {
+                    arc(&mut tenants, id).admitted_at = Some(e.tick);
+                }
+            }
+            FleetEvent::Shed { reason } => {
+                *sheds.entry(reason.name()).or_insert(0) += 1;
+            }
+            FleetEvent::Activated { queued_ticks } => {
+                activated += 1;
+                queued.push(queued_ticks);
+                if let Some(id) = e.tenant {
+                    let t = arc(&mut tenants, id);
+                    t.activated_at = Some(e.tick);
+                    t.queued_ticks = Some(queued_ticks);
+                }
+            }
+            FleetEvent::ActivationFailed => {
+                failed += 1;
+                if let Some(id) = e.tenant {
+                    arc(&mut tenants, id).failed = true;
+                }
+            }
+            FleetEvent::Quantum { cycles } => {
+                quanta.push(cycles);
+                if let Some(id) = e.tenant {
+                    let t = arc(&mut tenants, id);
+                    t.quanta += 1;
+                    t.cycles += cycles;
+                }
+            }
+            FleetEvent::Completed { cycles, halted } => {
+                completed += 1;
+                if let Some(id) = e.tenant {
+                    let t = arc(&mut tenants, id);
+                    t.completed_at = Some(e.tick);
+                    t.halted = Some(halted);
+                    t.cycles = t.cycles.max(cycles);
+                }
+            }
+            FleetEvent::Trigger { kind } => {
+                if let Some(t) = triggers.iter_mut().find(|t| t.label == kind.name()) {
+                    t.count += 1;
+                } else {
+                    triggers.push(FleetShare {
+                        label: kind.name().to_string(),
+                        count: 1,
+                    });
+                }
+            }
+        }
+    }
+
+    FleetReport {
+        entries: entries.len() as u64,
+        first_tick: entries.first().map_or(0, |e| e.tick),
+        last_tick: entries.last().map_or(0, |e| e.tick),
+        admitted,
+        activated,
+        completed,
+        failed,
+        sheds: sheds
+            .into_iter()
+            .map(|(label, count)| FleetShare {
+                label: label.to_string(),
+                count,
+            })
+            .collect(),
+        triggers,
+        queued_ticks: LatencySummary::of(queued.into_iter()),
+        quantum_cycles: LatencySummary::of(quanta.into_iter()),
+        tenants: tenants.into_values().collect(),
+    }
+}
+
+impl FleetReport {
+    /// Serialise for CI diffing.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Human-readable rendering: summary, shed/trigger tables, and the
+    /// per-tenant lifecycle arcs.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} flight entries over ticks {}..{}",
+            self.entries, self.first_tick, self.last_tick
+        );
+        let _ = writeln!(
+            s,
+            "fleet: {} admitted, {} activated, {} completed, {} failed",
+            self.admitted, self.activated, self.completed, self.failed
+        );
+        if !self.sheds.is_empty() {
+            let _ = writeln!(s, "\nsheds:");
+            for sh in &self.sheds {
+                let _ = writeln!(s, "  {:<12} {:>8}", sh.label, sh.count);
+            }
+        }
+        if !self.triggers.is_empty() {
+            let _ = writeln!(s, "\nanomaly triggers:");
+            for t in &self.triggers {
+                let _ = writeln!(s, "  {:<16} {:>8}", t.label, t.count);
+            }
+        }
+        if self.queued_ticks.count > 0 {
+            let _ = writeln!(
+                s,
+                "\nqueue residency: min {} mean {:.1} max {} ticks over {} activations",
+                self.queued_ticks.min,
+                self.queued_ticks.mean,
+                self.queued_ticks.max,
+                self.queued_ticks.count
+            );
+        }
+        if self.quantum_cycles.count > 0 {
+            let _ = writeln!(
+                s,
+                "quanta: min {} mean {:.1} max {} cycles over {} quanta",
+                self.quantum_cycles.min,
+                self.quantum_cycles.mean,
+                self.quantum_cycles.max,
+                self.quantum_cycles.count
+            );
+        }
+        const MAX_LISTED: usize = 100;
+        if !self.tenants.is_empty() {
+            let _ = writeln!(s, "\ntenant arcs:");
+        }
+        for t in self.tenants.iter().take(MAX_LISTED) {
+            let admitted = t
+                .admitted_at
+                .map_or("admit ?".to_string(), |a| format!("admit @{a}"));
+            let activated = match (t.activated_at, t.queued_ticks) {
+                (Some(a), Some(q)) => format!("active @{a} (queued {q})"),
+                (Some(a), None) => format!("active @{a}"),
+                _ => "never active".to_string(),
+            };
+            let end = if t.failed {
+                "FAILED".to_string()
+            } else {
+                match (t.completed_at, t.halted) {
+                    (Some(c), Some(true)) => format!("done @{c} (halted)"),
+                    (Some(c), _) => format!("done @{c} (budget)"),
+                    _ => "unfinished".to_string(),
+                }
+            };
+            let _ = writeln!(
+                s,
+                "  t{:<5} {admitted:<12} {activated:<26} {:>6} quanta {:>10} cycles  {end}",
+                t.tenant, t.quanta, t.cycles
+            );
+        }
+        if self.tenants.len() > MAX_LISTED {
+            let _ = writeln!(
+                s,
+                "  … {} more (full list in the JSON report)",
+                self.tenants.len() - MAX_LISTED
+            );
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,5 +836,107 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("loads_started"));
         assert!(json.contains("\"events\": 1"));
+    }
+
+    fn fe(tick: u64, tenant: Option<u64>, event: FleetEvent) -> FleetEntry {
+        FleetEntry {
+            tick,
+            tenant,
+            event,
+        }
+    }
+
+    #[test]
+    fn fleet_analyzer_reconstructs_tenant_arcs() {
+        use rsp_obs::{ShedKind, TriggerKind};
+        let log = [
+            fe(1, Some(0), FleetEvent::Admitted),
+            fe(1, Some(1), FleetEvent::Admitted),
+            fe(
+                2,
+                None,
+                FleetEvent::Shed {
+                    reason: ShedKind::QueueFull,
+                },
+            ),
+            fe(
+                2,
+                None,
+                FleetEvent::Shed {
+                    reason: ShedKind::QueueFull,
+                },
+            ),
+            fe(
+                2,
+                None,
+                FleetEvent::Shed {
+                    reason: ShedKind::StepLag,
+                },
+            ),
+            fe(3, Some(0), FleetEvent::Activated { queued_ticks: 2 }),
+            fe(3, Some(1), FleetEvent::Activated { queued_ticks: 2 }),
+            fe(3, Some(0), FleetEvent::Quantum { cycles: 256 }),
+            fe(3, Some(1), FleetEvent::Quantum { cycles: 256 }),
+            fe(4, Some(0), FleetEvent::Quantum { cycles: 100 }),
+            fe(
+                4,
+                Some(0),
+                FleetEvent::Completed {
+                    cycles: 356,
+                    halted: true,
+                },
+            ),
+            fe(
+                4,
+                None,
+                FleetEvent::Trigger {
+                    kind: TriggerKind::ShedStorm,
+                },
+            ),
+        ];
+        let r = analyze_fleet(&log);
+        assert_eq!(r.entries, 12);
+        assert_eq!((r.first_tick, r.last_tick), (1, 4));
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.activated, 2);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.sheds.len(), 2);
+        let qf = r.sheds.iter().find(|s| s.label == "queue_full").unwrap();
+        assert_eq!(qf.count, 2);
+        assert_eq!(r.triggers.len(), 1);
+        assert_eq!(r.triggers[0].label, "shed_storm");
+        assert_eq!(r.queued_ticks.count, 2);
+        assert_eq!(r.queued_ticks.mean, 2.0);
+        assert_eq!(r.quantum_cycles.count, 3);
+
+        assert_eq!(r.tenants.len(), 2);
+        let t0 = &r.tenants[0];
+        assert_eq!(t0.tenant, 0);
+        assert_eq!(t0.admitted_at, Some(1));
+        assert_eq!(t0.queued_ticks, Some(2));
+        assert_eq!((t0.quanta, t0.cycles), (2, 356));
+        assert_eq!(t0.completed_at, Some(4));
+        assert_eq!(t0.halted, Some(true));
+        let t1 = &r.tenants[1];
+        assert_eq!(t1.completed_at, None, "tenant 1 still running");
+
+        let text = r.render();
+        assert!(text.contains("2 admitted"), "{text}");
+        assert!(text.contains("queue_full"), "{text}");
+        assert!(text.contains("shed_storm"), "{text}");
+        assert!(text.contains("done @4 (halted)"), "{text}");
+        assert!(text.contains("unfinished"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"queued_ticks\""));
+    }
+
+    #[test]
+    fn empty_flight_dump_analyzes_to_zeroes() {
+        let r = analyze_fleet(&[]);
+        assert_eq!(r.entries, 0);
+        assert!(r.tenants.is_empty());
+        assert!(r.sheds.is_empty());
+        assert!(r.render().contains("0 flight entries"));
     }
 }

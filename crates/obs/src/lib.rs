@@ -18,6 +18,12 @@
 //! sweep progress (points completed / resumed / failed) for the
 //! `rsp-bench` sweep engine; it counts host work, not simulated events.
 //!
+//! Two fleet-facing layers serve the `rsp-serve` stack (DESIGN.md §15):
+//! [`PromWriter`]/[`PromDump`] render and parse a Prometheus-style text
+//! exposition of [`MetricsSnapshot`]s (bucket bounds embedded, labels
+//! escaped), and [`FlightRecorder`] keeps a bounded ring of
+//! [`FleetEntry`]s with shed-storm detection for post-mortem dumps.
+//!
 //! [`Telemetry`] bundles the first three behind a single handle the
 //! simulator owns. **Overhead policy:** a disabled handle reduces every emit to
 //! one branch; an enabled handle never allocates after construction
@@ -29,17 +35,24 @@
 #![warn(missing_docs)]
 
 mod event;
+mod expo;
 mod metrics;
 mod progress;
+mod recorder;
 mod route;
 mod sink;
 
 pub use event::{Event, StallCause, Stamped, MAX_CANDIDATES};
+pub use expo::{escape_label, PromDump, PromSample, PromWriter};
 pub use metrics::{
     Counter, CounterValue, CycleHistogram, Histo, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, HIST_BUCKETS, NUM_COUNTERS, NUM_HISTOS,
 };
 pub use progress::{ProgressSnapshot, SweepProgress};
+pub use recorder::{
+    parse_fleet_jsonl, FleetEntry, FleetEvent, FlightRecorder, ShedKind, TriggerKind,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_SHED_STORM_THRESHOLD, DEFAULT_SHED_STORM_WINDOW,
+};
 pub use route::TenantRouter;
 pub use sink::{EventSink, NoopSink, RingSink};
 

@@ -196,6 +196,15 @@ impl CycleHistogram {
             (1 << (i - 1), Some((1 << i) - 1))
         }
     }
+
+    /// Inclusive upper bounds of every bounded bucket, in order. The
+    /// last (unbounded) bucket has no entry; snapshots embed this so
+    /// consumers never have to assume the log2 layout.
+    pub fn upper_bounds() -> Vec<u64> {
+        (0..HIST_BUCKETS - 1)
+            .map(|i| CycleHistogram::bucket_bounds(i).1.expect("bounded bucket"))
+            .collect()
+    }
 }
 
 /// The in-loop metrics registry: enum-indexed counters + histograms.
@@ -281,13 +290,7 @@ impl MetricsRegistry {
                 .iter()
                 .map(|&h| {
                     let hist = self.histogram(h);
-                    HistogramSnapshot {
-                        name: h.name().to_string(),
-                        count: hist.count(),
-                        sum: hist.sum(),
-                        max: hist.max(),
-                        buckets: hist.buckets().to_vec(),
-                    }
+                    HistogramSnapshot::from_histogram(h.name(), hist)
                 })
                 .collect(),
         }
@@ -316,9 +319,28 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Log2 bucket counts ([`CycleHistogram`] layout).
     pub buckets: Vec<u64>,
+    /// Inclusive upper bound of each bounded bucket (`bounds[i]` caps
+    /// `buckets[i]`; the final bucket is unbounded and has no entry).
+    /// Embedded so consumers never hard-code the bucket layout. Empty in
+    /// snapshots written before bounds existed — [`HistogramSnapshot::bound`]
+    /// falls back to the log2 layout for those.
+    #[serde(default)]
+    pub bounds: Vec<u64>,
 }
 
 impl HistogramSnapshot {
+    /// Snapshot a live histogram under `name`, embedding the bounds.
+    pub fn from_histogram(name: &str, h: &CycleHistogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+            buckets: h.buckets().to_vec(),
+            bounds: CycleHistogram::upper_bounds(),
+        }
+    }
+
     /// Mean sample (0.0 if empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -326,6 +348,41 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`None` for the unbounded
+    /// last bucket). Uses the embedded bounds when present; legacy
+    /// snapshots with the standard bucket count fall back to the log2
+    /// layout.
+    pub fn bound(&self, i: usize) -> Option<u64> {
+        if i + 1 >= self.buckets.len() {
+            return None; // last bucket (or out of range) is unbounded
+        }
+        if !self.bounds.is_empty() {
+            return self.bounds.get(i).copied();
+        }
+        if self.buckets.len() == HIST_BUCKETS {
+            return CycleHistogram::bucket_bounds(i).1;
+        }
+        None
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket where the cumulative count crosses `q * count`, capped at
+    /// the observed max (0 if empty). Exact to within one bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return self.bound(i).map(|hi| hi.min(self.max)).unwrap_or(self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -453,6 +510,44 @@ mod tests {
         assert_eq!(back.counter("loads_started"), Some(1));
         assert_eq!(back.histogram("load_latency").unwrap().count, 1);
         assert_eq!(back.histogram("load_latency").unwrap().mean(), 9.0);
+    }
+
+    #[test]
+    fn snapshot_embeds_bucket_bounds() {
+        let mut r = MetricsRegistry::new();
+        r.record(Histo::LoadLatency, 5);
+        let snap = r.snapshot();
+        let h = snap.histogram("load_latency").unwrap();
+        assert_eq!(h.bounds.len(), HIST_BUCKETS - 1);
+        for (i, &b) in h.bounds.iter().enumerate() {
+            assert_eq!(Some(b), CycleHistogram::bucket_bounds(i).1);
+            assert_eq!(h.bound(i), Some(b));
+        }
+        assert_eq!(h.bound(HIST_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn quantile_walks_embedded_bounds() {
+        let mut hist = CycleHistogram::default();
+        for v in [0, 1, 2, 3, 4, 5, 6, 7, 100, 100] {
+            hist.record(v);
+        }
+        let h = HistogramSnapshot::from_histogram("q", &hist);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 7); // 5th sample lands in bucket [4,7]
+        assert_eq!(h.quantile(1.0), 100); // capped at the observed max
+                                          // Legacy snapshots (no embedded bounds) fall back to the log2
+                                          // layout when the bucket count matches.
+        let legacy = HistogramSnapshot {
+            bounds: Vec::new(),
+            ..h.clone()
+        };
+        assert_eq!(legacy.quantile(0.5), 7);
+        // Empty histogram.
+        assert_eq!(
+            HistogramSnapshot::from_histogram("e", &CycleHistogram::default()).quantile(0.99),
+            0
+        );
     }
 
     #[test]

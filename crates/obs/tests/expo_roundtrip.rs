@@ -1,0 +1,57 @@
+//! Property test: the Prometheus text exposition round-trips. For any
+//! sampled registry state, rendering a [`MetricsSnapshot`] (with or
+//! without labels) and parsing the text back yields exactly the
+//! counters, bucket counts, bounds, sums and maxima the snapshot holds.
+
+use proptest::prelude::*;
+use rsp_obs::{Histo, MetricsRegistry, PromDump, PromWriter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exposition_round_trips_to_the_snapshot(
+        bumps in proptest::collection::vec(0usize..rsp_obs::NUM_COUNTERS, 0..64),
+        samples in proptest::collection::vec((0usize..rsp_obs::NUM_HISTOS, 0u64..200_000), 0..64),
+        tenant in 0u64..1000,
+        labeled in proptest::bool::ANY,
+    ) {
+        let mut r = MetricsRegistry::new();
+        for &c in &bumps {
+            r.bump(rsp_obs::Counter::ALL[c]);
+        }
+        for &(h, v) in &samples {
+            r.record(Histo::ALL[h], v);
+        }
+        let snap = r.snapshot();
+
+        let key = format!("t{tenant}");
+        let labels: &[(&str, &str)] = if labeled { &[("tenant", &key)] } else { &[] };
+        let mut w = PromWriter::new();
+        w.snapshot("rsp_", labels, &snap);
+        let dump = PromDump::parse(&w.finish()).unwrap();
+
+        for c in &snap.counters {
+            prop_assert_eq!(
+                dump.value_u64(&format!("rsp_{}_total", c.name), labels),
+                Some(c.value),
+                "counter {}", c.name
+            );
+        }
+        for h in &snap.histograms {
+            let back = dump.histogram(&format!("rsp_{}", h.name), labels)
+                .expect("histogram family parses");
+            prop_assert_eq!(&back.buckets, &h.buckets, "buckets of {}", h.name);
+            prop_assert_eq!(&back.bounds, &h.bounds, "bounds of {}", h.name);
+            prop_assert_eq!(back.count, h.count, "count of {}", h.name);
+            prop_assert_eq!(back.sum, h.sum, "sum of {}", h.name);
+            prop_assert_eq!(back.max, h.max, "max of {}", h.name);
+            prop_assert_eq!(back.quantile(0.99), h.quantile(0.99), "p99 of {}", h.name);
+        }
+        // Totals across bucket counts equal the sample count, so the
+        // exposition's cumulative buckets are internally consistent.
+        for h in &snap.histograms {
+            prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        }
+    }
+}

@@ -3,10 +3,15 @@
 //! ```text
 //! rsp-serve listen ADDR [--queue-depth N] [--max-active N]
 //!                       [--lag-watermark N] [--quantum N] [--pool N]
-//!                       [--telemetry-dir DIR]
+//!                       [--telemetry-dir DIR] [--no-slo]
+//!                       [--flight-dir DIR] [--flight-capacity N]
+//!                       [--shed-storm N] [--shed-window N]
+//!                       [--replay-audit N]
 //! rsp-serve drive  ADDR [--tenants N] [--seed S] [--lane-every K]
 //!                       [--cycles N] [--timeout-secs N]
-//!                       [--no-verify-replay]
+//!                       [--no-verify-replay] [--no-shutdown]
+//! rsp-serve stats  ADDR [--prom]
+//! rsp-serve shutdown ADDR
 //! ```
 //!
 //! `listen` runs the server until a client sends `Shutdown`. `drive`
@@ -14,7 +19,10 @@
 //! tenant fleet, waits for completion, asserts non-empty per-tenant
 //! telemetry, verifies offline replay bit-identity for one scalar and
 //! one lane tenant (against the default base config), prints the final
-//! stats JSON, and shuts the server down cleanly.
+//! stats JSON with per-reason shed counts, and shuts the server down
+//! cleanly (`--no-shutdown` leaves it running so `stats` can scrape
+//! it). `stats` prints a live server's counters as JSON, or the full
+//! Prometheus text exposition with `--prom`; `shutdown` stops it.
 //!
 //! Exit codes follow the workspace convention: 1 = runtime failure,
 //! 2 = usage error.
@@ -27,11 +35,15 @@ use rsp_workloads::{LaneTraceSpec, StreamSpec, SynthSpec, UnitMix};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: rsp-serve <listen|drive> ADDR [options]
-  listen: --queue-depth N  --max-active N  --lag-watermark N  --quantum N
-          --pool N  --telemetry-dir DIR
-  drive:  --tenants N  --seed S  --lane-every K  --cycles N
-          --timeout-secs N  --no-verify-replay
+const USAGE: &str = "usage: rsp-serve <listen|drive|stats|shutdown> ADDR [options]
+  listen:   --queue-depth N  --max-active N  --lag-watermark N  --quantum N
+            --pool N  --telemetry-dir DIR  --no-slo
+            --flight-dir DIR  --flight-capacity N
+            --shed-storm N  --shed-window N  --replay-audit N
+  drive:    --tenants N  --seed S  --lane-every K  --cycles N
+            --timeout-secs N  --no-verify-replay  --no-shutdown
+  stats:    --prom (Prometheus text exposition instead of stats JSON)
+  shutdown: (no options)
 ADDR is host:port (TCP) or a path containing '/' (Unix socket).";
 
 fn usage_error(msg: &str) -> ! {
@@ -61,9 +73,55 @@ fn main() {
     match mode.as_str() {
         "listen" => listen(args),
         "drive" => drive(args),
+        "stats" => stats(args),
+        "shutdown" => shutdown(args),
         "--help" | "-h" => eprintln!("{USAGE}"),
         other => usage_error(&format!("unknown mode {other:?}")),
     }
+}
+
+fn connect(addr: &str) -> ServeClient {
+    ServeClient::connect(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")))
+}
+
+fn stats(mut args: impl Iterator<Item = String>) {
+    let addr = args
+        .next()
+        .unwrap_or_else(|| usage_error("stats needs ADDR"));
+    let mut prom = false;
+    for a in args {
+        match a.as_str() {
+            "--prom" => prom = true,
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let mut client = connect(&addr);
+    if prom {
+        let text = client
+            .exposition()
+            .unwrap_or_else(|e| fail(&format!("exposition: {e}")));
+        print!("{text}");
+    } else {
+        let s = client
+            .stats()
+            .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+        let json = serde_json::to_string_pretty(&s)
+            .unwrap_or_else(|e| fail(&format!("stats encode: {e}")));
+        println!("{json}");
+    }
+}
+
+fn shutdown(mut args: impl Iterator<Item = String>) {
+    let addr = args
+        .next()
+        .unwrap_or_else(|| usage_error("shutdown needs ADDR"));
+    if let Some(other) = args.next() {
+        usage_error(&format!("unknown argument {other:?}"));
+    }
+    connect(&addr)
+        .shutdown()
+        .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    eprintln!("server at {addr} acknowledged shutdown");
 }
 
 fn listen(mut args: impl Iterator<Item = String>) {
@@ -81,6 +139,14 @@ fn listen(mut args: impl Iterator<Item = String>) {
             "--telemetry-dir" => {
                 cfg.telemetry_dir = Some(PathBuf::from(need("--telemetry-dir", args.next())))
             }
+            "--no-slo" => cfg.engine.slo = false,
+            "--flight-dir" => {
+                cfg.engine.flight_dir = Some(PathBuf::from(need("--flight-dir", args.next())))
+            }
+            "--flight-capacity" => cfg.engine.flight_capacity = parse(&a, args.next()),
+            "--shed-storm" => cfg.engine.shed_storm_threshold = parse(&a, args.next()),
+            "--shed-window" => cfg.engine.shed_storm_window = parse(&a, args.next()),
+            "--replay-audit" => cfg.engine.replay_audit_every = parse(&a, args.next()),
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
@@ -132,6 +198,7 @@ fn drive(mut args: impl Iterator<Item = String>) {
     let mut cycles: u64 = 20_000;
     let mut timeout = Duration::from_secs(120);
     let mut verify_replay = true;
+    let mut shutdown_after = true;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tenants" => tenants = parse(&a, args.next()),
@@ -140,6 +207,7 @@ fn drive(mut args: impl Iterator<Item = String>) {
             "--cycles" => cycles = parse(&a, args.next()),
             "--timeout-secs" => timeout = Duration::from_secs(parse(&a, args.next())),
             "--no-verify-replay" => verify_replay = false,
+            "--no-shutdown" => shutdown_after = false,
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
@@ -239,10 +307,18 @@ fn drive(mut args: impl Iterator<Item = String>) {
         .unwrap_or_else(|e| fail(&format!("stats encode: {e}")));
     println!("{json}");
     eprintln!(
-        "drive ok: {} tenants completed, {shed} shed, {verified} replay-verified",
-        admitted.len()
+        "drive ok: {} tenants completed, {shed} shed \
+         (queue_full {}, step_lag {}, bad_spec {}), {verified} replay-verified",
+        admitted.len(),
+        stats.shed_queue_full,
+        stats.shed_step_lag,
+        stats.shed_bad_spec,
     );
-    client
-        .shutdown()
-        .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    if shutdown_after {
+        client
+            .shutdown()
+            .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    } else {
+        eprintln!("server left running (--no-shutdown)");
+    }
 }

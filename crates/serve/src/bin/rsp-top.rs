@@ -1,0 +1,166 @@
+//! Live fleet top: poll a running `rsp-serve` server's metrics frame
+//! and render a refreshing per-tenant SLO table.
+//!
+//! ```text
+//! rsp-top ADDR [--interval-ms N] [--iterations N] [--json] [--no-clear]
+//! ```
+//!
+//! Each refresh issues one `Request::Metrics` round-trip and renders:
+//! a fleet header (tick, queue/active occupancy, lane-group packing,
+//! sheds by reason, pool occupancy) and one row per tenant with queue
+//! residency and step-lag p50/p99 (from the embedded histogram bucket
+//! bounds), quanta, and cycles. `--json` emits the raw frame as one
+//! JSON line per refresh instead (machine-readable watch mode);
+//! `--iterations 0` polls until interrupted.
+//!
+//! Exit codes follow the workspace convention: 1 = runtime failure,
+//! 2 = usage error.
+
+use rsp_obs::MetricsSnapshot;
+use rsp_serve::{MetricsFrame, ServeClient};
+use std::time::Duration;
+
+const USAGE: &str = "usage: rsp-top ADDR [--interval-ms N] [--iterations N] [--json] [--no-clear]
+  --interval-ms N   refresh period (default 1000)
+  --iterations N    refreshes before exiting; 0 = until interrupted (default 0)
+  --json            emit the raw metrics frame as one JSON line per refresh
+  --no-clear        append refreshes instead of clearing the screen
+ADDR is host:port (TCP) or a path containing '/' (Unix socket).";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+        .parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} needs a number")))
+}
+
+/// `p50/p99` of a named histogram in `snap`, or `-/-` when absent or
+/// empty.
+fn quantiles(snap: &MetricsSnapshot, name: &str) -> String {
+    match snap.histogram(name) {
+        Some(h) if h.count > 0 => format!("{}/{}", h.quantile(0.5), h.quantile(0.99)),
+        _ => "-/-".to_string(),
+    }
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+fn render(frame: &MetricsFrame) -> String {
+    let s = &frame.stats;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rsp-top  tick {}  queued {}  active {}  lane-groups {} ({} tenants)\n",
+        frame.tick, s.queued, s.active, s.lane_groups, s.lane_tenants
+    ));
+    out.push_str(&format!(
+        "fleet    submitted {}  admitted {}  completed {}  failed {}  \
+         shed {} (queue_full {} / step_lag {} / bad_spec {})\n",
+        s.submitted,
+        s.admitted,
+        s.completed,
+        s.failed,
+        s.shed_total(),
+        s.shed_queue_full,
+        s.shed_step_lag,
+        s.shed_bad_spec
+    ));
+    out.push_str(&format!(
+        "pool     in-use {}  peak {}  reuses {}  rebuilds {}\n",
+        s.pool.in_use, s.pool.peak_in_use, s.pool.reuses, s.pool.rebuilds
+    ));
+    out.push_str(&format!(
+        "slo      residency p50/p99 {}  step-lag p50/p99 {}  \
+         admit->first-step p50/p99 {}  quanta/tick p50/p99 {}\n",
+        quantiles(&frame.aggregate, "queue_residency"),
+        quantiles(&frame.aggregate, "step_lag"),
+        quantiles(&frame.aggregate, "admit_to_first_step"),
+        quantiles(&frame.aggregate, "quanta_per_tick"),
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>5} {:<20} {:<8} {:>5} {:>9} {:>11} {:>9} {:>9} {:>9}\n",
+        "ID", "NAME", "PHASE", "KIND", "QUANTA", "CYCLES", "RES", "LAG", "ADMIT"
+    ));
+    for t in &frame.tenants {
+        let phase = format!("{:?}", t.phase).to_lowercase();
+        let mut name = t.name.clone();
+        if name.len() > 20 {
+            name.truncate(19);
+            name.push('…');
+        }
+        out.push_str(&format!(
+            "{:>5} {:<20} {:<8} {:>5} {:>9} {:>11} {:>9} {:>9} {:>9}\n",
+            t.id,
+            name,
+            phase,
+            if t.lane { "lane" } else { "mach" },
+            counter(&t.snapshot, "quanta"),
+            counter(&t.snapshot, "cycles"),
+            quantiles(&t.snapshot, "queue_residency"),
+            quantiles(&t.snapshot, "step_lag"),
+            quantiles(&t.snapshot, "admit_to_first_step"),
+        ));
+    }
+    if frame.tenants.is_empty() {
+        out.push_str("(no tenants seen by the SLO registry — is the server running --no-slo?)\n");
+    }
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| usage_error("missing ADDR"));
+    if addr == "--help" || addr == "-h" {
+        eprintln!("{USAGE}");
+        return;
+    }
+    let mut interval = Duration::from_millis(1000);
+    let mut iterations: u64 = 0;
+    let mut json = false;
+    let mut clear = true;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--interval-ms" => interval = Duration::from_millis(parse(&a, args.next())),
+            "--iterations" => iterations = parse(&a, args.next()),
+            "--json" => json = true,
+            "--no-clear" => clear = false,
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let mut client =
+        ServeClient::connect(&addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    let mut done: u64 = 0;
+    loop {
+        let frame = client
+            .metrics()
+            .unwrap_or_else(|e| fail(&format!("metrics: {e}")));
+        if json {
+            let line = serde_json::to_string(&frame)
+                .unwrap_or_else(|e| fail(&format!("frame encode: {e}")));
+            println!("{line}");
+        } else {
+            if clear {
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render(&frame));
+        }
+        done += 1;
+        if iterations > 0 && done >= iterations {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -10,6 +10,7 @@ use crate::engine::EngineStats;
 use crate::protocol::{self, Request, Response};
 use crate::scheduler::ShedReason;
 use crate::server::is_unix_addr;
+use crate::slo::MetricsFrame;
 use crate::tenant::{TenantRequest, TenantStatus};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -125,6 +126,23 @@ impl ServeClient {
     pub fn stats(&mut self) -> io::Result<EngineStats> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The full SLO metrics frame (engine stats + aggregate and
+    /// per-tenant snapshots).
+    pub fn metrics(&mut self) -> io::Result<MetricsFrame> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(f) => Ok(f),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The server-rendered Prometheus text exposition.
+    pub fn exposition(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Exposition)? {
+            Response::Exposition { text } => Ok(text),
             other => Err(Self::unexpected(other)),
         }
     }

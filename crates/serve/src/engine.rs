@@ -25,9 +25,13 @@
 //! `serve-saturation` harness assert byte identity.
 
 use crate::scheduler::{LoadSnapshot, Scheduler, ShedReason, WatermarkScheduler};
+use crate::slo::{MetricsFrame, SloRegistry, TenantMetrics};
 use crate::tenant::{tenant_key, TenantPhase, TenantRequest, TenantStatus};
 use rsp_isa::units::UnitType;
-use rsp_obs::{Telemetry, TenantRouter};
+use rsp_obs::{
+    FleetEntry, FleetEvent, FlightRecorder, Telemetry, TenantRouter, TriggerKind,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_SHED_STORM_THRESHOLD, DEFAULT_SHED_STORM_WINDOW,
+};
 use rsp_sim::lanes::{LaneBatch, LaneParams};
 use rsp_sim::pool::{MachinePool, PoolStats};
 use rsp_sim::processor::Machine;
@@ -35,7 +39,7 @@ use rsp_sim::{LaneStimulus, Processor, SimConfig};
 use rsp_workloads::QueueRow;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Lanes per lane group — one bit-plane word of the lane kernel.
 pub const LANES_PER_GROUP: usize = 64;
@@ -48,6 +52,24 @@ pub struct EngineConfig {
     pub base: SimConfig,
     /// Idle machines the [`MachinePool`] retains.
     pub pool_capacity: usize,
+    /// Maintain per-tenant SLO metrics (DESIGN.md §15). Disabled, every
+    /// SLO hook is one branch.
+    pub slo: bool,
+    /// Flight-recorder ring capacity in entries (0 = recorder off).
+    pub flight_capacity: usize,
+    /// Sheds inside one detection window that trip a flight dump
+    /// (0 = storm detection off).
+    pub shed_storm_threshold: u32,
+    /// Shed-storm detection window, in engine ticks.
+    pub shed_storm_window: u64,
+    /// Write flight-recorder dumps here on anomaly triggers (`None` =
+    /// keep in memory only; [`ServeEngine::flight_jsonl`] still works).
+    pub flight_dir: Option<PathBuf>,
+    /// Replay-audit every Nth completed scalar tenant: re-run it
+    /// offline via [`replay`] and trip a [`TriggerKind::ReplayMismatch`]
+    /// flight dump if the telemetry diverges (0 = off; the audit costs
+    /// a full offline re-run per sampled tenant).
+    pub replay_audit_every: u64,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +77,12 @@ impl Default for EngineConfig {
         EngineConfig {
             base: SimConfig::default(),
             pool_capacity: 32,
+            slo: true,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            shed_storm_threshold: DEFAULT_SHED_STORM_THRESHOLD,
+            shed_storm_window: DEFAULT_SHED_STORM_WINDOW,
+            flight_dir: None,
+            replay_audit_every: 0,
         }
     }
 }
@@ -84,6 +112,12 @@ pub struct EngineStats {
     pub active: usize,
     /// Total tenant-cycles stepped.
     pub stepped_cycles: u64,
+    /// Live lane groups (64-lane batches currently stepping).
+    #[serde(default)]
+    pub lane_groups: usize,
+    /// Live lane tenants across all groups (lane-group occupancy).
+    #[serde(default)]
+    pub lane_tenants: usize,
     /// Machine-pool lease/reuse counters.
     pub pool: PoolStats,
 }
@@ -106,6 +140,9 @@ struct ScalarTenant {
     cfg: SimConfig,
     machine: Machine,
     budget: u64,
+    /// The original request, kept only when this tenant is sampled for
+    /// a completion-time replay audit.
+    audit_req: Option<TenantRequest>,
 }
 
 struct LaneTenant {
@@ -140,6 +177,10 @@ pub struct ServeEngine<S: Scheduler = WatermarkScheduler> {
     next_id: u64,
     tick: u64,
     stats: EngineStats,
+    slo: SloRegistry,
+    flight: FlightRecorder,
+    flight_dumps: Vec<PathBuf>,
+    dump_seq: u64,
 }
 
 /// The tenant's effective machine config: base + policy override.
@@ -219,6 +260,9 @@ impl<S: Scheduler> ServeEngine<S> {
     /// A fresh engine over an empty fleet.
     pub fn new(cfg: EngineConfig, scheduler: S) -> ServeEngine<S> {
         let pool = MachinePool::new(cfg.pool_capacity);
+        let slo = SloRegistry::new(cfg.slo);
+        let mut flight = FlightRecorder::new(cfg.flight_capacity);
+        flight.set_shed_storm(cfg.shed_storm_threshold, cfg.shed_storm_window);
         ServeEngine {
             cfg,
             scheduler,
@@ -231,6 +275,10 @@ impl<S: Scheduler> ServeEngine<S> {
             next_id: 0,
             tick: 0,
             stats: EngineStats::default(),
+            slo,
+            flight,
+            flight_dumps: Vec::new(),
+            dump_seq: 0,
         }
     }
 
@@ -258,6 +306,17 @@ impl<S: Scheduler> ServeEngine<S> {
                 ShedReason::StepLag => self.stats.shed_step_lag += 1,
                 ShedReason::BadSpec(_) => self.stats.shed_bad_spec += 1,
             }
+            self.slo.shed(reason.kind());
+            let stormed = self.flight.record(FleetEntry {
+                tick: self.tick,
+                tenant: None,
+                event: FleetEvent::Shed {
+                    reason: reason.kind(),
+                },
+            });
+            if stormed {
+                self.flight_trigger(TriggerKind::ShedStorm);
+            }
             return Err(reason);
         }
         let id = self.next_id;
@@ -279,6 +338,12 @@ impl<S: Scheduler> ServeEngine<S> {
             enqueued_tick: self.tick,
         });
         self.stats.admitted += 1;
+        self.slo.admit(id, self.tick);
+        self.flight.record(FleetEntry {
+            tick: self.tick,
+            tenant: Some(id),
+            event: FleetEvent::Admitted,
+        });
         Ok(id)
     }
 
@@ -287,11 +352,24 @@ impl<S: Scheduler> ServeEngine<S> {
             s.phase = TenantPhase::Failed;
         }
         self.stats.failed += 1;
+        self.flight.record(FleetEntry {
+            tick: self.tick,
+            tenant: Some(id),
+            event: FleetEvent::ActivationFailed,
+        });
     }
 
     fn activate(&mut self, q: QueuedTenant, lane_new: &mut Vec<(SimConfig, LaneTenant)>) {
         let cfg = effective_cfg(&self.cfg.base, &q.req);
         let budget = q.req.spec.max_cycles;
+        self.slo.activate(q.id, self.tick);
+        self.flight.record(FleetEntry {
+            tick: self.tick,
+            tenant: Some(q.id),
+            event: FleetEvent::Activated {
+                queued_ticks: self.tick.saturating_sub(q.enqueued_tick),
+            },
+        });
         if q.req.spec.is_lane() {
             let trace = match q.req.spec.lane_trace() {
                 Ok(t) => t,
@@ -321,11 +399,16 @@ impl<S: Scheduler> ServeEngine<S> {
                 Err(_) => return self.fail(q.id),
             };
             machine.set_telemetry(telemetry_for(q.req.telemetry_capacity));
+            let every = self.cfg.replay_audit_every;
+            // `is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.82.
+            #[allow(unknown_lints, clippy::manual_is_multiple_of)]
+            let audit_req = (every > 0 && q.id % every == 0).then(|| q.req.clone());
             self.scalars.push(ScalarTenant {
                 id: q.id,
                 cfg,
                 machine,
                 budget,
+                audit_req,
             });
         }
         if let Some(s) = self.statuses.get_mut(&q.id) {
@@ -350,6 +433,7 @@ impl<S: Scheduler> ServeEngine<S> {
         let quantum = self.scheduler.quantum();
         self.step_scalars(quantum);
         self.step_groups(quantum);
+        self.slo.end_tick();
     }
 
     /// Pack newly activated lane tenants into groups of identical
@@ -383,12 +467,16 @@ impl<S: Scheduler> ServeEngine<S> {
     }
 
     fn step_scalars(&mut self, quantum: u64) {
+        let tick = self.tick;
+        let mut audits: Vec<(u64, TenantRequest)> = Vec::new();
         let ServeEngine {
             scalars,
             stats,
             statuses,
             router,
             pool,
+            slo,
+            flight,
             ..
         } = self;
         let mut i = 0;
@@ -400,6 +488,14 @@ impl<S: Scheduler> ServeEngine<S> {
                 stepped += 1;
             }
             stats.stepped_cycles += stepped;
+            if stepped > 0 {
+                slo.quantum(s.id, tick, stepped);
+                flight.record(FleetEntry {
+                    tick,
+                    tenant: Some(s.id),
+                    event: FleetEvent::Quantum { cycles: stepped },
+                });
+            }
             let finished = s.machine.finished() || s.machine.cycle() >= s.budget;
             if let Some(st) = statuses.get_mut(&s.id) {
                 st.cycles = s.machine.cycle();
@@ -411,20 +507,47 @@ impl<S: Scheduler> ServeEngine<S> {
                     st.phase = TenantPhase::Done;
                     st.halted = s.machine.finished();
                 }
+                flight.record(FleetEntry {
+                    tick,
+                    tenant: Some(s.id),
+                    event: FleetEvent::Completed {
+                        cycles: s.machine.cycle(),
+                        halted: s.machine.finished(),
+                    },
+                });
+                if let Some(req) = s.audit_req.clone() {
+                    audits.push((s.id, req));
+                }
                 pool.release(s.cfg, s.machine);
                 stats.completed += 1;
             } else {
                 i += 1;
             }
         }
+        for (id, req) in audits {
+            self.audit_replay(id, &req);
+        }
+    }
+
+    /// Completion-time replay audit: re-derive the tenant's telemetry
+    /// offline and trip a `ReplayMismatch` flight dump on divergence.
+    fn audit_replay(&mut self, id: u64, req: &TenantRequest) {
+        let served = self.router.jsonl(&tenant_key(id)).unwrap_or_default();
+        match replay(&self.cfg.base, req) {
+            Ok(offline) if offline == served => {}
+            _ => self.flight_trigger(TriggerKind::ReplayMismatch),
+        }
     }
 
     fn step_groups(&mut self, quantum: u64) {
+        let tick = self.tick;
         let ServeEngine {
             groups,
             stats,
             statuses,
             router,
+            slo,
+            flight,
             ..
         } = self;
         for g in groups.iter_mut() {
@@ -465,10 +588,22 @@ impl<S: Scheduler> ServeEngine<S> {
                     }
                 }
             }
+            let before = g.cursor;
             g.cursor += steps as u64;
             for t in &mut g.tenants {
                 if let Some(st) = statuses.get_mut(&t.id) {
                     st.cycles = t.budget.min(g.cursor);
+                }
+                if !t.done {
+                    let stepped = t.budget.min(g.cursor).saturating_sub(before);
+                    if stepped > 0 {
+                        slo.quantum(t.id, tick, stepped);
+                        flight.record(FleetEntry {
+                            tick,
+                            tenant: Some(t.id),
+                            event: FleetEvent::Quantum { cycles: stepped },
+                        });
+                    }
                 }
                 if !t.done && g.cursor >= t.budget {
                     t.done = true;
@@ -476,6 +611,14 @@ impl<S: Scheduler> ServeEngine<S> {
                         st.phase = TenantPhase::Done;
                         st.halted = true;
                     }
+                    flight.record(FleetEntry {
+                        tick,
+                        tenant: Some(t.id),
+                        event: FleetEvent::Completed {
+                            cycles: t.budget,
+                            halted: true,
+                        },
+                    });
                     stats.completed += 1;
                 }
             }
@@ -514,14 +657,87 @@ impl<S: Scheduler> ServeEngine<S> {
         self.router.jsonl(&tenant_key(id))
     }
 
-    /// Counter snapshot (queue/active/pool filled in live).
+    /// Counter snapshot (queue/active/pool/lane occupancy filled in
+    /// live).
     pub fn stats(&self) -> EngineStats {
         let mut s = self.stats.clone();
         let load = self.load();
         s.queued = load.queued;
         s.active = load.active;
+        s.lane_groups = self.groups.len();
+        s.lane_tenants = self.groups.iter().map(LaneGroup::live).sum();
         s.pool = self.pool.stats();
         s
+    }
+
+    /// The full SLO metrics frame: aggregate snapshot plus one
+    /// per-tenant snapshot for every tenant the SLO registry has seen
+    /// (the `Request::Metrics` wire payload, and what
+    /// [`MetricsFrame::to_prometheus`] renders).
+    pub fn metrics(&self) -> MetricsFrame {
+        let tenants = self
+            .statuses
+            .values()
+            .filter_map(|st| {
+                let snapshot = self.slo.tenant_snapshot(st.id)?;
+                Some(TenantMetrics {
+                    id: st.id,
+                    name: st.name.clone(),
+                    phase: st.phase,
+                    lane: st.lane,
+                    snapshot,
+                })
+            })
+            .collect();
+        MetricsFrame {
+            tick: self.tick,
+            stats: self.stats(),
+            aggregate: self.slo.aggregate_snapshot(),
+            tenants,
+        }
+    }
+
+    /// Record an anomaly trigger and dump the flight ring: the trigger
+    /// entry is stamped into the ring, then the whole ring is written
+    /// to `<flight_dir>/flight-<seq>-<kind>.jsonl` when a dump
+    /// directory is configured. The in-memory ring is left intact
+    /// either way ([`ServeEngine::flight_jsonl`]).
+    pub fn flight_trigger(&mut self, kind: TriggerKind) {
+        if !self.flight.enabled() {
+            return;
+        }
+        self.flight.record(FleetEntry {
+            tick: self.tick,
+            tenant: None,
+            event: FleetEvent::Trigger { kind },
+        });
+        let seq = self.dump_seq;
+        self.dump_seq += 1;
+        if let Some(dir) = &self.cfg.flight_dir {
+            let path = dir.join(format!("flight-{seq}-{}.jsonl", kind.name()));
+            if std::fs::create_dir_all(dir).is_ok()
+                && std::fs::write(&path, self.flight.to_jsonl()).is_ok()
+            {
+                self.flight_dumps.push(path);
+            }
+        }
+    }
+
+    /// The current flight-recorder ring as JSONL (empty when the
+    /// recorder is off or nothing was recorded).
+    pub fn flight_jsonl(&self) -> String {
+        self.flight.to_jsonl()
+    }
+
+    /// Flight-dump files written so far (anomaly triggers with a
+    /// configured `flight_dir`).
+    pub fn flight_dumps(&self) -> &[PathBuf] {
+        &self.flight_dumps
+    }
+
+    /// Anomaly triggers recorded so far (dumped or in-memory only).
+    pub fn flight_triggers(&self) -> u64 {
+        self.dump_seq
     }
 
     /// Ticks executed so far.
@@ -532,6 +748,33 @@ impl<S: Scheduler> ServeEngine<S> {
     /// Export per-tenant telemetry as `<dir>/t<id>.jsonl`.
     pub fn export_telemetry(&self, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
         self.router.export_dir(dir)
+    }
+}
+
+/// A drop guard that turns an engine panic into a flight dump.
+///
+/// The serve loop drives the engine through this guard; if the stack
+/// unwinds past it (an engine panic), `Drop` stamps a
+/// [`TriggerKind::EnginePanic`] entry and dumps the flight ring, so
+/// the post-mortem evidence survives the crash. On a normal return the
+/// guard drops silently.
+pub struct PanicFlightGuard<'a, S: Scheduler> {
+    /// The guarded engine; deref-style access for the serve loop.
+    pub engine: &'a mut ServeEngine<S>,
+}
+
+impl<'a, S: Scheduler> PanicFlightGuard<'a, S> {
+    /// Guard `engine` for the duration of the borrow.
+    pub fn new(engine: &'a mut ServeEngine<S>) -> PanicFlightGuard<'a, S> {
+        PanicFlightGuard { engine }
+    }
+}
+
+impl<S: Scheduler> Drop for PanicFlightGuard<'_, S> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.engine.flight_trigger(TriggerKind::EnginePanic);
+        }
     }
 }
 
@@ -762,6 +1005,170 @@ mod tests {
         let offline = replay(&SimConfig::default(), &req).unwrap();
         assert!(!served.is_empty());
         assert_eq!(served, offline);
+    }
+
+    #[test]
+    fn slo_per_tenant_histograms_sum_to_the_aggregate() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        for s in 0..3 {
+            engine.submit(scalar_req(s, 30_000)).unwrap();
+        }
+        engine.submit(lane_req(9, 256)).unwrap();
+        drained(&mut engine);
+        let frame = engine.metrics();
+        assert_eq!(frame.tenants.len(), 4);
+        for name in crate::slo::SLO_HISTO_NAMES {
+            let agg = frame
+                .aggregate
+                .histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap();
+            let per_tenant: u64 = frame
+                .tenants
+                .iter()
+                .map(|t| {
+                    t.snapshot
+                        .histograms
+                        .iter()
+                        .find(|h| h.name == name)
+                        .map_or(0, |h| h.count)
+                })
+                .sum();
+            assert_eq!(agg.count, per_tenant, "histogram {name}");
+        }
+        // Every tenant stepped at least one quantum.
+        for t in &frame.tenants {
+            let q = t
+                .snapshot
+                .histograms
+                .iter()
+                .find(|h| h.name == "quantum_cycles")
+                .unwrap();
+            assert!(q.count > 0, "tenant {} stepped", t.id);
+        }
+    }
+
+    #[test]
+    fn disabled_slo_records_nothing() {
+        let cfg = EngineConfig {
+            slo: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = ServeEngine::with_defaults(cfg);
+        engine.submit(scalar_req(0, 30_000)).unwrap();
+        drained(&mut engine);
+        let frame = engine.metrics();
+        assert!(frame.tenants.is_empty());
+        assert_eq!(
+            frame
+                .aggregate
+                .histograms
+                .iter()
+                .map(|h| h.count)
+                .sum::<u64>(),
+            0
+        );
+        // The engine-stats side still counts regardless.
+        assert_eq!(frame.stats.completed, 1);
+    }
+
+    #[test]
+    fn shed_storm_trips_a_flight_dump() {
+        let tight = WatermarkScheduler {
+            queue_depth: 1,
+            max_active: 0,
+            step_lag_watermark: 1_000_000,
+            quantum: 16,
+        };
+        let cfg = EngineConfig {
+            shed_storm_threshold: 4,
+            shed_storm_window: 1_000,
+            ..EngineConfig::default()
+        };
+        let mut engine = ServeEngine::new(cfg, tight);
+        engine.submit(scalar_req(0, 1000)).unwrap();
+        for s in 1..=4 {
+            assert!(engine.submit(scalar_req(s, 1000)).is_err());
+        }
+        assert_eq!(engine.flight_triggers(), 1, "storm trips exactly once");
+        let entries = rsp_obs::parse_fleet_jsonl(&engine.flight_jsonl()).unwrap();
+        let sheds = entries
+            .iter()
+            .filter(|e| matches!(e.event, FleetEvent::Shed { .. }))
+            .count();
+        assert_eq!(sheds, 4);
+        assert!(entries.iter().any(|e| matches!(
+            e.event,
+            FleetEvent::Trigger {
+                kind: TriggerKind::ShedStorm
+            }
+        )));
+    }
+
+    #[test]
+    fn replay_audit_is_clean_on_an_honest_engine() {
+        let cfg = EngineConfig {
+            replay_audit_every: 1, // audit every completion
+            ..EngineConfig::default()
+        };
+        let mut engine = ServeEngine::with_defaults(cfg);
+        for s in 0..3 {
+            engine.submit(scalar_req(s, 20_000)).unwrap();
+        }
+        drained(&mut engine);
+        assert_eq!(engine.stats().completed, 3);
+        assert_eq!(engine.flight_triggers(), 0, "no mismatch on honest replay");
+    }
+
+    #[test]
+    fn panic_guard_dumps_the_flight_ring_on_unwind() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        engine.submit(scalar_req(0, 1000)).unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let guard = PanicFlightGuard::new(&mut engine);
+            guard.engine.tick();
+            panic!("engine exploded");
+        }));
+        std::panic::set_hook(hook);
+        assert!(caught.is_err());
+        assert_eq!(engine.flight_triggers(), 1);
+        let entries = rsp_obs::parse_fleet_jsonl(&engine.flight_jsonl()).unwrap();
+        assert!(entries.iter().any(|e| matches!(
+            e.event,
+            FleetEvent::Trigger {
+                kind: TriggerKind::EnginePanic
+            }
+        )));
+    }
+
+    #[test]
+    fn flight_dump_files_land_in_the_configured_dir() {
+        let dir = std::env::temp_dir().join(format!("rsp-flight-{}", std::process::id()));
+        let tight = WatermarkScheduler {
+            queue_depth: 1,
+            max_active: 0,
+            step_lag_watermark: 1_000_000,
+            quantum: 16,
+        };
+        let cfg = EngineConfig {
+            shed_storm_threshold: 2,
+            flight_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        let mut engine = ServeEngine::new(cfg, tight);
+        engine.submit(scalar_req(0, 1000)).unwrap();
+        for s in 1..=2 {
+            let _ = engine.submit(scalar_req(s, 1000));
+        }
+        let dumps = engine.flight_dumps().to_vec();
+        assert_eq!(dumps.len(), 1);
+        let text = std::fs::read_to_string(&dumps[0]).unwrap();
+        let entries = rsp_obs::parse_fleet_jsonl(&text).unwrap();
+        assert!(!entries.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   the bit-sliced lane kernel;
 //! * **telemetry** — per-tenant ring-JSONL streams routed through
 //!   `rsp_obs::TenantRouter`; any tenant is bit-identically
-//!   replayable offline from `(spec, seed)` alone ([`replay`]).
+//!   replayable offline from `(spec, seed)` alone ([`replay`]);
+//! * **observability** ([`slo`]) — per-tenant SLO histograms
+//!   (admission-to-first-step, queue residency, step lag, quantum
+//!   cycles) in fixed slabs off the hot path, exposed over the wire as
+//!   a [`MetricsFrame`] and as Prometheus text, plus a bounded flight
+//!   recorder that dumps the recent event ring on anomaly triggers
+//!   (shed storms, replay mismatches, engine panics — DESIGN.md §15).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,14 +36,16 @@ pub mod engine;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod slo;
 pub mod tenant;
 
 pub use client::ServeClient;
 pub use engine::{
     check_request, effective_cfg, lane_transition_line, replay, EngineConfig, EngineStats,
-    ServeEngine, LANES_PER_GROUP,
+    PanicFlightGuard, ServeEngine, LANES_PER_GROUP,
 };
 pub use protocol::{Request, Response, MAX_FRAME};
 pub use scheduler::{LoadSnapshot, Scheduler, ShedReason, WatermarkScheduler};
 pub use server::{Server, ServerConfig};
+pub use slo::{MetricsFrame, SloRegistry, TenantMetrics, SLO_HISTO_NAMES};
 pub use tenant::{tenant_key, TenantPhase, TenantRequest, TenantStatus};

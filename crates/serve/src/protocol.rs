@@ -9,6 +9,7 @@
 
 use crate::engine::EngineStats;
 use crate::scheduler::ShedReason;
+use crate::slo::MetricsFrame;
 use crate::tenant::{TenantRequest, TenantStatus};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -33,6 +34,13 @@ pub enum Request {
     },
     /// Fetch aggregate server counters.
     Stats,
+    /// Fetch the full SLO metrics frame: engine stats, the aggregate
+    /// snapshot, and one snapshot per tenant (DESIGN.md §15).
+    Metrics,
+    /// Fetch the Prometheus text exposition of the metrics frame,
+    /// rendered server-side so any scraper-shaped client needs no
+    /// knowledge of the snapshot schema.
+    Exposition,
     /// Stop the server after replying `Bye`.
     Shutdown,
 }
@@ -61,6 +69,13 @@ pub enum Response {
     },
     /// Aggregate server counters.
     Stats(EngineStats),
+    /// The full SLO metrics frame.
+    Metrics(MetricsFrame),
+    /// The Prometheus text exposition.
+    Exposition {
+        /// Prometheus text-format body.
+        text: String,
+    },
     /// The queried tenant id was never admitted.
     NotFound {
         /// The unknown id.
@@ -140,6 +155,8 @@ mod tests {
             Request::Status { id: 7 },
             Request::Telemetry { id: 7 },
             Request::Stats,
+            Request::Metrics,
+            Request::Exposition,
             Request::Shutdown,
         ]
     }
@@ -171,6 +188,10 @@ mod tests {
                 jsonl: "{\"cycle\":1}\n".into(),
             },
             Response::Stats(EngineStats::default()),
+            Response::Metrics(MetricsFrame::default()),
+            Response::Exposition {
+                text: "# TYPE rsp_serve_tick gauge\nrsp_serve_tick 0\n".into(),
+            },
             Response::NotFound { id: 9 },
             Response::Error { msg: "nope".into() },
             Response::Bye,

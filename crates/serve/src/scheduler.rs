@@ -31,6 +31,18 @@ pub enum ShedReason {
     BadSpec(String),
 }
 
+impl ShedReason {
+    /// The `Copy` classification of this reason (metric labels, flight
+    /// recorder) — drops the free-form `BadSpec` detail.
+    pub fn kind(&self) -> rsp_obs::ShedKind {
+        match self {
+            ShedReason::QueueFull => rsp_obs::ShedKind::QueueFull,
+            ShedReason::StepLag => rsp_obs::ShedKind::StepLag,
+            ShedReason::BadSpec(_) => rsp_obs::ShedKind::BadSpec,
+        }
+    }
+}
+
 impl fmt::Display for ShedReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -13,7 +13,7 @@
 //! Connection reads use a short timeout so every thread observes the
 //! shutdown flag promptly instead of blocking forever.
 
-use crate::engine::{EngineConfig, EngineStats, ServeEngine};
+use crate::engine::{EngineConfig, EngineStats, PanicFlightGuard, ServeEngine};
 use crate::protocol::{self, Request, Response};
 use crate::scheduler::WatermarkScheduler;
 use std::io::{self, Read, Write};
@@ -342,6 +342,10 @@ fn handle(engine: &mut ServeEngine, req: Request, bye: &mut bool) -> Response {
             }
         }
         Request::Stats => Response::Stats(engine.stats()),
+        Request::Metrics => Response::Metrics(engine.metrics()),
+        Request::Exposition => Response::Exposition {
+            text: engine.metrics().to_prometheus(),
+        },
         Request::Shutdown => {
             *bye = true;
             Response::Bye
@@ -358,31 +362,39 @@ fn engine_loop(
     telemetry_dir: Option<PathBuf>,
 ) -> EngineStats {
     let mut engine = ServeEngine::new(cfg, scheduler);
+    run_engine(&mut engine, rx, idle_poll);
+    shutdown.store(true, Ordering::SeqCst);
+    if let Some(dir) = telemetry_dir {
+        let _ = engine.export_telemetry(&dir);
+    }
+    engine.stats()
+}
+
+/// The engine's serve loop, driven through a [`PanicFlightGuard`]: if
+/// the loop panics, the guard's `Drop` dumps the flight ring (with an
+/// `EnginePanic` trigger entry) before the thread unwinds.
+fn run_engine(engine: &mut ServeEngine, rx: mpsc::Receiver<Command>, idle_poll: Duration) {
+    let guard = PanicFlightGuard::new(engine);
     let mut bye = false;
     loop {
         while let Ok(cmd) = rx.try_recv() {
-            let resp = handle(&mut engine, cmd.req, &mut bye);
+            let resp = handle(&mut *guard.engine, cmd.req, &mut bye);
             let _ = cmd.reply.send(resp);
         }
         if bye {
             break;
         }
-        if engine.is_idle() {
+        if guard.engine.is_idle() {
             match rx.recv_timeout(idle_poll) {
                 Ok(cmd) => {
-                    let resp = handle(&mut engine, cmd.req, &mut bye);
+                    let resp = handle(&mut *guard.engine, cmd.req, &mut bye);
                     let _ = cmd.reply.send(resp);
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         } else {
-            engine.tick();
+            guard.engine.tick();
         }
     }
-    shutdown.store(true, Ordering::SeqCst);
-    if let Some(dir) = telemetry_dir {
-        let _ = engine.export_telemetry(&dir);
-    }
-    engine.stats()
 }

@@ -10,6 +10,13 @@ fn rsp_serve(args: &[&str]) -> Output {
         .expect("spawn rsp-serve")
 }
 
+fn rsp_top(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rsp-top"))
+        .args(args)
+        .output()
+        .expect("spawn rsp-top")
+}
+
 fn assert_usage(out: &Output, needle: &str) {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
@@ -43,6 +50,101 @@ fn usage_errors_exit_2() {
         &rsp_serve(&["drive", "127.0.0.1:1", "--bogus"]),
         "unknown argument",
     );
+    assert_usage(&rsp_serve(&["stats"]), "stats needs ADDR");
+    assert_usage(
+        &rsp_serve(&["stats", "127.0.0.1:1", "--bogus"]),
+        "unknown argument",
+    );
+    assert_usage(&rsp_serve(&["shutdown"]), "shutdown needs ADDR");
+    assert_usage(
+        &rsp_serve(&["listen", "127.0.0.1:0", "--flight-capacity", "wat"]),
+        "--flight-capacity needs a number",
+    );
+}
+
+#[test]
+fn rsp_top_usage_errors_exit_2() {
+    let out = rsp_top(&[]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(stderr.contains("missing ADDR"));
+    assert!(stderr.contains("usage:"));
+
+    let out = rsp_top(&["127.0.0.1:1", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = rsp_top(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // Nothing listens on a reserved port → connect fails → exit 1.
+    let out = rsp_top(&["127.0.0.1:1", "--iterations", "1"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("connect"));
+}
+
+#[test]
+fn rsp_top_polls_a_live_server() {
+    use rsp_serve::{Server, ServerConfig};
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // One tenant through the wire so the table has a row.
+    let out = rsp_serve(&[
+        "drive",
+        &addr,
+        "--tenants",
+        "2",
+        "--lane-every",
+        "0",
+        "--no-shutdown",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "drive: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("queue_full 0") && stderr.contains("server left running"),
+        "drive summary:\n{stderr}"
+    );
+
+    // Table mode: header plus one row per tenant.
+    let out = rsp_top(&[&addr, "--iterations", "1", "--no-clear"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "rsp-top: {stdout}");
+    assert!(stdout.contains("rsp-top  tick"), "header:\n{stdout}");
+    assert!(stdout.contains("drive-"), "tenant rows:\n{stdout}");
+    assert!(stdout.contains("done"), "phase column:\n{stdout}");
+
+    // JSON mode emits a parseable metrics frame.
+    let out = rsp_top(&[&addr, "--iterations", "1", "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let line = String::from_utf8_lossy(&out.stdout);
+    let frame: rsp_serve::MetricsFrame = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(frame.tenants.len(), 2);
+    assert_eq!(frame.stats.completed, 2);
+
+    // stats --prom scrapes the exposition from the still-running server.
+    let out = rsp_serve(&["stats", &addr, "--prom"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for family in [
+        "rsp_serve_submitted_total",
+        "rsp_serve_shed_total",
+        "rsp_serve_queue_residency_bucket",
+        "rsp_serve_tenant_quantum_cycles_bucket",
+    ] {
+        assert!(text.contains(family), "{family} missing:\n{text}");
+    }
+
+    let out = rsp_serve(&["shutdown", &addr]);
+    assert_eq!(out.status.code(), Some(0));
+    handle.join().unwrap().unwrap();
 }
 
 #[test]

@@ -1,9 +1,12 @@
 //! End-to-end socket tests: a real server thread, a real client, 16
-//! tenants through the wire, clean shutdown, and replay bit-identity
-//! across the transport boundary.
+//! tenants through the wire, clean shutdown, replay bit-identity
+//! across the transport boundary, the SLO metrics frame and its
+//! Prometheus exposition, and flight-recorder dumps on a shed storm.
 
+use rsp_obs::{parse_fleet_jsonl, FleetEvent, PromDump, TriggerKind};
 use rsp_serve::{
     replay, ServeClient, Server, ServerConfig, TenantPhase, TenantRequest, WatermarkScheduler,
+    SLO_HISTO_NAMES,
 };
 use rsp_sim::SimConfig;
 use rsp_workloads::{LaneTraceSpec, StreamSpec, SynthSpec, UnitMix};
@@ -116,6 +119,140 @@ fn tenants_over_unix_socket() {
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
     assert!(!path.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn metrics_frame_and_exposition_answer_over_the_wire() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..6u64 {
+        let req = if i % 3 == 2 {
+            lane_req(i)
+        } else {
+            scalar_req(i)
+        };
+        ids.push(client.submit(req).unwrap().expect("admitted"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "tenants did not finish in time");
+        let done = ids
+            .iter()
+            .all(|&id| client.status(id).unwrap().unwrap().phase == TenantPhase::Done);
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The metrics frame carries per-tenant SLO histograms whose counts
+    // sum to the aggregate snapshot — the wire-level invariant.
+    let frame = client.metrics().unwrap();
+    assert_eq!(frame.tenants.len(), 6);
+    for name in SLO_HISTO_NAMES {
+        let agg = frame.aggregate.histogram(name).unwrap();
+        let per_tenant: u64 = frame
+            .tenants
+            .iter()
+            .map(|t| t.snapshot.histogram(name).map_or(0, |h| h.count))
+            .sum();
+        assert_eq!(agg.count, per_tenant, "histogram {name}");
+    }
+
+    // The server-rendered exposition parses, and its families agree
+    // with the frame the same server just returned.
+    let text = client.exposition().unwrap();
+    let dump = PromDump::parse(&text).unwrap();
+    assert_eq!(
+        dump.value_u64("rsp_serve_admitted_total", &[]),
+        Some(frame.stats.admitted)
+    );
+    let agg = dump.histogram("rsp_serve_queue_residency", &[]).unwrap();
+    assert_eq!(agg.count, 6, "every tenant records one residency sample");
+    for t in &frame.tenants {
+        let key = format!("t{}", t.id);
+        let h = dump
+            .histogram("rsp_serve_tenant_quantum_cycles", &[("tenant", &key)])
+            .unwrap();
+        assert_eq!(
+            h.count,
+            t.snapshot.histogram("quantum_cycles").unwrap().count
+        );
+        assert!(h.count > 0, "tenant {} stepped at least one quantum", t.id);
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn shed_storm_writes_a_wellformed_flight_dump() {
+    let dir = std::env::temp_dir().join(format!("rsp-sock-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ServerConfig {
+        scheduler: WatermarkScheduler {
+            queue_depth: 2,
+            max_active: 0, // nothing activates → deterministic sheds
+            step_lag_watermark: 1_000_000,
+            quantum: 64,
+        },
+        ..ServerConfig::default()
+    };
+    cfg.engine.flight_dir = Some(dir.clone());
+    cfg.engine.shed_storm_threshold = 5;
+    // The engine free-runs ticks between round-trips, so pin one
+    // unbounded window: every shed counts toward the storm.
+    cfg.engine.shed_storm_window = u64::MAX;
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let mut shed = 0;
+    for i in 0..12u64 {
+        if client.submit(scalar_req(i)).unwrap().is_err() {
+            shed += 1;
+        }
+    }
+    assert_eq!(shed, 10);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+
+    // Exactly one storm dump (the threshold trips once per window),
+    // and it parses back into entries that tell the whole story:
+    // admissions, the shed run, and the trigger stamp.
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("flight dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(dumps.len(), 1, "dumps: {dumps:?}");
+    let name = dumps[0].file_name().unwrap().to_string_lossy().to_string();
+    assert!(
+        name.starts_with("flight-") && name.contains("shed_storm") && name.ends_with(".jsonl"),
+        "dump name {name:?}"
+    );
+    let entries = parse_fleet_jsonl(&std::fs::read_to_string(&dumps[0]).unwrap()).unwrap();
+    let admitted = entries
+        .iter()
+        .filter(|e| matches!(e.event, FleetEvent::Admitted))
+        .count();
+    let sheds = entries
+        .iter()
+        .filter(|e| matches!(e.event, FleetEvent::Shed { .. }))
+        .count();
+    assert_eq!(admitted, 2);
+    assert_eq!(sheds, 5, "the dump snapshots the ring at trigger time");
+    assert!(entries.iter().any(|e| matches!(
+        e.event,
+        FleetEvent::Trigger {
+            kind: TriggerKind::ShedStorm
+        }
+    )));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

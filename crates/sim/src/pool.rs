@@ -32,6 +32,12 @@ pub struct PoolStats {
     pub releases: u64,
     /// Releases dropped because the pool was at capacity.
     pub dropped: u64,
+    /// Machines currently leased out (leases minus releases).
+    #[serde(default)]
+    pub in_use: u64,
+    /// High-water mark of concurrently leased machines.
+    #[serde(default)]
+    pub peak_in_use: u64,
 }
 
 /// A bounded cache of idle machines keyed by their [`SimConfig`].
@@ -74,17 +80,25 @@ impl MachinePool {
             let (_, mut m) = self.free.swap_remove(i);
             m.reset(program);
             self.stats.reuses += 1;
+            self.track_occupancy();
             return Ok(m);
         }
         let m = Processor::try_new(cfg.clone())?.start(program)?;
         self.stats.rebuilds += 1;
+        self.track_occupancy();
         Ok(m)
+    }
+
+    fn track_occupancy(&mut self) {
+        self.stats.in_use += 1;
+        self.stats.peak_in_use = self.stats.peak_in_use.max(self.stats.in_use);
     }
 
     /// Return a machine to the pool. Dropped (not cached) when the pool
     /// is at capacity.
     pub fn release(&mut self, cfg: SimConfig, machine: Machine) {
         self.stats.releases += 1;
+        self.stats.in_use = self.stats.in_use.saturating_sub(1);
         if self.free.len() < self.capacity {
             self.free.push((cfg, machine));
         } else {
@@ -156,6 +170,26 @@ mod tests {
         pool.release(cfg.clone(), b);
         assert_eq!(pool.free(), 1);
         assert_eq!(pool.stats().dropped, 1);
+    }
+
+    #[test]
+    fn occupancy_tracks_outstanding_leases_and_peak() {
+        let cfg = SimConfig::default();
+        let p = tiny_program("t");
+        let mut pool = MachinePool::new(4);
+        let a = pool.lease(&cfg, &p).unwrap();
+        let b = pool.lease(&cfg, &p).unwrap();
+        assert_eq!(pool.stats().in_use, 2);
+        assert_eq!(pool.stats().peak_in_use, 2);
+        pool.release(cfg.clone(), a);
+        assert_eq!(pool.stats().in_use, 1);
+        let c = pool.lease(&cfg, &p).unwrap();
+        assert_eq!(pool.stats().in_use, 2);
+        pool.release(cfg.clone(), b);
+        pool.release(cfg.clone(), c);
+        let s = pool.stats();
+        assert_eq!(s.in_use, 0);
+        assert_eq!(s.peak_in_use, 2, "peak survives releases");
     }
 
     #[test]
