@@ -17,7 +17,7 @@ pub mod faults;
 pub mod figures;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 25] = [
+pub const ALL_IDS: [&str; 26] = [
     "table1",
     "fig1",
     "fig2",
@@ -42,6 +42,7 @@ pub const ALL_IDS: [&str; 25] = [
     "e14-predictor",
     "fault-sweep",
     "serve-saturation",
+    "serve-sched",
     "all",
 ];
 
@@ -52,6 +53,7 @@ pub fn sweep_runner(id: &str) -> Option<Box<dyn SweepRunner>> {
         "e1-ipc" => Some(Box::new(evals::E1Sweep::new())),
         "fault-sweep" => Some(Box::new(faults::FaultSweep::full())),
         "serve-saturation" => Some(Box::new(crate::serve_saturation::ServeSaturationSweep)),
+        "serve-sched" => Some(Box::new(crate::serve_sched::ServeSchedSweep::full())),
         _ => None,
     }
 }

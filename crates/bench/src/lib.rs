@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod harness;
 pub mod scaled;
 pub mod serve_saturation;
+pub mod serve_sched;
 pub mod sweep;
 pub mod throughput;
 pub mod timeline;

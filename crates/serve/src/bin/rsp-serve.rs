@@ -3,26 +3,32 @@
 //! ```text
 //! rsp-serve listen ADDR [--queue-depth N] [--max-active N]
 //!                       [--lag-watermark N] [--quantum N] [--pool N]
+//!                       [--shards N] [--wfq] [--pack-hold N]
 //!                       [--telemetry-dir DIR] [--no-slo]
 //!                       [--flight-dir DIR] [--flight-capacity N]
 //!                       [--shed-storm N] [--shed-window N]
 //!                       [--replay-audit N]
 //! rsp-serve drive  ADDR [--tenants N] [--seed S] [--lane-every K]
-//!                       [--cycles N] [--timeout-secs N]
+//!                       [--cycles N] [--weights A:B] [--timeout-secs N]
 //!                       [--no-verify-replay] [--no-shutdown]
 //! rsp-serve stats  ADDR [--prom]
 //! rsp-serve shutdown ADDR
 //! ```
 //!
-//! `listen` runs the server until a client sends `Shutdown`. `drive`
-//! is the smoke client used by CI: it submits a mixed scalar/lane
-//! tenant fleet, waits for completion, asserts non-empty per-tenant
-//! telemetry, verifies offline replay bit-identity for one scalar and
-//! one lane tenant (against the default base config), prints the final
-//! stats JSON with per-reason shed counts, and shuts the server down
-//! cleanly (`--no-shutdown` leaves it running so `stats` can scrape
-//! it). `stats` prints a live server's counters as JSON, or the full
-//! Prometheus text exposition with `--prom`; `shutdown` stops it.
+//! `listen` runs the server until a client sends `Shutdown` —
+//! `--shards N` serves over N engine threads with tenant affinity,
+//! `--wfq` schedules weighted-fair quanta honouring stream weights,
+//! and `--pack-hold N` holds lane tenants up to N ticks to pack fuller
+//! groups (DESIGN.md §16). `drive` is the smoke client used by CI: it
+//! submits a mixed scalar/lane tenant fleet (alternating `--weights
+//! A:B` stream weights when given), waits for completion, asserts
+//! non-empty per-tenant telemetry, verifies offline replay
+//! bit-identity for one scalar and one lane tenant (against the
+//! default base config), prints the final stats JSON with per-reason
+//! shed counts, and shuts the server down cleanly (`--no-shutdown`
+//! leaves it running so `stats` can scrape it). `stats` prints a live
+//! server's counters as JSON, or the full Prometheus text exposition
+//! with `--prom`; `shutdown` stops it.
 //!
 //! Exit codes follow the workspace convention: 1 = runtime failure,
 //! 2 = usage error.
@@ -37,10 +43,13 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: rsp-serve <listen|drive|stats|shutdown> ADDR [options]
   listen:   --queue-depth N  --max-active N  --lag-watermark N  --quantum N
+            --shards N (engine threads)  --wfq (weighted-fair quanta)
+            --pack-hold N (lane-group packing hold, ticks)
             --pool N  --telemetry-dir DIR  --no-slo
             --flight-dir DIR  --flight-capacity N
             --shed-storm N  --shed-window N  --replay-audit N
   drive:    --tenants N  --seed S  --lane-every K  --cycles N
+            --weights A:B (alternate stream weights, e.g. 3:1)
             --timeout-secs N  --no-verify-replay  --no-shutdown
   stats:    --prom (Prometheus text exposition instead of stats JSON)
   shutdown: (no options)
@@ -135,6 +144,9 @@ fn listen(mut args: impl Iterator<Item = String>) {
             "--max-active" => cfg.scheduler.max_active = parse(&a, args.next()),
             "--lag-watermark" => cfg.scheduler.step_lag_watermark = parse(&a, args.next()),
             "--quantum" => cfg.scheduler.quantum = parse(&a, args.next()),
+            "--shards" => cfg.shards = parse(&a, args.next()),
+            "--wfq" => cfg.wfq = true,
+            "--pack-hold" => cfg.engine.pack_hold_ticks = parse(&a, args.next()),
             "--pool" => cfg.engine.pool_capacity = parse(&a, args.next()),
             "--telemetry-dir" => {
                 cfg.telemetry_dir = Some(PathBuf::from(need("--telemetry-dir", args.next())))
@@ -167,25 +179,50 @@ fn listen(mut args: impl Iterator<Item = String>) {
 
 /// The drive fleet's request for tenant `i`: every `lane_every`-th is
 /// a lane tenant (when enabled), the rest rotate the named mixes.
-fn drive_request(i: u64, seed: u64, lane_every: u64, cycles: u64) -> TenantRequest {
+/// With `--weights A:B`, even tenants carry weight A and odd weight B.
+fn drive_request(
+    i: u64,
+    seed: u64,
+    lane_every: u64,
+    cycles: u64,
+    weights: (u32, u32),
+) -> TenantRequest {
+    // `is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.82.
+    #[allow(unknown_lints, clippy::manual_is_multiple_of)]
+    let weight = if i % 2 == 0 { weights.0 } else { weights.1 };
     if lane_every > 0 && i % lane_every == lane_every - 1 {
         let trace_cycles = cycles.min(4096) as u32;
-        return TenantRequest::new(StreamSpec::lane(
-            format!("drive-lane-{i}"),
-            LaneTraceSpec::synthetic_mix(trace_cycles, seed + i),
-            cycles,
-        ));
+        return TenantRequest::new(
+            StreamSpec::lane(
+                format!("drive-lane-{i}"),
+                LaneTraceSpec::synthetic_mix(trace_cycles, seed + i),
+                cycles,
+            )
+            .with_weight(weight),
+        );
     }
     let mixes = UnitMix::named();
     let (mix_name, mix) = mixes[(i as usize) % mixes.len()];
-    TenantRequest::new(StreamSpec::synth(
-        format!("drive-{mix_name}-{i}"),
-        SynthSpec {
-            body_len: 200,
-            ..SynthSpec::new("drive", mix, seed + i)
-        },
-        cycles,
-    ))
+    TenantRequest::new(
+        StreamSpec::synth(
+            format!("drive-{mix_name}-{i}"),
+            SynthSpec {
+                body_len: 200,
+                ..SynthSpec::new("drive", mix, seed + i)
+            },
+            cycles,
+        )
+        .with_weight(weight),
+    )
+}
+
+/// Parse a `--weights A:B` pair.
+fn parse_weights(v: Option<String>) -> (u32, u32) {
+    let s = need("--weights", v);
+    let parsed = s
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)));
+    parsed.unwrap_or_else(|| usage_error("--weights needs A:B, e.g. 3:1"))
 }
 
 fn drive(mut args: impl Iterator<Item = String>) {
@@ -196,6 +233,7 @@ fn drive(mut args: impl Iterator<Item = String>) {
     let mut seed: u64 = 1;
     let mut lane_every: u64 = 4;
     let mut cycles: u64 = 20_000;
+    let mut weights: (u32, u32) = (0, 0);
     let mut timeout = Duration::from_secs(120);
     let mut verify_replay = true;
     let mut shutdown_after = true;
@@ -205,6 +243,7 @@ fn drive(mut args: impl Iterator<Item = String>) {
             "--seed" => seed = parse(&a, args.next()),
             "--lane-every" => lane_every = parse(&a, args.next()),
             "--cycles" => cycles = parse(&a, args.next()),
+            "--weights" => weights = parse_weights(args.next()),
             "--timeout-secs" => timeout = Duration::from_secs(parse(&a, args.next())),
             "--no-verify-replay" => verify_replay = false,
             "--no-shutdown" => shutdown_after = false,
@@ -220,7 +259,7 @@ fn drive(mut args: impl Iterator<Item = String>) {
     let mut admitted: Vec<(u64, TenantRequest)> = Vec::new();
     let mut shed = 0u64;
     for i in 0..tenants {
-        let req = drive_request(i, seed, lane_every, cycles);
+        let req = drive_request(i, seed, lane_every, cycles, weights);
         match client.submit(req.clone()) {
             Ok(Ok(id)) => admitted.push((id, req)),
             Ok(Err(reason)) => {

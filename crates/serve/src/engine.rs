@@ -9,9 +9,12 @@
 //!   the [`TenantRouter`] and the machine returns to the pool.
 //! * **Lane tenants** (demand-trace streams whose config fits the
 //!   [`LaneParams::from_config`] envelope) are packed 64-per-word onto
-//!   a shared [`LaneBatch`]: tenants activated in the same tick with
-//!   an identical effective config join one *lane group* at group
-//!   cycle 0, so every lane's history starts from reset — the property
+//!   a shared [`LaneBatch`]: activated tenants with an identical
+//!   effective config and weight join one *lane group* at group
+//!   cycle 0 — immediately with [`EngineConfig::pack_hold_ticks`] = 0,
+//!   or after waiting up to that many ticks for peers so groups pack
+//!   closer to full words — so every lane's history starts from reset,
+//!   the property
 //!   that makes a lane tenant bit-identically replayable offline at
 //!   lane 0 of a fresh batch (per-lane independence is pinned by the
 //!   `lanes_differential` suite, which is why lane groups require a
@@ -24,7 +27,7 @@
 //! telemetry from its request alone; the engine test suite and the
 //! `serve-saturation` harness assert byte identity.
 
-use crate::scheduler::{LoadSnapshot, Scheduler, ShedReason, WatermarkScheduler};
+use crate::scheduler::{LoadSnapshot, Scheduler, ShedReason, SpecNote, WatermarkScheduler};
 use crate::slo::{MetricsFrame, SloRegistry, TenantMetrics};
 use crate::tenant::{tenant_key, TenantPhase, TenantRequest, TenantStatus};
 use rsp_isa::units::UnitType;
@@ -70,6 +73,13 @@ pub struct EngineConfig {
     /// flight dump if the telemetry diverges (0 = off; the audit costs
     /// a full offline re-run per sampled tenant).
     pub replay_audit_every: u64,
+    /// Deferred lane-group formation: hold an activated lane tenant up
+    /// to this many ticks waiting for envelope-compatible peers, so
+    /// groups pack closer to 64 lanes per word. 0 (the default) forms
+    /// groups the tick tenants activate — the pre-hold behaviour. The
+    /// hold is visible in the `admit_to_first_step` SLO histogram: a
+    /// held tenant's first quantum is delayed by exactly its hold.
+    pub pack_hold_ticks: u64,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +93,7 @@ impl Default for EngineConfig {
             shed_storm_window: DEFAULT_SHED_STORM_WINDOW,
             flight_dir: None,
             replay_audit_every: 0,
+            pack_hold_ticks: 0,
         }
     }
 }
@@ -118,6 +129,13 @@ pub struct EngineStats {
     /// Live lane tenants across all groups (lane-group occupancy).
     #[serde(default)]
     pub lane_tenants: usize,
+    /// Activated lane tenants held for group packing (not yet stepping).
+    #[serde(default)]
+    pub lane_pending: usize,
+    /// Lane groups formed over the engine's lifetime (with
+    /// `lane_tenants` completions this yields mean group fill).
+    #[serde(default)]
+    pub lane_groups_formed: u64,
     /// Machine-pool lease/reuse counters.
     pub pool: PoolStats,
 }
@@ -140,6 +158,11 @@ struct ScalarTenant {
     cfg: SimConfig,
     machine: Machine,
     budget: u64,
+    /// Fair-share weight ([`rsp_workloads::StreamSpec::effective_weight`]).
+    weight: u32,
+    /// Deficit-round-robin carry-over: credit deferred by the burst
+    /// cap, itself bounded by one burst.
+    deficit: u64,
     /// The original request, kept only when this tenant is sampled for
     /// a completion-time replay audit.
     audit_req: Option<TenantRequest>,
@@ -152,10 +175,23 @@ struct LaneTenant {
     done: bool,
 }
 
+/// An activated lane tenant waiting (up to `pack_hold_ticks`) for
+/// envelope-compatible peers before a group forms around it.
+struct PendingLane {
+    cfg: SimConfig,
+    weight: u32,
+    since_tick: u64,
+    tenant: LaneTenant,
+}
+
 struct LaneGroup {
     batch: LaneBatch,
     tenants: Vec<LaneTenant>,
     cursor: u64,
+    /// Shared fair-share weight (groups are keyed by config *and*
+    /// weight so lockstep stepping serves every member at its weight).
+    weight: u32,
+    deficit: u64,
 }
 
 impl LaneGroup {
@@ -172,6 +208,7 @@ pub struct ServeEngine<S: Scheduler = WatermarkScheduler> {
     router: TenantRouter,
     queue: VecDeque<QueuedTenant>,
     scalars: Vec<ScalarTenant>,
+    pending: Vec<PendingLane>,
     groups: Vec<LaneGroup>,
     statuses: BTreeMap<u64, TenantStatus>,
     next_id: u64,
@@ -222,25 +259,38 @@ pub fn lane_transition_line(batch: &LaneBatch, lane: usize, cycle: u64) -> Optio
     ))
 }
 
+/// A `BadSpec` shed with the detail rendered into an inline
+/// [`SpecNote`] (truncating, never allocating on the shed path itself).
+fn bad_spec(msg: impl std::fmt::Display) -> ShedReason {
+    ShedReason::BadSpec(SpecNote::new(msg))
+}
+
+/// One tenant's deficit-round-robin grant for this tick: earn `credit`,
+/// spend at most `burst`, carry the rest (bounded by one burst).
+fn drr_grant(deficit: &mut u64, credit: u64, burst: u64) -> u64 {
+    let earned = deficit.saturating_add(credit);
+    let grant = earned.min(burst);
+    *deficit = (earned - grant).min(burst);
+    grant
+}
+
 /// Validate a request against the engine's base config; the error is
 /// the `BadSpec` shed reason.
 pub fn check_request(base: &SimConfig, req: &TenantRequest) -> Result<(), ShedReason> {
-    let bad = |msg: String| ShedReason::BadSpec(msg);
-    req.spec.validate().map_err(|e| bad(e.to_string()))?;
+    req.spec.validate().map_err(bad_spec)?;
     let cfg = effective_cfg(base, req);
-    cfg.validate().map_err(bad)?;
+    cfg.validate().map_err(bad_spec)?;
     if req.spec.is_lane() {
         if cfg.fabric.faults.enabled() {
-            return Err(bad(
+            return Err(bad_spec(
                 "lane tenants require a fault-free config (fault streams are keyed \
-                 by physical lane and would break replay)"
-                    .into(),
+                 by physical lane and would break replay)",
             ));
         }
-        LaneParams::from_config(&cfg).map_err(bad)?;
-        let trace = req.spec.lane_trace().map_err(|e| bad(e.to_string()))?;
+        LaneParams::from_config(&cfg).map_err(bad_spec)?;
+        let trace = req.spec.lane_trace().map_err(bad_spec)?;
         if trace.queue_len as usize > cfg.queue_size {
-            return Err(bad(format!(
+            return Err(bad_spec(format_args!(
                 "lane trace queue_len {} exceeds config queue size {}",
                 trace.queue_len, cfg.queue_size
             )));
@@ -270,6 +320,7 @@ impl<S: Scheduler> ServeEngine<S> {
             router: TenantRouter::new(0),
             queue: VecDeque::new(),
             scalars: Vec::new(),
+            pending: Vec::new(),
             groups: Vec::new(),
             statuses: BTreeMap::new(),
             next_id: 0,
@@ -289,17 +340,23 @@ impl<S: Scheduler> ServeEngine<S> {
             .map_or(0, |q| self.tick - q.enqueued_tick);
         LoadSnapshot {
             queued: self.queue.len(),
-            active: self.scalars.len() + self.groups.iter().map(LaneGroup::live).sum::<usize>(),
+            active: self.scalars.len()
+                + self.pending.len()
+                + self.groups.iter().map(LaneGroup::live).sum::<usize>(),
             step_lag,
         }
     }
 
-    /// Submit a tenant: validated, then admitted or shed. Every shed
-    /// is counted (never silently dropped).
+    /// Submit a tenant: admitted (or shed) at the watermarks, then
+    /// validated. Every shed is counted (never silently dropped). The
+    /// load gate runs first so an overload shed never pays spec
+    /// validation — the shed hot path stays allocation-free.
     pub fn submit(&mut self, req: TenantRequest) -> Result<u64, ShedReason> {
         self.stats.submitted += 1;
-        let gate =
-            check_request(&self.cfg.base, &req).and_then(|()| self.scheduler.admit(&self.load()));
+        let gate = self
+            .scheduler
+            .admit(&self.load())
+            .and_then(|()| check_request(&self.cfg.base, &req));
         if let Err(reason) = gate {
             match reason {
                 ShedReason::QueueFull => self.stats.shed_queue_full += 1,
@@ -359,9 +416,10 @@ impl<S: Scheduler> ServeEngine<S> {
         });
     }
 
-    fn activate(&mut self, q: QueuedTenant, lane_new: &mut Vec<(SimConfig, LaneTenant)>) {
+    fn activate(&mut self, q: QueuedTenant) {
         let cfg = effective_cfg(&self.cfg.base, &q.req);
         let budget = q.req.spec.max_cycles;
+        let weight = q.req.spec.effective_weight();
         self.slo.activate(q.id, self.tick);
         self.flight.record(FleetEntry {
             tick: self.tick,
@@ -380,15 +438,17 @@ impl<S: Scheduler> ServeEngine<S> {
             // the request.
             let rows = trace.generate_lane(0);
             let budget = budget.min(rows.len() as u64);
-            lane_new.push((
+            self.pending.push(PendingLane {
                 cfg,
-                LaneTenant {
+                weight,
+                since_tick: self.tick,
+                tenant: LaneTenant {
                     id: q.id,
                     rows,
                     budget,
                     done: false,
                 },
-            ));
+            });
         } else {
             let program = match q.req.spec.program() {
                 Ok(p) => p,
@@ -408,6 +468,8 @@ impl<S: Scheduler> ServeEngine<S> {
                 cfg,
                 machine,
                 budget,
+                weight,
+                deficit: 0,
                 audit_req,
             });
         }
@@ -417,46 +479,69 @@ impl<S: Scheduler> ServeEngine<S> {
     }
 
     /// One engine tick: activate queued tenants up to the scheduler's
-    /// ceiling, then step every active tenant one quantum.
+    /// ceiling, form due lane groups, then step every active tenant
+    /// its deficit-round-robin grant.
     pub fn tick(&mut self) {
         self.tick += 1;
         self.stats.ticks += 1;
         let n = self.scheduler.activations(&self.load());
-        let mut lane_new: Vec<(SimConfig, LaneTenant)> = Vec::new();
         for _ in 0..n {
             let Some(q) = self.queue.pop_front() else {
                 break;
             };
-            self.activate(q, &mut lane_new);
+            self.activate(q);
         }
-        self.form_groups(lane_new);
-        let quantum = self.scheduler.quantum();
-        self.step_scalars(quantum);
-        self.step_groups(quantum);
+        self.form_groups();
+        self.step_scalars();
+        self.step_groups();
         self.slo.end_tick();
     }
 
-    /// Pack newly activated lane tenants into groups of identical
-    /// config, at most [`LANES_PER_GROUP`] per group, all starting at
-    /// group cycle 0.
-    fn form_groups(&mut self, mut lane_new: Vec<(SimConfig, LaneTenant)>) {
-        while let Some((cfg, first)) = lane_new.pop() {
-            let mut members = vec![first];
-            let mut rest = Vec::with_capacity(lane_new.len());
-            for (c, t) in lane_new {
-                if c == cfg && members.len() < LANES_PER_GROUP {
-                    members.push(t);
+    /// Pack pending lane tenants into groups of identical config and
+    /// weight, at most [`LANES_PER_GROUP`] per group, all starting at
+    /// group cycle 0. A bucket is *due* when it can fill a whole word
+    /// or its oldest member has waited [`EngineConfig::pack_hold_ticks`]
+    /// (so with the default hold of 0 every bucket is due the tick it
+    /// activates). Members join oldest-first; membership order never
+    /// affects telemetry (per-lane placement independence).
+    fn form_groups(&mut self) {
+        let hold = self.cfg.pack_hold_ticks;
+        loop {
+            // `pending` is in activation order, so the first due
+            // tenant seeds the oldest due bucket.
+            let seed = self.pending.iter().position(|p| {
+                let bucket = self
+                    .pending
+                    .iter()
+                    .filter(|q| q.cfg == p.cfg && q.weight == p.weight)
+                    .count();
+                bucket >= LANES_PER_GROUP || self.tick.saturating_sub(p.since_tick) >= hold
+            });
+            let Some(first) = seed else {
+                break;
+            };
+            let p = self.pending.remove(first);
+            let (cfg, weight) = (p.cfg, p.weight);
+            let mut members = vec![p.tenant];
+            let mut i = 0;
+            while i < self.pending.len() && members.len() < LANES_PER_GROUP {
+                if self.pending[i].cfg == cfg && self.pending[i].weight == weight {
+                    members.push(self.pending.remove(i).tenant);
                 } else {
-                    rest.push((c, t));
+                    i += 1;
                 }
             }
-            lane_new = rest;
             match LaneBatch::new(&cfg, LANES_PER_GROUP) {
-                Ok(batch) => self.groups.push(LaneGroup {
-                    batch,
-                    tenants: members,
-                    cursor: 0,
-                }),
+                Ok(batch) => {
+                    self.stats.lane_groups_formed += 1;
+                    self.groups.push(LaneGroup {
+                        batch,
+                        tenants: members,
+                        cursor: 0,
+                        weight,
+                        deficit: 0,
+                    });
+                }
                 Err(_) => {
                     for t in members {
                         self.fail(t.id);
@@ -466,10 +551,11 @@ impl<S: Scheduler> ServeEngine<S> {
         }
     }
 
-    fn step_scalars(&mut self, quantum: u64) {
+    fn step_scalars(&mut self) {
         let tick = self.tick;
         let mut audits: Vec<(u64, TenantRequest)> = Vec::new();
         let ServeEngine {
+            scheduler,
             scalars,
             stats,
             statuses,
@@ -479,11 +565,13 @@ impl<S: Scheduler> ServeEngine<S> {
             flight,
             ..
         } = self;
+        let burst = scheduler.burst();
         let mut i = 0;
         while i < scalars.len() {
             let s = &mut scalars[i];
+            let grant = drr_grant(&mut s.deficit, scheduler.credit(s.weight), burst);
             let mut stepped = 0;
-            while stepped < quantum && !s.machine.finished() && s.machine.cycle() < s.budget {
+            while stepped < grant && !s.machine.finished() && s.machine.cycle() < s.budget {
                 s.machine.step();
                 stepped += 1;
             }
@@ -539,9 +627,10 @@ impl<S: Scheduler> ServeEngine<S> {
         }
     }
 
-    fn step_groups(&mut self, quantum: u64) {
+    fn step_groups(&mut self) {
         let tick = self.tick;
         let ServeEngine {
+            scheduler,
             groups,
             stats,
             statuses,
@@ -550,7 +639,9 @@ impl<S: Scheduler> ServeEngine<S> {
             flight,
             ..
         } = self;
+        let burst = scheduler.burst();
         for g in groups.iter_mut() {
+            let grant = drr_grant(&mut g.deficit, scheduler.credit(g.weight), burst);
             let remaining = g
                 .tenants
                 .iter()
@@ -558,7 +649,7 @@ impl<S: Scheduler> ServeEngine<S> {
                 .map(|t| t.budget - g.cursor)
                 .max()
                 .unwrap_or(0);
-            let steps = remaining.min(quantum) as usize;
+            let steps = remaining.min(grant) as usize;
             if steps == 0 {
                 continue;
             }
@@ -626,9 +717,12 @@ impl<S: Scheduler> ServeEngine<S> {
         groups.retain(|g| g.live() > 0);
     }
 
-    /// True iff nothing is queued or running.
+    /// True iff nothing is queued, held for packing, or running.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.scalars.is_empty() && self.groups.is_empty()
+        self.queue.is_empty()
+            && self.scalars.is_empty()
+            && self.pending.is_empty()
+            && self.groups.is_empty()
     }
 
     /// Tick until idle; false if `max_ticks` elapsed first.
@@ -666,6 +760,7 @@ impl<S: Scheduler> ServeEngine<S> {
         s.active = load.active;
         s.lane_groups = self.groups.len();
         s.lane_tenants = self.groups.iter().map(LaneGroup::live).sum();
+        s.lane_pending = self.pending.len();
         s.pool = self.pool.stats();
         s
     }
@@ -785,13 +880,10 @@ pub fn replay(base: &SimConfig, req: &TenantRequest) -> Result<String, ShedReaso
     let cfg = effective_cfg(base, req);
     let mut router = TenantRouter::new(0);
     if req.spec.is_lane() {
-        let trace = req
-            .spec
-            .lane_trace()
-            .map_err(|e| ShedReason::BadSpec(e.to_string()))?;
+        let trace = req.spec.lane_trace().map_err(bad_spec)?;
         let rows = trace.generate_lane(0);
         let budget = req.spec.max_cycles.min(rows.len() as u64) as usize;
-        let mut batch = LaneBatch::new(&cfg, LANES_PER_GROUP).map_err(ShedReason::BadSpec)?;
+        let mut batch = LaneBatch::new(&cfg, LANES_PER_GROUP).map_err(bad_spec)?;
         let params = batch.params();
         let (queue_len, n_slots) = (params.queue_len(), params.n_slots());
         let mut stim = LaneStimulus::new(LANES_PER_GROUP, budget.max(1), queue_len, n_slots);
@@ -805,14 +897,11 @@ pub fn replay(base: &SimConfig, req: &TenantRequest) -> Result<String, ShedReaso
             }
         }
     } else {
-        let program = req
-            .spec
-            .program()
-            .map_err(|e| ShedReason::BadSpec(e.to_string()))?;
+        let program = req.spec.program().map_err(bad_spec)?;
         let mut machine = Processor::try_new(cfg)
-            .map_err(|e| ShedReason::BadSpec(e.to_string()))?
+            .map_err(bad_spec)?
             .start(&program)
-            .map_err(|e| ShedReason::BadSpec(e.to_string()))?;
+            .map_err(bad_spec)?;
         machine.set_telemetry(telemetry_for(req.telemetry_capacity));
         while !machine.finished() && machine.cycle() < req.spec.max_cycles {
             machine.step();
@@ -898,6 +987,71 @@ mod tests {
     }
 
     #[test]
+    fn pack_hold_defers_group_formation_until_full_or_expired() {
+        let cfg = EngineConfig {
+            pack_hold_ticks: 4,
+            ..EngineConfig::default()
+        };
+        let mut engine = ServeEngine::with_defaults(cfg);
+        let ids: Vec<u64> = (0..3)
+            .map(|s| engine.submit(lane_req(s, 512)).unwrap())
+            .collect();
+        engine.tick(); // activates at tick 1; bucket not full, hold not expired
+        assert_eq!(engine.groups.len(), 0);
+        assert_eq!(engine.stats().lane_pending, 3);
+        // A straggler joins the bucket while it is held.
+        let late = engine.submit(lane_req(9, 512)).unwrap();
+        for _ in 0..3 {
+            engine.tick(); // ticks 2–4: still held
+        }
+        assert_eq!(engine.groups.len(), 0);
+        engine.tick(); // tick 5: oldest member aged 4 ≥ hold → group forms
+        assert_eq!(engine.groups.len(), 1);
+        assert_eq!(engine.groups[0].tenants.len(), 4, "straggler packed in");
+        let stats = drained(&mut engine);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.lane_groups_formed, 1);
+        // The hold never leaks into telemetry: replay identity holds.
+        for id in ids.into_iter().chain([late]) {
+            let st = engine.status(id).unwrap();
+            assert_eq!(st.phase, TenantPhase::Done);
+        }
+    }
+
+    #[test]
+    fn held_lane_tenants_replay_bit_identically() {
+        let cfg = EngineConfig {
+            pack_hold_ticks: 8,
+            ..EngineConfig::default()
+        };
+        let mut engine = ServeEngine::with_defaults(cfg);
+        let req = lane_req(5, 512);
+        engine.submit(lane_req(3, 512)).unwrap();
+        let id = engine.submit(req.clone()).unwrap();
+        drained(&mut engine);
+        let served = engine.telemetry(id).unwrap();
+        let offline = replay(&SimConfig::default(), &req).unwrap();
+        assert!(!served.is_empty());
+        assert_eq!(served, offline);
+    }
+
+    #[test]
+    fn weights_split_lane_groups() {
+        let mut engine = ServeEngine::with_defaults(EngineConfig::default());
+        engine.submit(lane_req(1, 1024)).unwrap();
+        let mut heavy = lane_req(2, 1024);
+        heavy.spec = heavy.spec.with_weight(3);
+        engine.submit(heavy).unwrap();
+        engine.tick();
+        // Same config, different weights → separate groups so each is
+        // served at its own weight.
+        assert_eq!(engine.groups.len(), 2);
+        let stats = drained(&mut engine);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.lane_groups_formed, 2);
+    }
+
+    #[test]
     fn policy_override_splits_lane_groups() {
         let mut engine = ServeEngine::with_defaults(EngineConfig::default());
         // Traces longer than one quantum, so the groups are still live
@@ -956,7 +1110,7 @@ mod tests {
     }
 
     #[test]
-    fn bad_specs_shed_before_admission() {
+    fn bad_specs_shed_with_counted_reasons() {
         let mut engine = ServeEngine::with_defaults(EngineConfig::default());
         let mut bad = scalar_req(0, 1000);
         bad.spec.max_cycles = 0;

@@ -14,10 +14,17 @@
 //! * **admission** ([`scheduler`]) — the [`Scheduler`] trait separates
 //!   policy from stepping; the default [`WatermarkScheduler`] sheds
 //!   with explicit [`ShedReason`]s at a queue-depth or step-lag
-//!   watermark instead of silently stalling;
-//! * **stepping** ([`engine`]) — scalar tenants round-robin quanta on
-//!   pooled `Machine`s; compatible lane tenants pack 64-per-word onto
-//!   the bit-sliced lane kernel;
+//!   watermark instead of silently stalling; [`WfqScheduler`] layers
+//!   weighted fairness (deficit-round-robin credits per tenant weight)
+//!   over the same watermarks (DESIGN.md §16);
+//! * **stepping** ([`engine`]) — scalar tenants earn deficit-round-
+//!   robin grants on pooled `Machine`s; compatible lane tenants pack
+//!   64-per-word onto the bit-sliced lane kernel, optionally held a
+//!   few ticks to pack fuller groups;
+//! * **sharding** ([`fleet`]) — [`ShardedEngine`] fans tenants over N
+//!   engines by a stable affinity hash; stats, SLO slabs, and metrics
+//!   frames merge back into one fleet view with the per-tenant-sums-
+//!   to-aggregate invariant intact (DESIGN.md §16);
 //! * **telemetry** — per-tenant ring-JSONL streams routed through
 //!   `rsp_obs::TenantRouter`; any tenant is bit-identically
 //!   replayable offline from `(spec, seed)` alone ([`replay`]);
@@ -33,6 +40,7 @@
 
 pub mod client;
 pub mod engine;
+pub mod fleet;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
@@ -44,8 +52,12 @@ pub use engine::{
     check_request, effective_cfg, lane_transition_line, replay, EngineConfig, EngineStats,
     PanicFlightGuard, ServeEngine, LANES_PER_GROUP,
 };
+pub use fleet::{merge_frames, merge_snapshots, merge_stats, shard_of, ShardedEngine};
 pub use protocol::{Request, Response, MAX_FRAME};
-pub use scheduler::{LoadSnapshot, Scheduler, ShedReason, WatermarkScheduler};
+pub use scheduler::{
+    LoadSnapshot, Scheduler, SchedulerKind, ShedReason, SpecNote, WatermarkScheduler, WfqScheduler,
+    SPEC_NOTE_CAP,
+};
 pub use server::{Server, ServerConfig};
 pub use slo::{MetricsFrame, SloRegistry, TenantMetrics, SLO_HISTO_NAMES};
 pub use tenant::{tenant_key, TenantPhase, TenantRequest, TenantStatus};

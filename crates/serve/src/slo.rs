@@ -281,6 +281,8 @@ impl MetricsFrame {
         w.gauge("rsp_serve_active", &[], s.active as u64);
         w.gauge("rsp_serve_lane_groups", &[], s.lane_groups as u64);
         w.gauge("rsp_serve_lane_tenants", &[], s.lane_tenants as u64);
+        w.gauge("rsp_serve_lane_pending", &[], s.lane_pending as u64);
+        w.counter("rsp_serve_lane_groups_formed", &[], s.lane_groups_formed);
         w.counter("rsp_serve_pool_leases", &[], s.pool.leases);
         w.counter("rsp_serve_pool_reuses", &[], s.pool.reuses);
         w.counter("rsp_serve_pool_rebuilds", &[], s.pool.rebuilds);

@@ -1,0 +1,132 @@
+//! Sharding must be invisible to tenants: the same 16-tenant fleet
+//! served on 1, 2, or 4 engine shards produces identical per-tenant
+//! telemetry streams and final statuses, and the per-tenant SLO
+//! counts still sum to the merged aggregate slab. This is the
+//! replay-identity argument from DESIGN.md §16 made executable — a
+//! tenant's telemetry depends only on (spec, seed, policy, base
+//! config), never on which shard or lane group served it.
+
+use rsp_serve::{
+    EngineConfig, ServeEngine, ShardedEngine, TenantPhase, TenantRequest, WatermarkScheduler,
+    SLO_HISTO_NAMES,
+};
+use rsp_workloads::{LaneTraceSpec, StreamSpec, SynthSpec, UnitMix};
+
+const TENANTS: u64 = 16;
+
+/// A mixed fleet: three scalar streams with varied seeds and weights,
+/// then a lane stream, repeating.
+fn fleet_req(i: u64) -> TenantRequest {
+    #[allow(unknown_lints, clippy::manual_is_multiple_of)]
+    let lane = (i + 1) % 4 == 0;
+    let spec = if lane {
+        StreamSpec::lane(
+            format!("fleet-lane-{i}"),
+            LaneTraceSpec::synthetic_mix(200, i),
+            200,
+        )
+    } else {
+        StreamSpec::synth(
+            format!("fleet-{i}"),
+            SynthSpec {
+                body_len: 120,
+                ..SynthSpec::new("fleet", UnitMix::BALANCED, i * 17 + 3)
+            },
+            3_000,
+        )
+    };
+    TenantRequest {
+        telemetry_capacity: 64,
+        ..TenantRequest::new(spec.with_weight((i % 3) as u32 + 1))
+    }
+}
+
+/// Run the fleet on `shards` shards; return per-tenant (id, phase,
+/// cycles, telemetry) in submission order.
+fn run(shards: usize) -> Vec<(u64, TenantPhase, u64, String)> {
+    let mut fleet = ShardedEngine::new(
+        EngineConfig::default(),
+        WatermarkScheduler::default(),
+        shards,
+    );
+    let ids: Vec<u64> = (0..TENANTS)
+        .map(|i| {
+            fleet
+                .submit(fleet_req(i))
+                .expect("roomy watermarks admit all")
+        })
+        .collect();
+    assert!(fleet.run_until_idle(100_000), "fleet failed to drain");
+    ids.iter()
+        .map(|&id| {
+            let s = fleet.status(id).unwrap();
+            let t = fleet.telemetry(id).unwrap_or_default().to_string();
+            (id, s.phase, s.cycles, t)
+        })
+        .collect()
+}
+
+#[test]
+fn shard_count_does_not_change_tenant_telemetry() {
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    assert_eq!(one, two, "2-shard run diverged from single-engine run");
+    assert_eq!(one, four, "4-shard run diverged from single-engine run");
+    // And the single-shard fleet matches a bare engine byte for byte.
+    let mut engine = ServeEngine::new(EngineConfig::default(), WatermarkScheduler::default());
+    let ids: Vec<u64> = (0..TENANTS)
+        .map(|i| engine.submit(fleet_req(i)).unwrap())
+        .collect();
+    assert!(engine.run_until_idle(100_000));
+    for (row, &id) in one.iter().zip(&ids) {
+        assert_eq!(row.3, engine.telemetry(id).unwrap_or_default());
+    }
+}
+
+#[test]
+fn per_tenant_slo_counts_sum_to_merged_aggregate() {
+    for shards in [1usize, 2, 4] {
+        let mut fleet = ShardedEngine::new(
+            EngineConfig::default(),
+            WatermarkScheduler::default(),
+            shards,
+        );
+        for i in 0..TENANTS {
+            fleet.submit(fleet_req(i)).unwrap();
+        }
+        assert!(fleet.run_until_idle(100_000));
+        let frame = fleet.metrics();
+        assert_eq!(frame.tenants.len(), TENANTS as usize);
+        for name in SLO_HISTO_NAMES {
+            let agg = frame.aggregate.histogram(name).unwrap();
+            let per_tenant: u64 = frame
+                .tenants
+                .iter()
+                .map(|t| t.snapshot.histogram(name).map_or(0, |h| h.count))
+                .sum();
+            assert_eq!(
+                agg.count, per_tenant,
+                "{name} aggregate count no longer sums over {shards} shard(s)"
+            );
+            let sum: u64 = frame
+                .tenants
+                .iter()
+                .map(|t| t.snapshot.histogram(name).map_or(0, |h| h.sum))
+                .sum();
+            assert_eq!(agg.sum, sum, "{name} aggregate sum broke under sharding");
+        }
+        for counter in ["quanta", "cycles"] {
+            let agg = frame.aggregate.counter(counter).unwrap();
+            let per_tenant: u64 = frame
+                .tenants
+                .iter()
+                .map(|t| t.snapshot.counter(counter).unwrap_or(0))
+                .sum();
+            assert_eq!(
+                agg, per_tenant,
+                "{counter} aggregate no longer sums over {shards} shard(s)"
+            );
+        }
+    }
+}

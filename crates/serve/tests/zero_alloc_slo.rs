@@ -55,8 +55,14 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// The allocation counter is process-global, so tests that measure a
+/// window must not run while another test allocates. Each test holds
+/// this for its whole body.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn slo_and_flight_hot_paths_are_allocation_free_in_steady_state() {
+    let _serial = SERIAL.lock().unwrap();
     let tenants = 32u64;
 
     // Construction and admission are the allocating phase: the registry
@@ -141,8 +147,78 @@ fn slo_and_flight_hot_paths_are_allocation_free_in_steady_state() {
     let _ = during;
 }
 
+/// A shed storm against the full engine must not allocate either: the
+/// admission gate runs *before* spec validation, so an overloaded
+/// engine rejects a submission with nothing but counter bumps, an SLO
+/// slab update, and a flight-ring overwrite — even while storm
+/// detection is live and has tripped a (dirless) flight dump. The
+/// requests themselves are built outside the measured window; the
+/// shed path only drops them, and frees are legal when nothing was
+/// allocated first.
+#[test]
+fn engine_shed_storm_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
+    use rsp_serve::{EngineConfig, ServeEngine, ShedReason, TenantRequest, WatermarkScheduler};
+    use rsp_workloads::{StreamSpec, SynthSpec, UnitMix};
+
+    // queue_depth 0: every submission sheds at the queue watermark.
+    let sched = WatermarkScheduler {
+        queue_depth: 0,
+        max_active: 0,
+        step_lag_watermark: 4,
+        quantum: 64,
+    };
+    let cfg = EngineConfig {
+        flight_capacity: 64,
+        shed_storm_threshold: 32,
+        shed_storm_window: 16,
+        flight_dir: None,
+        ..EngineConfig::default()
+    };
+    let mut engine = ServeEngine::new(cfg, sched);
+
+    let request = || {
+        TenantRequest::new(StreamSpec::synth(
+            "storm",
+            SynthSpec::new("storm", UnitMix::BALANCED, 1),
+            1_000,
+        ))
+    };
+
+    // Warm-up: wrap the flight ring past its capacity and trip storm
+    // detection once (the trigger entry lands in the ring; no dump
+    // directory is configured, so no file path is ever formatted).
+    let warmup: Vec<TenantRequest> = (0..256).map(|_| request()).collect();
+    for req in warmup {
+        assert!(matches!(engine.submit(req), Err(ShedReason::QueueFull)));
+    }
+    assert!(engine.flight_triggers() >= 1, "storm must trip in warm-up");
+
+    // The storm proper: a long burst of rejected submissions.
+    let storm: Vec<TenantRequest> = (0..4_096).map(|_| request()).collect();
+    let before = allocations();
+    let mut shed = 0u64;
+    for req in storm {
+        if engine.submit(req).is_err() {
+            shed += 1;
+        }
+    }
+    let during = allocations() - before;
+    assert_eq!(shed, 4_096, "every storm submission must shed");
+    assert_eq!(engine.stats().shed_queue_full, 256 + 4_096);
+
+    #[cfg(not(debug_assertions))]
+    assert_eq!(
+        during, 0,
+        "engine shed path allocated {during} times over {shed} sheds"
+    );
+    #[cfg(debug_assertions)]
+    let _ = during;
+}
+
 #[test]
 fn disabled_paths_stay_allocation_free_and_record_nothing() {
+    let _serial = SERIAL.lock().unwrap();
     let mut slo = rsp_serve::SloRegistry::new(false);
     let mut flight = FlightRecorder::off();
 

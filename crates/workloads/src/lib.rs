@@ -33,5 +33,5 @@ pub mod synth;
 
 pub use ilp::chains;
 pub use lanes::{LaneTraceSpec, QueueRow};
-pub use stream::{StreamError, StreamSpec, StreamWorkload};
+pub use stream::{StreamError, StreamSpec, StreamWorkload, MAX_STREAM_WEIGHT};
 pub use synth::{PhasedSpec, SynthSpec, UnitMix};

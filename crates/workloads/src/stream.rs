@@ -44,6 +44,10 @@ pub enum StreamWorkload {
     LaneTrace(LaneTraceSpec),
 }
 
+/// Largest admissible [`StreamSpec::weight`]; validation rejects
+/// anything above it so one tenant cannot claim an unbounded share.
+pub const MAX_STREAM_WEIGHT: u32 = 64;
+
 /// A complete tenant stream request: workload + seed + cycle budget.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamSpec {
@@ -56,6 +60,11 @@ pub struct StreamSpec {
     /// Cycle budget: the server stops stepping the tenant after this
     /// many cycles even if the program has not halted.
     pub max_cycles: u64,
+    /// Fair-share weight under a weighted scheduler (0 = unset, served
+    /// as weight 1). Specs serialised before weights existed decode as
+    /// 0, so old wire payloads keep their exact service behaviour.
+    #[serde(default)]
+    pub weight: u32,
 }
 
 /// Why a stream spec could not be turned into a runnable workload.
@@ -116,6 +125,7 @@ impl StreamSpec {
             workload: StreamWorkload::Synth(spec),
             seed,
             max_cycles,
+            weight: 0,
         }
     }
 
@@ -127,7 +137,19 @@ impl StreamSpec {
             workload: StreamWorkload::LaneTrace(spec),
             seed,
             max_cycles,
+            weight: 0,
         }
+    }
+
+    /// The same spec with a fair-share weight (builder style).
+    pub fn with_weight(mut self, weight: u32) -> StreamSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// The weight a scheduler serves this spec at: unset (0) means 1.
+    pub fn effective_weight(&self) -> u32 {
+        self.weight.max(1)
     }
 
     /// Parse a spec from JSON (the serve protocol's wire form).
@@ -145,6 +167,12 @@ impl StreamSpec {
     pub fn validate(&self) -> Result<(), StreamError> {
         if self.max_cycles == 0 {
             return Err(StreamError::Invalid("max_cycles must be positive".into()));
+        }
+        if self.weight > MAX_STREAM_WEIGHT {
+            return Err(StreamError::Invalid(format!(
+                "weight {} exceeds the maximum {MAX_STREAM_WEIGHT}",
+                self.weight
+            )));
         }
         match &self.workload {
             StreamWorkload::Synth(s) => {
@@ -292,6 +320,7 @@ mod tests {
             workload: StreamWorkload::Synth(SynthSpec::new("t", UnitMix::BALANCED, 999)),
             seed,
             max_cycles: 10_000,
+            weight: 0,
         }
     }
 
@@ -322,6 +351,7 @@ mod tests {
                 },
                 seed: 0,
                 max_cycles: 50_000,
+                weight: 0,
             },
             StreamSpec::lane("l", LaneTraceSpec::synthetic_mix(128, 5), 128),
         ];
@@ -341,6 +371,7 @@ mod tests {
             },
             seed: 0,
             max_cycles: 1,
+            weight: 0,
         };
         assert!(matches!(
             bad.program(),
@@ -354,6 +385,7 @@ mod tests {
             },
             seed: 0,
             max_cycles: 1,
+            weight: 0,
         };
         assert!(matches!(
             unknown.program(),
@@ -381,6 +413,7 @@ mod tests {
                 },
                 seed: 0,
                 max_cycles: 100_000,
+                weight: 0,
             };
             let p = spec.program().unwrap();
             p.validate().unwrap();
@@ -417,5 +450,24 @@ mod tests {
             s.mix = UnitMix { weights: [0.0; 5] };
         }
         assert!(zero_mix.validate().is_err());
+
+        let heavy = synth_spec(1).with_weight(MAX_STREAM_WEIGHT + 1);
+        assert!(heavy.validate().is_err());
+    }
+
+    #[test]
+    fn weights_default_to_one_and_round_trip() {
+        let plain = synth_spec(2);
+        assert_eq!(plain.weight, 0);
+        assert_eq!(plain.effective_weight(), 1);
+        let weighted = synth_spec(2).with_weight(3);
+        assert_eq!(weighted.effective_weight(), 3);
+        assert!(weighted.validate().is_ok());
+        let json = weighted.to_json();
+        assert_eq!(StreamSpec::from_json(&json).unwrap(), weighted);
+        // Pre-weight wire payloads (no `weight` key) still decode.
+        let legacy = json.replace(",\"weight\":3", "");
+        assert_ne!(legacy, json);
+        assert_eq!(StreamSpec::from_json(&legacy).unwrap().weight, 0);
     }
 }
