@@ -4,7 +4,12 @@
 //!
 //! ```text
 //! experiments <id>|all|list [--out-dir DIR] [--resume] [--verbose]
+//!             [--cache-dir DIR] [--code-version V]
 //!             [--shard K/N | --spawn N | --merge]
+//! experiments study run|status <study-id> [--cache-dir DIR] ...
+//! experiments study explain <key-prefix> --cache-dir DIR
+//! experiments study gc --cache-dir DIR
+//! experiments study list
 //! ```
 //!
 //! Sweep-engine experiments (`e1-ipc`, `fault-sweep`,
@@ -17,15 +22,24 @@
 //! assertions, and writes the `BENCH_*.json` artifact. `--resume` skips
 //! points already journalled. The merged artifact is byte-identical
 //! however the grid was split.
+//!
+//! With `--cache-dir DIR`, every cacheable point result is also a
+//! content-addressed artifact in a shared store (DESIGN.md §17):
+//! reruns, other shards, and other hosts sharing the store dedupe
+//! work, and the run prints a `cache: …` summary line. `--code-version`
+//! overrides the version baked into every cache key (defaults to the
+//! crate version) — flip it to invalidate the store wholesale. The
+//! `study` subcommand runs multi-stage DAGs (sweep → pivot → report)
+//! over the same store.
 
 use std::path::PathBuf;
 use std::process::exit;
 
-use rsp_bench::experiments::{run, sweep_runner, ALL_IDS};
-use rsp_bench::{Executor, Shard, SweepConfig, SweepError, SweepRunner};
+use rsp_bench::experiments::{run, studies, sweep_runner, ALL_IDS};
+use rsp_bench::{CasStore, Executor, Shard, SweepConfig, SweepError, SweepRunner};
 
 struct Cli {
-    id: String,
+    positionals: Vec<String>,
     cfg: SweepConfig,
     merge_only: bool,
     sweep_flags_used: bool,
@@ -34,10 +48,19 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <id> [--out-dir DIR] [--resume] [--verbose]\n\
-         \x20                    [--shard K/N | --spawn N | --merge]"
+         \x20                    [--cache-dir DIR] [--code-version V]\n\
+         \x20                    [--shard K/N | --spawn N | --merge]\n\
+         \x20      experiments study run|status <study-id> [flags]\n\
+         \x20      experiments study explain <key-prefix> --cache-dir DIR\n\
+         \x20      experiments study gc --cache-dir DIR\n\
+         \x20      experiments study list"
     );
     eprintln!("ids:");
     for id in ALL_IDS {
+        eprintln!("  {id}");
+    }
+    eprintln!("studies:");
+    for id in studies::STUDY_IDS {
         eprintln!("  {id}");
     }
     exit(2);
@@ -45,7 +68,7 @@ fn usage() -> ! {
 
 fn parse_cli() -> Cli {
     let mut args = std::env::args().skip(1);
-    let mut id: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut cfg = SweepConfig::default();
     let mut merge_only = false;
     let mut sweep_flags_used = false;
@@ -59,6 +82,10 @@ fn parse_cli() -> Cli {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out-dir" => cfg.out_dir = PathBuf::from(need("--out-dir", args.next())),
+            "--cache-dir" => {
+                cfg.cache_dir = Some(PathBuf::from(need("--cache-dir", args.next())));
+            }
+            "--code-version" => cfg.code_version = need("--code-version", args.next()),
             "--resume" => {
                 cfg.resume = true;
                 sweep_flags_used = true;
@@ -92,25 +119,23 @@ fn parse_cli() -> Cli {
                 eprintln!("unknown flag {other:?}");
                 usage();
             }
-            other => {
-                if id.replace(other.to_string()).is_some() {
-                    eprintln!("more than one experiment id given");
-                    usage();
-                }
-            }
+            other => positionals.push(other.to_string()),
         }
     }
-    let id = id.unwrap_or_else(|| "list".into());
+    if positionals.first().map(String::as_str) != Some("study") && positionals.len() > 1 {
+        eprintln!("more than one experiment id given");
+        usage();
+    }
     if let Some(count) = spawn {
         let exe = std::env::current_exe().expect("own executable path");
         cfg.executor = Executor::Workers {
             exe,
-            args: vec![id.clone()],
+            args: positionals.clone(),
             count,
         };
     }
     Cli {
-        id,
+        positionals,
         cfg,
         merge_only,
         sweep_flags_used,
@@ -136,7 +161,13 @@ fn drive_sweep(sweep: &dyn SweepRunner, cli: &Cli) {
                 summary.progress,
                 summary.journal.display()
             );
+            if let Some(cache) = &summary.cache {
+                eprintln!("{}", cache.summary_line());
+            }
             return;
+        }
+        if let Some(cache) = &summary.cache {
+            println!("{}", cache.summary_line());
         }
     }
     let merged = sweep.merge(&cli.cfg).unwrap_or_else(|e| fail(e));
@@ -151,11 +182,134 @@ fn drive_sweep(sweep: &dyn SweepRunner, cli: &Cli) {
     }
 }
 
+fn open_store(cli: &Cli) -> CasStore {
+    let Some(dir) = &cli.cfg.cache_dir else {
+        eprintln!("this study action needs --cache-dir");
+        exit(2);
+    };
+    CasStore::open(dir).unwrap_or_else(|e| fail(e))
+}
+
+/// Every cache key any registered sweep or study can reach under the
+/// current code version — the `study gc` live set.
+fn reachable_keys(cli: &Cli) -> std::collections::BTreeSet<String> {
+    let store = open_store(cli);
+    let mut live = std::collections::BTreeSet::new();
+    let sweep_ids = ALL_IDS
+        .iter()
+        .copied()
+        .chain(std::iter::once("fault-sweep-reduced"));
+    for id in sweep_ids {
+        if let Some(sweep) = sweep_runner(id) {
+            if !sweep.cacheable() {
+                continue;
+            }
+            let hashes = sweep.point_hashes(&cli.cfg).unwrap_or_else(|e| fail(e));
+            live.extend(hashes);
+        }
+    }
+    for id in studies::STUDY_IDS {
+        let study = studies::study(id).expect("listed study resolves");
+        let plans = study.plan(&cli.cfg, &store).unwrap_or_else(|e| fail(e));
+        live.extend(plans.into_iter().map(|p| p.key));
+    }
+    live
+}
+
+/// Dispatch `experiments study <action> [target]`.
+fn drive_study(cli: &Cli) {
+    let action = cli.positionals.get(1).map(String::as_str);
+    let target = cli.positionals.get(2).map(String::as_str);
+    if cli.sweep_flags_used {
+        eprintln!("--shard/--spawn/--merge/--resume apply to sweep ids, not 'study'");
+        exit(2);
+    }
+    match (action, target) {
+        (Some("list"), None) => {
+            for id in studies::STUDY_IDS {
+                println!("{id}");
+            }
+        }
+        (Some("run"), Some(id)) => {
+            let Some(study) = studies::study(id) else {
+                eprintln!("unknown study '{id}'; try: experiments study list");
+                exit(2);
+            };
+            let report = study.run(&cli.cfg).unwrap_or_else(|e| fail(e));
+            for node in &report.nodes {
+                println!(
+                    "  [{}] {:<6} {:<12} {}{}",
+                    if node.cached { "cached " } else { "ran    " },
+                    node.kind,
+                    node.id,
+                    &node.key[..16.min(node.key.len())],
+                    match node.points {
+                        Some(p) => format!(" ({p} points)"),
+                        None => String::new(),
+                    }
+                );
+            }
+            println!(
+                "study {}: {}/{} node(s) cached; {}",
+                report.name,
+                report.nodes_cached,
+                report.nodes.len(),
+                report.cache.summary_line()
+            );
+            println!("{}", report.report);
+            println!(
+                "wrote {}",
+                cli.cfg.out_dir.join(format!("STUDY_{id}.txt")).display()
+            );
+        }
+        (Some("status"), Some(id)) => {
+            let Some(study) = studies::study(id) else {
+                eprintln!("unknown study '{id}'; try: experiments study list");
+                exit(2);
+            };
+            print!("{}", study.status(&cli.cfg).unwrap_or_else(|e| fail(e)));
+        }
+        (Some("explain"), Some(prefix)) => {
+            let store = open_store(cli);
+            let found = store.find(prefix).unwrap_or_else(|e| fail(e));
+            if found.is_empty() {
+                eprintln!("no object matches prefix {prefix:?}");
+                exit(1);
+            }
+            for obj in found {
+                println!("{} ({})", obj.key, obj.kind);
+                println!("  name:         {}", obj.name);
+                println!("  code_version: {}", obj.code_version);
+                println!("  inputs:       {}", obj.inputs.len());
+                for input in &obj.inputs {
+                    println!("    {input}");
+                }
+            }
+        }
+        (Some("gc"), None) => {
+            let live = reachable_keys(cli);
+            let store = open_store(cli);
+            let summary = store.gc(&live).unwrap_or_else(|e| fail(e));
+            println!(
+                "gc: kept {} object(s), removed {} object(s), {} claim(s), {} quarantined",
+                summary.kept, summary.removed, summary.claims_removed, summary.quarantine_removed
+            );
+        }
+        _ => {
+            eprintln!(
+                "usage: experiments study run|status <study-id> | explain <key-prefix> | gc | list"
+            );
+            exit(2);
+        }
+    }
+}
+
 fn main() {
     let cli = parse_cli();
-    match cli.id.as_str() {
-        "list" => usage(),
-        "all" => {
+    match cli.positionals.first().map(String::as_str) {
+        None | Some("list") => usage(),
+        Some("study") => drive_study(&cli),
+        Some("all") => {
             if cli.sweep_flags_used {
                 eprintln!("--shard/--spawn/--merge/--resume apply to a single sweep id, not 'all'");
                 exit(2);
@@ -170,7 +324,7 @@ fn main() {
                 println!("{}", "=".repeat(78));
             }
         }
-        id => {
+        Some(id) => {
             if let Some(sweep) = sweep_runner(id) {
                 drive_sweep(sweep.as_ref(), &cli);
             } else if cli.sweep_flags_used {

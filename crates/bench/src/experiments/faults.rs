@@ -221,6 +221,69 @@ impl Sweep for FaultSweep {
         )
     }
 
+    fn spec(&self) -> serde_json::Value {
+        use serde_json::Value;
+        // Workloads carry a content digest, not just a name: the full
+        // and reduced grids both have a "memcpy", and their rows must
+        // never share a cache entry.
+        let workloads = Value::Array(
+            self.programs
+                .iter()
+                .map(|p| {
+                    Value::Object(vec![
+                        ("name".into(), Value::Str(p.name.clone())),
+                        ("instrs".into(), Value::Int(p.instrs.len() as i128)),
+                        (
+                            "digest".into(),
+                            Value::Str(crate::sweep::canon::sha256_hex(
+                                format!("{:?}", p.instrs).as_bytes(),
+                            )),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("workloads".into(), workloads),
+            (
+                "upset_ppm".into(),
+                Value::Array(
+                    self.upset_ppm
+                        .iter()
+                        .map(|&u| Value::Int(u as i128))
+                        .collect(),
+                ),
+            ),
+            (
+                "scrub_intervals".into(),
+                Value::Array(
+                    self.scrub_intervals
+                        .iter()
+                        .map(|&s| Value::Int(s as i128))
+                        .collect(),
+                ),
+            ),
+            (
+                "load_failure_ppm".into(),
+                Value::Int(LOAD_FAILURE_PPM as i128),
+            ),
+            ("fault_seed".into(), Value::Int(0xF0A17)),
+            ("strict".into(), Value::Bool(self.strict)),
+        ])
+    }
+
+    fn point_params(&self, point: &FaultPoint) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("workload".into(), Value::Str(point.workload.clone())),
+            ("upset_ppm".into(), Value::Int(point.upset_ppm as i128)),
+            (
+                "scrub_interval".into(),
+                Value::Int(point.scrub_interval as i128),
+            ),
+        ])
+    }
+
     fn run_point(&self, point: &FaultPoint) -> FaultRow {
         let p = self.program(&point.workload);
         let cfg = faulty_config(point.upset_ppm, point.scrub_interval);

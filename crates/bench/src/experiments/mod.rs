@@ -7,14 +7,17 @@
 //!
 //! Experiments whose grid is worth sharding/resuming are [`crate::sweep::Sweep`]s and
 //! dispatch through [`sweep_runner`] (the `experiments` bin routes them
-//! onto the engine, honouring `--shard`/`--resume`/`--out-dir`); the
-//! rest dispatch through [`run`].
+//! onto the engine, honouring `--shard`/`--resume`/`--out-dir`/
+//! `--cache-dir`); the rest dispatch through [`run`]. Multi-stage
+//! [`studies`] compose the sweeps with pivot/report stages over the
+//! artifact store and dispatch through the `study` subcommand.
 
 use crate::sweep::SweepRunner;
 
 pub mod evals;
 pub mod faults;
 pub mod figures;
+pub mod studies;
 
 /// All experiment ids, in DESIGN.md order.
 pub const ALL_IDS: [&str; 26] = [
@@ -52,6 +55,10 @@ pub fn sweep_runner(id: &str) -> Option<Box<dyn SweepRunner>> {
     match id {
         "e1-ipc" => Some(Box::new(evals::E1Sweep::new())),
         "fault-sweep" => Some(Box::new(faults::FaultSweep::full())),
+        // Hidden id (deliberately not in ALL_IDS, so listings and the
+        // `all` driver stay stable): the reduced fault grid, sized for
+        // the CI cold→warm cache job and local smoke runs.
+        "fault-sweep-reduced" => Some(Box::new(faults::FaultSweep::reduced())),
         "serve-saturation" => Some(Box::new(crate::serve_saturation::ServeSaturationSweep)),
         "serve-sched" => Some(Box::new(crate::serve_sched::ServeSchedSweep::full())),
         _ => None,

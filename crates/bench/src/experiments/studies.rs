@@ -1,0 +1,168 @@
+//! Built-in multi-stage studies (DESIGN.md §17): sweep → pivot →
+//! report DAGs over the content-addressed artifact store.
+//!
+//! A study reuses a registered sweep as its root node, so `study run`
+//! shares point artifacts with plain `experiments <id> --cache-dir`
+//! runs of the same grid — running one warms the other. The pivot and
+//! report stages are pure transforms of upstream artifacts, keyed by
+//! the upstream node hashes, so editing a stage's inputs (or the code
+//! version) recomputes exactly the downstream slice of the DAG.
+
+use serde_json::Value;
+
+use crate::experiments::faults::FaultSweep;
+use crate::sweep::study::{num_field, str_field};
+use crate::sweep::{StudyDag, SweepRunner};
+
+/// Every study id, for listings and the gc root set.
+pub const STUDY_IDS: [&str; 2] = ["fault-study", "fault-study-reduced"];
+
+/// Look up a study by id.
+pub fn study(id: &str) -> Option<StudyDag> {
+    match id {
+        "fault-study" => Some(fault_study("fault-study", Box::new(FaultSweep::full()))),
+        "fault-study-reduced" => Some(fault_study(
+            "fault-study-reduced",
+            Box::new(FaultSweep::reduced()),
+        )),
+        _ => None,
+    }
+}
+
+/// The fault study: the fault sweep, pivoted per upset level into mean
+/// baseline/fault-aware IPC and the steering recovery ratio, then
+/// rendered as the terminal report.
+fn fault_study(name: &'static str, sweep: Box<dyn SweepRunner>) -> StudyDag {
+    StudyDag::new(name)
+        .sweep("sweep", sweep)
+        .stage("pivot", &["sweep"], |inputs| {
+            let rows = inputs[0].as_array().ok_or("sweep output is not an array")?;
+            // Group by upset level, in first-appearance (grid) order.
+            let mut levels: Vec<(i128, Vec<&Value>)> = Vec::new();
+            for row in rows {
+                let ppm = num_field(row, "upset_ppm")? as i128;
+                match levels.iter_mut().find(|(p, _)| *p == ppm) {
+                    Some((_, group)) => group.push(row),
+                    None => levels.push((ppm, vec![row])),
+                }
+            }
+            let mut out = Vec::with_capacity(levels.len());
+            for (ppm, group) in levels {
+                let n = group.len() as f64;
+                let mut ipc = 0.0;
+                let mut aware = 0.0;
+                let mut workloads: Vec<String> = Vec::new();
+                for row in &group {
+                    ipc += num_field(row, "ipc")?;
+                    aware += num_field(row, "ipc_fault_aware")?;
+                    let w = str_field(row, "workload")?;
+                    if !workloads.contains(&w) {
+                        workloads.push(w);
+                    }
+                }
+                let (ipc, aware) = (ipc / n, aware / n);
+                out.push(Value::Object(vec![
+                    ("upset_ppm".into(), Value::Int(ppm)),
+                    ("rows".into(), Value::Int(group.len() as i128)),
+                    ("workloads".into(), Value::Int(workloads.len() as i128)),
+                    ("mean_ipc".into(), Value::Float(ipc)),
+                    ("mean_ipc_fault_aware".into(), Value::Float(aware)),
+                    (
+                        "recovery_ratio".into(),
+                        Value::Float(if ipc > 0.0 { aware / ipc } else { 0.0 }),
+                    ),
+                ]));
+            }
+            Ok(Value::Object(vec![("levels".into(), Value::Array(out))]))
+        })
+        .stage("report", &["pivot"], |inputs| {
+            let levels = inputs[0]
+                .get("levels")
+                .and_then(Value::as_array)
+                .ok_or("pivot output has no levels array")?;
+            let mut s = String::from(
+                "fault study: mean IPC per upset level (fault-aware / degraded baseline)\n",
+            );
+            s.push_str(&format!(
+                "{:>10} {:>5} {:>10} {:>12} {:>10}\n",
+                "upset_ppm", "rows", "mean_ipc", "fault_aware", "recovery"
+            ));
+            let mut worst: Option<(i128, f64)> = None;
+            for lvl in levels {
+                let ppm = num_field(lvl, "upset_ppm")? as i128;
+                let ratio = num_field(lvl, "recovery_ratio")?;
+                s.push_str(&format!(
+                    "{:>10} {:>5} {:>10.4} {:>12.4} {:>9.2}x\n",
+                    ppm,
+                    num_field(lvl, "rows")? as u64,
+                    num_field(lvl, "mean_ipc")?,
+                    num_field(lvl, "mean_ipc_fault_aware")?,
+                    ratio,
+                ));
+                if worst.is_none_or(|(p, _)| ppm > p) {
+                    worst = Some((ppm, ratio));
+                }
+            }
+            if let Some((ppm, ratio)) = worst {
+                s.push_str(&format!(
+                    "at the harshest upset level ({ppm} ppm) fault-aware steering \
+                     holds {ratio:.2}x the degraded baseline's IPC\n"
+                ));
+            }
+            Ok(Value::Str(s))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{Executor, SweepConfig};
+
+    fn cfg(name: &str) -> SweepConfig {
+        let base = std::env::temp_dir()
+            .join(format!("rsp-studies-{}", std::process::id()))
+            .join(name);
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        SweepConfig {
+            executor: Executor::InProcess,
+            out_dir: base.join("out"),
+            cache_dir: Some(base.join("cas")),
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_listed_study_resolves_and_plans() {
+        let cfg = cfg("plans");
+        let store = crate::sweep::CasStore::open(cfg.cache_dir.clone().unwrap()).unwrap();
+        for id in STUDY_IDS {
+            let s = study(id).expect(id);
+            let plans = s.plan(&cfg, &store).unwrap();
+            assert_eq!(
+                plans.iter().map(|p| p.id).collect::<Vec<_>>(),
+                ["sweep", "pivot", "report"],
+                "{id}"
+            );
+        }
+        assert!(study("no-such-study").is_none());
+    }
+
+    #[test]
+    fn reduced_fault_study_runs_and_short_circuits() {
+        let cfg = cfg("reduced");
+        let first = study("fault-study-reduced").unwrap().run(&cfg).unwrap();
+        assert_eq!(first.nodes_cached, 0);
+        assert!(first.cache.misses > 0);
+        assert!(first.report.contains("recovery"), "{}", first.report);
+        assert!(
+            first.report.contains("fault-aware steering holds"),
+            "{}",
+            first.report
+        );
+        let second = study("fault-study-reduced").unwrap().run(&cfg).unwrap();
+        assert_eq!(second.nodes_cached, 3, "warm rerun must not recompute");
+        assert_eq!(second.cache.misses, 0);
+        assert_eq!(second.report, first.report);
+    }
+}

@@ -10,6 +10,9 @@
 //! processes, or resumed from a keyed JSONL journal; a deterministic
 //! merge re-runs each sweep's cross-point assertions and emits the
 //! `BENCH_*.json` artifact byte-identically however the grid was split.
+//! With `--cache-dir`, every point result is a content-addressed
+//! artifact in a shared [`sweep::CasStore`] (DESIGN.md §17), and
+//! multi-stage studies run as [`sweep::StudyDag`]s over that store.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +28,7 @@ pub mod timeline;
 
 pub use harness::{policies, run_one, PolicySpec, Row};
 pub use scaled::scaled_paper_set;
-pub use sweep::{write_artifact, Executor, Shard, Sweep, SweepConfig, SweepError, SweepRunner};
+pub use sweep::{
+    write_artifact, CacheSnapshot, CasStore, Executor, Shard, StudyDag, Sweep, SweepConfig,
+    SweepError, SweepRunner,
+};

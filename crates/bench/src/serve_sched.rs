@@ -321,6 +321,54 @@ impl Sweep for ServeSchedSweep {
         format!("w{}s{}h{:02}", p.skew, p.shards, p.hold)
     }
 
+    // Like the saturation sweep, the wall-clock columns are
+    // informative-only, so cached rows honour the same contract as
+    // `--resume` replay.
+    fn spec(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let wm = sched_watermarks();
+        let ints = |xs: &[i128]| Value::Array(xs.iter().map(|&x| Value::Int(x)).collect());
+        Value::Object(vec![
+            (
+                "skews".into(),
+                ints(&self.skews.iter().map(|&x| x as i128).collect::<Vec<_>>()),
+            ),
+            (
+                "shards".into(),
+                ints(&self.shards.iter().map(|&x| x as i128).collect::<Vec<_>>()),
+            ),
+            (
+                "holds".into(),
+                ints(&self.holds.iter().map(|&x| x as i128).collect::<Vec<_>>()),
+            ),
+            ("scalars".into(), Value::Int(SCALARS as i128)),
+            ("lanes".into(), Value::Int(LANES as i128)),
+            ("scalar_cycles".into(), Value::Int(SCALAR_CYCLES as i128)),
+            ("window".into(), Value::Int(WINDOW as i128)),
+            (
+                "scheduler".into(),
+                Value::Object(vec![
+                    ("queue_depth".into(), Value::Int(wm.queue_depth as i128)),
+                    ("max_active".into(), Value::Int(wm.max_active as i128)),
+                    (
+                        "step_lag_watermark".into(),
+                        Value::Int(wm.step_lag_watermark as i128),
+                    ),
+                    ("quantum".into(), Value::Int(wm.quantum as i128)),
+                ]),
+            ),
+        ])
+    }
+
+    fn point_params(&self, p: &SchedPoint) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("skew".into(), Value::Int(p.skew as i128)),
+            ("shards".into(), Value::Int(p.shards as i128)),
+            ("hold".into(), Value::Int(p.hold as i128)),
+        ])
+    }
+
     fn run_point(&self, p: &SchedPoint) -> SchedRow {
         measure_point(p)
     }

@@ -26,9 +26,24 @@
 //!   key and f64s round-trip through JSON exactly, the merged artifact
 //!   is byte-for-byte identical whether the grid ran as one process,
 //!   N shards, or a killed-and-resumed run.
+//! * **Result cache** — with [`SweepConfig::cache_dir`], every point's
+//!   row is a content-addressed artifact in a shared [`cas::CasStore`],
+//!   keyed by [`canon::point_cache_key`] over (sweep name, spec, point
+//!   params, code version). `run_point` becomes a cache lookup: re-runs
+//!   are hits, concurrent shards/hosts dedupe work through claim files,
+//!   and a changed parameter or code version misses by construction.
+//!   Cached rows re-enter the journal as their stored JSON values, so
+//!   merged artifacts stay byte-identical to a cold run (DESIGN.md §17).
+//! * **Studies** — [`study::StudyDag`] composes sweeps with downstream
+//!   pivot/report stages as a DAG of cached artifacts, each node keyed
+//!   by the hashes of its inputs, with per-node up-to-date
+//!   short-circuiting.
 
+pub mod canon;
+pub mod cas;
 pub mod journal;
 pub mod shard;
+pub mod study;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -39,8 +54,11 @@ use rayon::prelude::*;
 use rsp_obs::{ProgressSnapshot, SweepProgress};
 use serde::{Deserialize, Serialize};
 
+use cas::ObjectMeta;
+pub use cas::{CacheSnapshot, CasStore};
 use journal::{Journal, JournalEntry};
 pub use shard::Shard;
+pub use study::{StageOp, StudyDag};
 
 /// Everything that can go wrong running or merging a sweep. Rendered by
 /// the CLI bins, which exit non-zero — artifact-write failures included.
@@ -105,6 +123,8 @@ pub enum SweepError {
         /// What happened.
         msg: String,
     },
+    /// A study DAG is malformed or a stage computation failed.
+    Study(String),
 }
 
 impl SweepError {
@@ -145,6 +165,7 @@ impl std::fmt::Display for SweepError {
             }
             SweepError::Verify(msg) => write!(f, "cross-point verification failed: {msg}"),
             SweepError::Worker { shard, msg } => write!(f, "shard worker {shard}: {msg}"),
+            SweepError::Study(msg) => write!(f, "study: {msg}"),
         }
     }
 }
@@ -181,6 +202,34 @@ pub trait Sweep: Sync {
     /// False for sweeps that time wall-clock per point (run them
     /// serially so points don't contend for the host CPU).
     fn parallel(&self) -> bool {
+        true
+    }
+
+    /// The sweep's immutable configuration as a structured JSON value —
+    /// everything (besides the point's own parameters and the code
+    /// version) that `run_point` depends on. Baked into every point's
+    /// cache key, so a grid or knob change invalidates the whole sweep.
+    /// The default (`null`) is acceptable only for sweeps whose rows
+    /// depend on nothing but the point and the code version.
+    fn spec(&self) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+
+    /// One point's parameters as a structured JSON value — the
+    /// cache-key analogue of [`Sweep::key`]. The default reuses the
+    /// stable string key, which is correct exactly because keys are
+    /// already required to be pure functions of the parameters;
+    /// structured impls make `study explain` output self-describing.
+    fn point_params(&self, point: &Self::Point) -> serde_json::Value {
+        serde_json::Value::Str(self.key(point))
+    }
+
+    /// False for sweeps whose rows are *not* pure functions of their
+    /// keys — wall-clock timing sweeps — so measurements are never
+    /// served stale from the artifact store. Such sweeps run every
+    /// point even under `--cache-dir` (journaling still buys
+    /// checkpoint/resume; see `ThroughputSweep` for the exemplar).
+    fn cacheable(&self) -> bool {
         true
     }
 
@@ -249,6 +298,19 @@ pub struct SweepConfig {
     pub resume: bool,
     /// Echo per-point progress lines to stderr.
     pub verbose: bool,
+    /// Root of the shared content-addressed result store. `None`
+    /// disables caching: every point runs.
+    pub cache_dir: Option<PathBuf>,
+    /// Code version baked into every cache key. Defaults to the crate
+    /// version, so a release bump invalidates the whole store;
+    /// `--code-version` overrides it (CI uses this to pin invalidation
+    /// behavior).
+    pub code_version: String,
+}
+
+/// The default cache-key code version: this crate's version.
+pub fn default_code_version() -> String {
+    env!("CARGO_PKG_VERSION").to_string()
 }
 
 impl Default for SweepConfig {
@@ -258,6 +320,8 @@ impl Default for SweepConfig {
             out_dir: PathBuf::from("."),
             resume: false,
             verbose: false,
+            cache_dir: None,
+            code_version: default_code_version(),
         }
     }
 }
@@ -281,6 +345,9 @@ pub struct RunSummary {
     pub progress: ProgressSnapshot,
     /// The journal the run streamed into.
     pub journal: PathBuf,
+    /// Cache counters, when the run consulted a store (`--cache-dir`
+    /// set and the sweep is cacheable).
+    pub cache: Option<CacheSnapshot>,
 }
 
 /// What a merge produced.
@@ -304,11 +371,29 @@ pub trait SweepRunner: Sync {
     fn name(&self) -> &'static str;
     /// Total points in the grid.
     fn total_points(&self) -> usize;
+    /// Whether rows are pure functions of their keys (cache-eligible).
+    fn cacheable(&self) -> bool;
     /// Execute per the config, streaming results into the journal.
     fn run(&self, cfg: &SweepConfig) -> Result<RunSummary, SweepError>;
     /// Merge the journals in `cfg.out_dir`: validate, verify, write the
     /// artifact, render the report.
     fn merge(&self, cfg: &SweepConfig) -> Result<MergeSummary, SweepError>;
+    /// Merge, also returning the ordered row values (the study layer
+    /// stores them as the sweep node's artifact).
+    fn merge_with_rows(
+        &self,
+        cfg: &SweepConfig,
+    ) -> Result<(MergeSummary, serde_json::Value), SweepError>;
+    /// Every point's cache key, in grid order — computable without
+    /// running anything, which is what lets `study status` answer cold.
+    fn point_hashes(&self, cfg: &SweepConfig) -> Result<Vec<String>, SweepError>;
+    /// Re-verify and re-render the artifact from cached row values (the
+    /// up-to-date short-circuit: no journals, no `run_point`).
+    fn render_from_rows(
+        &self,
+        rows: &serde_json::Value,
+        cfg: &SweepConfig,
+    ) -> Result<MergeSummary, SweepError>;
 }
 
 impl<S: Sweep> SweepRunner for S {
@@ -320,9 +405,13 @@ impl<S: Sweep> SweepRunner for S {
         self.points().len()
     }
 
+    fn cacheable(&self) -> bool {
+        Sweep::cacheable(self)
+    }
+
     fn run(&self, cfg: &SweepConfig) -> Result<RunSummary, SweepError> {
         if let Executor::Workers { exe, args, count } = &cfg.executor {
-            shard::spawn_shard_workers(exe, args, *count, &cfg.out_dir, cfg.resume)?;
+            shard::spawn_shard_workers(exe, args, *count, cfg)?;
             return Ok(RunSummary {
                 shard: Shard::WHOLE,
                 progress: ProgressSnapshot {
@@ -330,6 +419,7 @@ impl<S: Sweep> SweepRunner for S {
                     ..ProgressSnapshot::default()
                 },
                 journal: cfg.out_dir.clone(),
+                cache: None,
             });
         }
         run_shard(self, cfg)
@@ -337,6 +427,55 @@ impl<S: Sweep> SweepRunner for S {
 
     fn merge(&self, cfg: &SweepConfig) -> Result<MergeSummary, SweepError> {
         merge(self, cfg)
+    }
+
+    fn merge_with_rows(
+        &self,
+        cfg: &SweepConfig,
+    ) -> Result<(MergeSummary, serde_json::Value), SweepError> {
+        let (entries, fragments) = merged_entries(self, cfg)?;
+        let rows_value = serde_json::Value::Array(entries.iter().map(|e| e.row.clone()).collect());
+        let rows = decode_rows::<S>(&entries)?;
+        let summary = finish_merge(self, cfg, &rows, fragments)?;
+        Ok((summary, rows_value))
+    }
+
+    fn point_hashes(&self, cfg: &SweepConfig) -> Result<Vec<String>, SweepError> {
+        let points = self.points();
+        spec_keys(self, &points)?; // reject duplicate keys up front
+        let spec = self.spec();
+        Ok(points
+            .iter()
+            .map(|p| {
+                canon::point_cache_key(
+                    Sweep::name(self),
+                    &spec,
+                    &self.point_params(p),
+                    &cfg.code_version,
+                )
+            })
+            .collect())
+    }
+
+    fn render_from_rows(
+        &self,
+        rows: &serde_json::Value,
+        cfg: &SweepConfig,
+    ) -> Result<MergeSummary, SweepError> {
+        let values = rows.as_array().ok_or_else(|| SweepError::Decode {
+            key: "<stage>".into(),
+            msg: "cached sweep artifact is not a row array".into(),
+        })?;
+        let rows: Vec<S::Row> = values
+            .iter()
+            .map(|v| {
+                serde_json::from_value(v.clone()).map_err(|e| SweepError::Decode {
+                    key: "<stage>".into(),
+                    msg: e.to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        finish_merge(self, cfg, &rows, 0)
     }
 }
 
@@ -407,11 +546,47 @@ fn run_shard<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<RunSummary, Sweep
         );
     }
 
+    // The result cache: only pure sweeps consult it. Rows land in the
+    // journal as the *stored* JSON values, which round-trip
+    // byte-identically, so a warm run merges to the same artifact bytes
+    // as a cold one.
+    let store = match (&cfg.cache_dir, Sweep::cacheable(sweep)) {
+        (Some(dir), true) => Some(CasStore::open(dir)?),
+        _ => None,
+    };
+    let spec_value = sweep.spec();
+
     let writer = Mutex::new(Journal::append_to(&journal_path)?);
     let complete_one = |(i, point): &(usize, &S::Point)| -> Result<(), SweepError> {
         let key = &keys[*i];
-        let row = sweep.run_point(point);
-        let entry = JournalEntry::encode(key, &row)?;
+        let entry = match &store {
+            Some(store) => {
+                let meta = ObjectMeta {
+                    hash: canon::point_cache_key(
+                        Sweep::name(sweep),
+                        &spec_value,
+                        &sweep.point_params(point),
+                        &cfg.code_version,
+                    ),
+                    kind: "point",
+                    name: Sweep::name(sweep).to_string(),
+                    key: key.clone(),
+                    code_version: cfg.code_version.clone(),
+                    inputs: Vec::new(),
+                };
+                let (row, _outcome) = store.fetch_or_compute(&meta, || {
+                    serde_json::to_value(&sweep.run_point(point)).map_err(|e| SweepError::Encode {
+                        key: key.clone(),
+                        msg: e.to_string(),
+                    })
+                })?;
+                JournalEntry {
+                    key: key.clone(),
+                    row,
+                }
+            }
+            None => JournalEntry::encode(key, &sweep.run_point(point))?,
+        };
         writer
             .lock()
             .expect("journal writer poisoned")
@@ -436,6 +611,7 @@ fn run_shard<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<RunSummary, Sweep
         shard,
         progress: progress.snapshot(),
         journal: journal_path,
+        cache: store.map(|s| s.stats()),
     })
 }
 
@@ -444,6 +620,20 @@ fn run_shard<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<RunSummary, Sweep
 /// strays), order rows canonically, re-run the sweep's cross-point
 /// assertions, and write the artifact.
 pub fn merge<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<MergeSummary, SweepError> {
+    let (entries, fragments) = merged_entries(sweep, cfg)?;
+    let rows = decode_rows::<S>(&entries)?;
+    finish_merge(sweep, cfg, &rows, fragments)
+}
+
+/// The journal-replay half of a merge: every fragment's entries,
+/// deduplicated, validated against the spec's key set, and ordered by
+/// the spec's enumeration order — this ordering is what makes the
+/// merged artifact byte-identical to a single-process run's. Returns
+/// the entries plus the fragment count.
+fn merged_entries<S: Sweep>(
+    sweep: &S,
+    cfg: &SweepConfig,
+) -> Result<(Vec<JournalEntry>, usize), SweepError> {
     let points = sweep.points();
     let (keys, key_set) = spec_keys(sweep, &points)?;
 
@@ -484,19 +674,27 @@ pub fn merge<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<MergeSummary, Swe
         });
     }
 
-    // Canonical order: the spec's enumeration order, not hash or
-    // journal-arrival order — this is what makes the merged artifact
-    // byte-identical to a single-process run's.
-    let rows: Vec<S::Row> = keys
-        .iter()
-        .map(|k| by_key[k].decode::<S::Row>())
-        .collect::<Result<_, _>>()?;
+    let entries: Vec<JournalEntry> = keys.iter().map(|k| by_key.remove(k).unwrap()).collect();
+    Ok((entries, fragments.len()))
+}
 
-    sweep.verify(&rows).map_err(SweepError::Verify)?;
+fn decode_rows<S: Sweep>(entries: &[JournalEntry]) -> Result<Vec<S::Row>, SweepError> {
+    entries.iter().map(|e| e.decode::<S::Row>()).collect()
+}
+
+/// The verify-and-render half of a merge, shared by journal replay and
+/// the study layer's cached-rows short-circuit.
+fn finish_merge<S: Sweep>(
+    sweep: &S,
+    cfg: &SweepConfig,
+    rows: &[S::Row],
+    fragments: usize,
+) -> Result<MergeSummary, SweepError> {
+    sweep.verify(rows).map_err(SweepError::Verify)?;
 
     let artifact = match sweep.artifact() {
         Some(name) => {
-            let contents = sweep.render_artifact(&rows)?;
+            let contents = sweep.render_artifact(rows)?;
             Some(write_artifact(&cfg.out_dir, name, &contents)?)
         }
         None => None,
@@ -504,9 +702,9 @@ pub fn merge<S: Sweep>(sweep: &S, cfg: &SweepConfig) -> Result<MergeSummary, Swe
 
     Ok(MergeSummary {
         points: rows.len(),
-        fragments: fragments.len(),
+        fragments,
         artifact,
-        report: sweep.report(&rows),
+        report: sweep.report(rows),
     })
 }
 

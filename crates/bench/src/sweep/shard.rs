@@ -1,17 +1,20 @@
 //! Shard arithmetic and worker-process fan-out.
 //!
 //! A shard is `k/N`: the subset of grid points whose stable key hashes
-//! to `k` modulo `N`. The hash is FNV-1a over the key bytes — fixed
-//! here, never the standard library's `DefaultHasher`
-//! (`std::hash::DefaultHasher`), whose algorithm is unspecified across
-//! releases — so the same key lands in the same shard on every machine,
-//! toolchain and run. Assignment depends only on the key, never on
-//! enumeration order, which is what makes shard fragments mergeable.
+//! to `k` modulo `N`. The hash is [`rsp_obs::stable_key_hash`] — the
+//! workspace's one shared FNV-1a, never the standard library's
+//! `DefaultHasher` (`std::hash::DefaultHasher`), whose algorithm is
+//! unspecified across releases — so the same key lands in the same
+//! shard on every machine, toolchain and run. Assignment depends only
+//! on the key, never on enumeration order, which is what makes shard
+//! fragments mergeable.
 
 use std::path::Path;
 use std::process::Command;
 
-use super::SweepError;
+use super::{SweepConfig, SweepError};
+
+pub use rsp_obs::stable_key_hash;
 
 /// One shard of a sweep: `index` of `count`, with `0/1` meaning the
 /// whole grid.
@@ -56,29 +59,18 @@ impl std::fmt::Display for Shard {
     }
 }
 
-/// FNV-1a over the key bytes: the *stable* hash that assigns points to
-/// shards. Do not replace with `std::hash` — shard assignment is part
-/// of the on-disk journal contract.
-pub fn stable_key_hash(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in key.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
 /// Spawn one worker subprocess per shard — `exe args... --shard k/N
-/// --out-dir <out_dir> [--resume]` — and wait for all of them. Workers
-/// stream their results into per-shard journals in `out_dir`; callers
-/// run the merge step afterwards. Any worker exiting non-zero fails the
+/// --out-dir <out_dir> [--resume] [--cache-dir <dir> --code-version
+/// <v>]` — and wait for all of them. Workers stream their results into
+/// per-shard journals in `cfg.out_dir` (deduping any shared points
+/// through the artifact store when `cfg.cache_dir` is set); callers run
+/// the merge step afterwards. Any worker exiting non-zero fails the
 /// whole fan-out (the journals it did write remain valid for `--resume`).
 pub fn spawn_shard_workers(
     exe: &Path,
     args: &[String],
     count: u32,
-    out_dir: &Path,
-    resume: bool,
+    cfg: &SweepConfig,
 ) -> Result<(), SweepError> {
     let mut children = Vec::new();
     for index in 0..count {
@@ -87,9 +79,15 @@ pub fn spawn_shard_workers(
             .arg("--shard")
             .arg(format!("{index}/{count}"))
             .arg("--out-dir")
-            .arg(out_dir);
-        if resume {
+            .arg(&cfg.out_dir);
+        if cfg.resume {
             cmd.arg("--resume");
+        }
+        if let Some(cache_dir) = &cfg.cache_dir {
+            cmd.arg("--cache-dir")
+                .arg(cache_dir)
+                .arg("--code-version")
+                .arg(&cfg.code_version);
         }
         let child = cmd.spawn().map_err(|e| SweepError::Worker {
             shard: Shard { index, count },

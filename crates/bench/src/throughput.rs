@@ -286,7 +286,11 @@ pub fn measure_all(cfg: &SimConfig, min_wall: Duration, quick: bool) -> Throughp
 /// carry timing), so unlike the simulation sweeps the merged artifact is
 /// not byte-stable across reruns — but journaling still buys
 /// checkpoint/resume: a killed run resumes without re-measuring finished
-/// classes.
+/// classes. For the same reason this sweep is **not cacheable**
+/// ([`Sweep::cacheable`] returns `false`): a wall-clock measurement
+/// taken on one host, at one load, has no business being served from a
+/// content-addressed store to a different run — resume within a run is
+/// the right tool, cross-run reuse is not.
 pub struct ThroughputSweep {
     classes: Vec<WorkloadClass>,
     cfg: SimConfig,
@@ -348,6 +352,13 @@ impl Sweep for ThroughputSweep {
     }
 
     fn parallel(&self) -> bool {
+        false
+    }
+
+    // Rows are wall-clock measurements, not pure functions of the
+    // point — see the struct doc for why reusing them across runs via
+    // the artifact store would be wrong.
+    fn cacheable(&self) -> bool {
         false
     }
 

@@ -1,0 +1,187 @@
+//! Property tests for the canonical-JSON hasher behind the artifact
+//! store (DESIGN.md §17):
+//!
+//! * the content hash is invariant under object key order, at every
+//!   nesting level — canonicalization sorts, so presentation order
+//!   can't change an address;
+//! * canonical text is a fixed point: parsing it back and
+//!   re-canonicalizing reproduces it byte-for-byte (floats round-trip
+//!   through the shortest-repr writer);
+//! * a point cache key moves whenever any single ingredient moves —
+//!   sweep name, spec, one parameter, or the code version — and only
+//!   then.
+
+use proptest::prelude::*;
+use rsp_bench::sweep::canon::{canonical_json, content_hash, point_cache_key};
+use serde_json::Value;
+
+/// Deterministic Fisher–Yates driven by a splitmix64 stream, so a
+/// permutation is reproducible from its seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    let mut next = || {
+        seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// A nested object built from `(index, scalar)` pairs: scalars at the
+/// top level, plus an inner object and an array holding the same
+/// fields, so permutation is exercised below the top level too.
+fn build_object(fields: &[(String, Value)]) -> Value {
+    let mut top: Vec<(String, Value)> = fields.to_vec();
+    top.push(("nested".into(), Value::Object(fields.to_vec())));
+    top.push((
+        "list".into(),
+        Value::Array(vec![Value::Object(fields.to_vec()), Value::Int(7)]),
+    ));
+    Value::Object(top)
+}
+
+/// The generated field set: unique keys, mixed scalar types.
+fn fields_from(raw: &[(u8, i64, f64)]) -> Vec<(String, Value)> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, (tag, n, f))| {
+            let key = format!("k{i:02}_{tag}");
+            let value = match tag % 4 {
+                0 => Value::Int(*n as i128),
+                1 => Value::Float(*f),
+                2 => Value::Str(format!("s{n}")),
+                _ => Value::Bool(n % 2 == 0),
+            };
+            (key, value)
+        })
+        .collect()
+}
+
+/// Recursively permute every object's field order using `seed`.
+fn permute_deep(v: &Value, seed: u64) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut out: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, val)| (k.clone(), permute_deep(val, seed.wrapping_add(1))))
+                .collect();
+            shuffle(&mut out, seed);
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(
+            items
+                .iter()
+                .map(|i| permute_deep(i, seed.wrapping_add(2)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Key order never changes the canonical text or the hash.
+    #[test]
+    fn hash_is_invariant_under_key_order(
+        raw in proptest::collection::vec((any::<u8>(), any::<i64>(), proptest::num::f64::NORMAL), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let obj = build_object(&fields_from(&raw));
+        let permuted = permute_deep(&obj, seed);
+        prop_assert_eq!(canonical_json(&obj), canonical_json(&permuted));
+        prop_assert_eq!(content_hash(&obj), content_hash(&permuted));
+    }
+
+    /// Canonical text is a fixed point of parse → canonicalize, so a
+    /// value that has been through the store hashes the same as the
+    /// value that was written to it.
+    #[test]
+    fn canonical_text_is_a_fixed_point(
+        raw in proptest::collection::vec((any::<u8>(), any::<i64>(), proptest::num::f64::NORMAL), 1..8),
+    ) {
+        let obj = build_object(&fields_from(&raw));
+        let text = canonical_json(&obj);
+        let reparsed: Value = serde_json::from_str(&text).expect("canonical text parses");
+        prop_assert_eq!(canonical_json(&reparsed), text.clone());
+        prop_assert_eq!(content_hash(&reparsed), content_hash(&obj));
+    }
+
+    /// A point key is a pure function of its four ingredients, and a
+    /// change to any single one of them — including one parameter
+    /// value out of several — moves the key.
+    #[test]
+    fn point_key_moves_with_every_ingredient(
+        alpha in proptest::num::f64::NORMAL,
+        beta in any::<i64>(),
+        gamma in any::<u32>(),
+        version in any::<u32>(),
+    ) {
+        let spec = Value::Object(vec![("grid".into(), Value::Int(3))]);
+        let params = |a: f64, b: i64, g: u32| {
+            Value::Object(vec![
+                ("alpha".into(), Value::Float(a)),
+                ("beta".into(), Value::Int(b as i128)),
+                ("gamma".into(), Value::Str(format!("g{g}"))),
+            ])
+        };
+        let cv = format!("v{version}");
+        let base = point_cache_key("sweep_a", &spec, &params(alpha, beta, gamma), &cv);
+        // Deterministic: same ingredients, same key; 64 lowercase hex.
+        prop_assert_eq!(
+            base.clone(),
+            point_cache_key("sweep_a", &spec, &params(alpha, beta, gamma), &cv)
+        );
+        prop_assert_eq!(base.len(), 64);
+        prop_assert!(base.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+        // Any single changed ingredient changes the key.
+        let next_alpha = if alpha == 0.0 { 1.0 } else { alpha * 2.0 };
+        prop_assert_ne!(
+            base.clone(),
+            point_cache_key("sweep_a", &spec, &params(next_alpha, beta, gamma), &cv)
+        );
+        prop_assert_ne!(
+            base.clone(),
+            point_cache_key("sweep_a", &spec, &params(alpha, beta.wrapping_add(1), gamma), &cv)
+        );
+        prop_assert_ne!(
+            base.clone(),
+            point_cache_key("sweep_a", &spec, &params(alpha, beta, gamma.wrapping_add(1)), &cv)
+        );
+        prop_assert_ne!(
+            base.clone(),
+            point_cache_key("sweep_b", &spec, &params(alpha, beta, gamma), &cv)
+        );
+        let other_spec = Value::Object(vec![("grid".into(), Value::Int(4))]);
+        prop_assert_ne!(
+            base.clone(),
+            point_cache_key("sweep_a", &other_spec, &params(alpha, beta, gamma), &cv)
+        );
+        prop_assert_ne!(
+            base,
+            point_cache_key("sweep_a", &spec, &params(alpha, beta, gamma), &format!("{cv}x"))
+        );
+    }
+}
+
+/// Pinned across releases: if this key ever moves, every store in the
+/// field is silently invalidated — move it only with a schema bump.
+#[test]
+fn point_key_is_pinned_across_runs() {
+    let spec = Value::Object(vec![
+        ("grid".into(), Value::Int(2)),
+        ("label".into(), Value::Str("pin".into())),
+    ]);
+    let params = Value::Object(vec![
+        ("x".into(), Value::Float(0.5)),
+        ("y".into(), Value::Int(-3)),
+    ]);
+    assert_eq!(
+        point_cache_key("pinned_sweep", &spec, &params, "1.2.3"),
+        "936c825fc75e2643ee10a9791aebd607e6ce90bd739428745e78a73263500339"
+    );
+}

@@ -36,6 +36,7 @@
 
 mod event;
 mod expo;
+mod hash;
 mod metrics;
 mod progress;
 mod recorder;
@@ -44,6 +45,7 @@ mod sink;
 
 pub use event::{Event, StallCause, Stamped, MAX_CANDIDATES};
 pub use expo::{escape_label, PromDump, PromSample, PromWriter};
+pub use hash::stable_key_hash;
 pub use metrics::{
     Counter, CounterValue, CycleHistogram, Histo, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, HIST_BUCKETS, NUM_COUNTERS, NUM_HISTOS,

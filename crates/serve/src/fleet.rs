@@ -30,17 +30,12 @@ use crate::tenant::{tenant_key, TenantStatus};
 use rsp_obs::{HistogramSnapshot, MetricsSnapshot};
 use std::path::{Path, PathBuf};
 
-/// FNV-1a over the key bytes — the stable hash behind shard affinity.
-/// Deliberately not `std::hash` (unspecified across releases): shard
-/// placement must be reproducible on every machine and toolchain.
-pub fn stable_key_hash(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in key.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+/// The stable hash behind shard affinity: the workspace's one shared
+/// FNV-1a ([`rsp_obs::stable_key_hash`], re-exported here for existing
+/// callers). Deliberately not `std::hash` (unspecified across
+/// releases): shard placement must be reproducible on every machine
+/// and toolchain, and its constants are pinned by test in `rsp-obs`.
+pub use rsp_obs::stable_key_hash;
 
 /// The shard that owns tenant `global_id` in a fleet of `shards`.
 pub fn shard_of(global_id: u64, shards: usize) -> usize {
